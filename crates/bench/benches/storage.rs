@@ -1,0 +1,109 @@
+//! Criterion benches behind Tables 1 and 2: import throughput and scan
+//! cost per physical design / compression setting, plus the 2-bit
+//! sequence-packing ablation the paper proposes in §6.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seqdb_bio::dna::PackedSeq;
+use seqdb_core::dataset::{DgeDataset, Scale};
+use seqdb_core::import;
+use seqdb_engine::Database;
+use seqdb_storage::rowfmt::Compression;
+
+fn dataset() -> DgeDataset {
+    let dir = seqdb_bench::workspace_dir("crit-storage");
+    let _ = std::fs::remove_dir_all(&dir);
+    DgeDataset::generate(
+        &dir,
+        &Scale {
+            genome_bp: 80_000,
+            n_chromosomes: 3,
+            n_reads: 4_000,
+            seed: 55,
+        },
+    )
+    .expect("dataset")
+}
+
+fn bench_import(c: &mut Criterion) {
+    let ds = dataset();
+    let mut g = c.benchmark_group("table1/import");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for (label, comp) in [
+        ("normalized", Compression::None),
+        ("norm+row", Compression::Row),
+        ("norm+page", Compression::Page),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &comp, |b, &comp| {
+            b.iter(|| {
+                let db = Database::in_memory();
+                import::import_dge_normalized(&db, "", comp, &ds).unwrap();
+                db.catalog().table("Read").unwrap().heap.allocated_bytes()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let ds = dataset();
+    let mut g = c.benchmark_group("table1/scan");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for (label, comp) in [
+        ("normalized", Compression::None),
+        ("norm+row", Compression::Row),
+        ("norm+page", Compression::Page),
+    ] {
+        let db = Database::in_memory();
+        import::import_dge_normalized(&db, "", comp, &ds).unwrap();
+        let table = db.catalog().table("Read").unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &table, |b, table| {
+            b.iter(|| {
+                let mut n = 0u64;
+                for item in table.heap.scan() {
+                    item.unwrap();
+                    n += 1;
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_seq_packing(c: &mut Criterion) {
+    // §6.1 ablation: text vs 2-bit packed sequence storage.
+    let ds = dataset();
+    let mut g = c.benchmark_group("ablation/sequence-encoding");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    let seqs: Vec<&str> = ds.reads.iter().map(|r| r.seq.as_str()).take(2000).collect();
+    g.bench_function("text", |b| {
+        b.iter(|| {
+            seqs.iter().map(|s| s.len()).sum::<usize>()
+        })
+    });
+    g.bench_function("packed-2bit", |b| {
+        b.iter(|| {
+            seqs.iter()
+                .map(|s| PackedSeq::from_str(s).unwrap().packed_bytes())
+                .sum::<usize>()
+        })
+    });
+    // Size ratio printed once for the record.
+    let text: usize = seqs.iter().map(|s| s.len()).sum();
+    let packed: usize = seqs
+        .iter()
+        .map(|s| PackedSeq::from_str(s).unwrap().packed_bytes())
+        .sum();
+    eprintln!("sequence bytes: text {text}, packed {packed} ({:.2}x smaller)", text as f64 / packed as f64);
+    g.finish();
+}
+
+criterion_group!(benches, bench_import, bench_scan, bench_seq_packing);
+criterion_main!(benches);

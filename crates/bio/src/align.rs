@@ -1,0 +1,439 @@
+//! MAQ-like short-read alignment (the paper's secondary data analysis,
+//! §2.1 phase 2).
+//!
+//! Seed-and-extend against a hashed k-mer index of the reference, with
+//! MAQ's scoring idea: among candidate placements within the mismatch
+//! budget, prefer the one with the smallest *sum of quality scores at
+//! mismatched bases*, and derive a mapping quality from the gap to the
+//! second-best placement. Both strands are tried (reads come off either
+//! strand of the flowcell fragment).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::quality::Phred;
+use crate::reference::ReferenceGenome;
+
+/// Alignment strand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strand {
+    Forward,
+    Reverse,
+}
+
+impl Strand {
+    pub fn symbol(self) -> char {
+        match self {
+            Strand::Forward => '+',
+            Strand::Reverse => '-',
+        }
+    }
+}
+
+/// One read-to-reference placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Index into the reference's chromosome list.
+    pub chrom: u32,
+    /// 0-based position of the read's first base on the forward strand.
+    pub pos: u32,
+    pub strand: Strand,
+    pub mismatches: u8,
+    /// Sum of Phred scores at mismatched positions (MAQ's placement
+    /// score; lower is better).
+    pub quality_score: u32,
+    /// Mapping quality: confidence that this placement is the right one.
+    pub mapq: u8,
+}
+
+/// Aligner configuration.
+#[derive(Debug, Clone)]
+pub struct AlignerConfig {
+    /// Seed length in bases (hashed exactly).
+    pub seed_len: usize,
+    /// Maximum mismatches tolerated over the full read.
+    pub max_mismatches: u8,
+    /// Seeds whose hit lists exceed this are skipped (repeat masking).
+    pub max_hits_per_seed: usize,
+}
+
+impl Default for AlignerConfig {
+    fn default() -> AlignerConfig {
+        AlignerConfig {
+            seed_len: 12,
+            max_mismatches: 2,
+            max_hits_per_seed: 128,
+        }
+    }
+}
+
+/// Hashed exact-match seed index over the reference.
+struct SeedIndex {
+    seed_len: usize,
+    /// 2-bit packed seed -> (chrom, pos) hit list.
+    map: HashMap<u32, Vec<(u32, u32)>>,
+}
+
+fn pack_seed(seq: &[u8]) -> Option<u32> {
+    let mut key = 0u32;
+    for &b in seq {
+        let code = match b {
+            b'A' => 0,
+            b'C' => 1,
+            b'G' => 2,
+            b'T' => 3,
+            _ => return None,
+        };
+        key = (key << 2) | code;
+    }
+    Some(key)
+}
+
+impl SeedIndex {
+    fn build(reference: &ReferenceGenome, seed_len: usize) -> SeedIndex {
+        assert!(seed_len <= 16, "seeds are packed into 32 bits");
+        let mut map: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        for (ci, chrom) in reference.chromosomes.iter().enumerate() {
+            if chrom.len() < seed_len {
+                continue;
+            }
+            for pos in 0..=(chrom.len() - seed_len) {
+                if let Some(key) = pack_seed(&chrom.seq[pos..pos + seed_len]) {
+                    map.entry(key).or_default().push((ci as u32, pos as u32));
+                }
+            }
+        }
+        SeedIndex { seed_len, map }
+    }
+
+    fn hits(&self, seed: &[u8]) -> Option<&[(u32, u32)]> {
+        debug_assert_eq!(seed.len(), self.seed_len);
+        pack_seed(seed).and_then(|k| self.map.get(&k).map(|v| v.as_slice()))
+    }
+}
+
+/// The aligner: owns the reference and its seed index.
+pub struct Aligner {
+    pub config: AlignerConfig,
+    reference: Arc<ReferenceGenome>,
+    index: SeedIndex,
+}
+
+struct Candidate {
+    chrom: u32,
+    pos: u32,
+    strand: Strand,
+    mismatches: u8,
+    quality_score: u32,
+}
+
+impl Aligner {
+    /// Build the index (one-time cost, like MAQ's reference conversion).
+    pub fn new(reference: Arc<ReferenceGenome>, config: AlignerConfig) -> Aligner {
+        let index = SeedIndex::build(&reference, config.seed_len);
+        Aligner {
+            config,
+            reference,
+            index,
+        }
+    }
+
+    pub fn reference(&self) -> &Arc<ReferenceGenome> {
+        &self.reference
+    }
+
+    /// Align one read; `None` when no placement fits the mismatch budget.
+    pub fn align(&self, seq: &str, quals: &[Phred]) -> Option<Alignment> {
+        let fwd = seq.as_bytes();
+        let rev: Vec<u8> = fwd
+            .iter()
+            .rev()
+            .map(|b| match b {
+                b'A' => b'T',
+                b'T' => b'A',
+                b'C' => b'G',
+                b'G' => b'C',
+                other => *other,
+            })
+            .collect();
+        let rev_quals: Vec<Phred> = quals.iter().rev().copied().collect();
+
+        let mut best: Option<Candidate> = None;
+        let mut second_score: Option<u32> = None;
+        let mut best_dup = false;
+
+        let mut consider = |cand: Candidate| {
+            match &best {
+                None => best = Some(cand),
+                Some(b) => {
+                    let better = (cand.mismatches, cand.quality_score)
+                        < (b.mismatches, b.quality_score);
+                    let equal = (cand.mismatches, cand.quality_score)
+                        == (b.mismatches, b.quality_score);
+                    let same_place =
+                        cand.chrom == b.chrom && cand.pos == b.pos && cand.strand == b.strand;
+                    if same_place {
+                        return;
+                    }
+                    if better {
+                        second_score = Some(b.quality_score);
+                        best_dup = false;
+                        best = Some(cand);
+                    } else {
+                        if equal {
+                            best_dup = true;
+                        }
+                        second_score =
+                            Some(second_score.map_or(cand.quality_score, |s| s.min(cand.quality_score)));
+                    }
+                }
+            }
+        };
+
+        for (strand, bases, qv) in [
+            (Strand::Forward, fwd, quals),
+            (Strand::Reverse, rev.as_slice(), rev_quals.as_slice()),
+        ] {
+            self.scan_strand(bases, qv, strand, &mut consider);
+        }
+
+        let b = best?;
+        let mapq = if best_dup {
+            0
+        } else {
+            match second_score {
+                // Unique within the seeded candidate set.
+                None => 60,
+                Some(s) => ((s.saturating_sub(b.quality_score)).min(60)) as u8,
+            }
+        };
+        Some(Alignment {
+            chrom: b.chrom,
+            pos: b.pos,
+            strand: b.strand,
+            mismatches: b.mismatches,
+            quality_score: b.quality_score,
+            mapq,
+        })
+    }
+
+    fn scan_strand(
+        &self,
+        bases: &[u8],
+        quals: &[Phred],
+        strand: Strand,
+        consider: &mut impl FnMut(Candidate),
+    ) {
+        let k = self.config.seed_len;
+        if bases.len() < k {
+            return;
+        }
+        // Non-overlapping seed offsets across the read. With
+        // `max_mismatches + 1` seeds, the pigeonhole principle guarantees
+        // at least one error-free seed for any read within the mismatch
+        // budget (MAQ's spaced-seed idea).
+        let wanted = self.config.max_mismatches as usize + 1;
+        let mut offsets: Vec<usize> = (0..wanted)
+            .map(|i| i * k)
+            .filter(|off| off + k <= bases.len())
+            .collect();
+        if offsets.len() < wanted && bases.len() >= k {
+            // Tail seed for short reads.
+            let tail = bases.len() - k;
+            if !offsets.contains(&tail) {
+                offsets.push(tail);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &off in &offsets {
+            let Some(hits) = self.index.hits(&bases[off..off + k]) else {
+                continue;
+            };
+            if hits.len() > self.config.max_hits_per_seed {
+                continue; // repetitive seed
+            }
+            for &(chrom, hit_pos) in hits {
+                let Some(start) = (hit_pos as usize).checked_sub(off) else {
+                    continue;
+                };
+                let refseq = &self.reference.chromosomes[chrom as usize].seq;
+                if start + bases.len() > refseq.len() {
+                    continue;
+                }
+                if !seen.insert((chrom, start as u32)) {
+                    continue;
+                }
+                if let Some((mm, score)) = self.extend(bases, quals, &refseq[start..start + bases.len()])
+                {
+                    consider(Candidate {
+                        chrom,
+                        pos: start as u32,
+                        strand,
+                        mismatches: mm,
+                        quality_score: score,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Ungapped comparison with early exit past the mismatch budget.
+    fn extend(&self, bases: &[u8], quals: &[Phred], window: &[u8]) -> Option<(u8, u32)> {
+        let mut mismatches = 0u8;
+        let mut score = 0u32;
+        for i in 0..bases.len() {
+            if bases[i] != window[i] {
+                mismatches += 1;
+                if mismatches > self.config.max_mismatches {
+                    return None;
+                }
+                score += quals[i].0 as u32;
+            }
+        }
+        Some((mismatches, score))
+    }
+
+    /// Align a batch, returning `(read_index, alignment)` for each
+    /// aligned read.
+    pub fn align_batch<'a>(
+        &self,
+        reads: impl IntoIterator<Item = (&'a str, &'a [Phred])>,
+    ) -> Vec<(usize, Alignment)> {
+        reads
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, (s, q))| self.align(s, q).map(|a| (i, a)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{LaneConfig, ReadSimulator, SimStrand};
+
+    fn setup() -> (Arc<ReferenceGenome>, Aligner) {
+        let genome = Arc::new(ReferenceGenome::synthetic(3, 3, 60_000));
+        let aligner = Aligner::new(genome.clone(), AlignerConfig::default());
+        (genome, aligner)
+    }
+
+    #[test]
+    fn perfect_read_aligns_at_its_origin() {
+        let (genome, aligner) = setup();
+        let chrom = &genome.chromosomes[1];
+        let pos = 1234;
+        let seq = String::from_utf8(chrom.seq[pos..pos + 36].to_vec()).unwrap();
+        let quals = vec![Phred(35); 36];
+        let a = aligner.align(&seq, &quals).unwrap();
+        assert_eq!(a.chrom, 1);
+        assert_eq!(a.pos as usize, pos);
+        assert_eq!(a.strand, Strand::Forward);
+        assert_eq!(a.mismatches, 0);
+    }
+
+    #[test]
+    fn reverse_strand_reads_are_found() {
+        let (genome, aligner) = setup();
+        let chrom = &genome.chromosomes[0];
+        let pos = 5000;
+        let fwd = &chrom.seq[pos..pos + 36];
+        let rc: String = fwd
+            .iter()
+            .rev()
+            .map(|b| match b {
+                b'A' => 'T',
+                b'T' => 'A',
+                b'C' => 'G',
+                b'G' => 'C',
+                _ => 'N',
+            })
+            .collect();
+        let a = aligner.align(&rc, &vec![Phred(30); 36]).unwrap();
+        assert_eq!(a.pos as usize, pos);
+        assert_eq!(a.strand, Strand::Reverse);
+        assert_eq!(a.mismatches, 0);
+    }
+
+    #[test]
+    fn mismatch_budget_is_enforced() {
+        let (genome, aligner) = setup();
+        let chrom = &genome.chromosomes[2];
+        let pos = 800;
+        let mut seq = chrom.seq[pos..pos + 36].to_vec();
+        // Two mismatches outside the first seed: still aligns.
+        seq[20] = if seq[20] == b'A' { b'C' } else { b'A' };
+        seq[30] = if seq[30] == b'G' { b'T' } else { b'G' };
+        let s = String::from_utf8(seq.clone()).unwrap();
+        let a = aligner.align(&s, &vec![Phred(30); 36]).unwrap();
+        assert_eq!(a.pos as usize, pos);
+        assert_eq!(a.mismatches, 2);
+        assert_eq!(a.quality_score, 60);
+        // A third mismatch breaks the budget (if no other placement).
+        seq[25] = if seq[25] == b'A' { b'C' } else { b'A' };
+        let s = String::from_utf8(seq).unwrap();
+        let a = aligner.align(&s, &vec![Phred(30); 36]);
+        if let Some(a) = a {
+            assert!(a.mismatches <= 2, "found an alternative placement");
+        }
+    }
+
+    #[test]
+    fn most_simulated_reads_align_to_their_origin() {
+        let (genome, aligner) = setup();
+        let mut sim = ReadSimulator::new(
+            LaneConfig {
+                extra_error: 0.0005,
+                ..LaneConfig::default()
+            },
+            77,
+        );
+        let reads = sim.lane(&genome, 300);
+        let mut aligned = 0;
+        let mut confident = 0;
+        let mut confident_correct = 0;
+        for r in &reads {
+            if let Some(a) = aligner.align(&r.record.seq, &r.record.quals) {
+                aligned += 1;
+                if a.mapq == 0 {
+                    // Ambiguous placement (repeat region): correctly
+                    // flagged, not counted against accuracy.
+                    continue;
+                }
+                confident += 1;
+                let strand_ok = matches!(
+                    (a.strand, r.strand),
+                    (Strand::Forward, SimStrand::Forward) | (Strand::Reverse, SimStrand::Reverse)
+                );
+                if a.chrom as usize == r.true_chrom && a.pos as usize == r.true_pos && strand_ok {
+                    confident_correct += 1;
+                }
+            }
+        }
+        assert!(aligned >= 250, "alignment rate too low: {aligned}/300");
+        assert!(confident >= 200, "too few confident placements: {confident}");
+        assert!(
+            confident_correct * 100 >= confident * 98,
+            "confident accuracy too low: {confident_correct}/{confident}"
+        );
+    }
+
+    #[test]
+    fn repetitive_reads_get_mapq_zero() {
+        // Build a genome with an exact 100bp duplication.
+        let mut genome = ReferenceGenome::synthetic(9, 1, 20_000);
+        let dup: Vec<u8> = genome.chromosomes[0].seq[300..400].to_vec();
+        genome.chromosomes[0].seq[10_000..10_100].copy_from_slice(&dup);
+        let aligner = Aligner::new(Arc::new(genome), AlignerConfig::default());
+        let seq = String::from_utf8(dup[..36].to_vec()).unwrap();
+        let a = aligner.align(&seq, &vec![Phred(30); 36]).unwrap();
+        assert_eq!(a.mapq, 0, "ambiguous placement must have mapq 0");
+    }
+
+    #[test]
+    fn unalignable_read_returns_none() {
+        let (_genome, aligner) = setup();
+        // A read of Ns has no valid seed.
+        assert!(aligner.align(&"N".repeat(36), &vec![Phred(2); 36]).is_none());
+    }
+}

@@ -1,0 +1,263 @@
+//! DNA alphabet and bit-packed sequence representations.
+//!
+//! [`PackedSeq`] is the "domain-specific short-read data type" the paper
+//! proposes in §5.1.2/§6.1: 2 bits per base for N-free sequences (a
+//! quarter of the text size), falling back to 4 bits per base when the
+//! sequence contains ambiguous `N` calls.
+
+use seqdb_types::{DbError, Result};
+
+/// A single nucleotide (with `N` for no-calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Base {
+    A = 0,
+    C = 1,
+    G = 2,
+    T = 3,
+    N = 4,
+}
+
+impl Base {
+    pub fn from_char(c: char) -> Result<Base> {
+        Ok(match c.to_ascii_uppercase() {
+            'A' => Base::A,
+            'C' => Base::C,
+            'G' => Base::G,
+            'T' => Base::T,
+            'N' | '.' => Base::N,
+            other => {
+                return Err(DbError::InvalidData(format!(
+                    "invalid nucleotide '{other}'"
+                )))
+            }
+        })
+    }
+
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+            Base::N => 'N',
+        }
+    }
+
+    /// Watson-Crick complement (N stays N).
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::T => Base::A,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::N => Base::N,
+        }
+    }
+
+    fn from_code4(code: u8) -> Base {
+        match code {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            3 => Base::T,
+            _ => Base::N,
+        }
+    }
+}
+
+/// Parse an ASCII sequence into bases.
+pub fn parse_bases(s: &str) -> Result<Vec<Base>> {
+    s.chars().map(Base::from_char).collect()
+}
+
+/// Render bases as an ASCII string.
+pub fn bases_to_string(b: &[Base]) -> String {
+    b.iter().map(|x| x.to_char()).collect()
+}
+
+/// Reverse complement of an ASCII sequence (utility for aligners).
+pub fn reverse_complement_str(s: &str) -> Result<String> {
+    let bases = parse_bases(s)?;
+    Ok(bases
+        .iter()
+        .rev()
+        .map(|b| b.complement().to_char())
+        .collect())
+}
+
+/// A bit-packed DNA sequence.
+///
+/// Packing is chosen per sequence: 2 bits/base when N-free (the ~4×
+/// reduction of §5.1.2), 4 bits/base otherwise.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedSeq {
+    /// Number of bases.
+    len: u32,
+    /// True = 2-bit packing (no Ns).
+    two_bit: bool,
+    data: Vec<u8>,
+}
+
+impl PackedSeq {
+    pub fn from_str(s: &str) -> Result<PackedSeq> {
+        let bases = parse_bases(s)?;
+        Ok(Self::from_bases(&bases))
+    }
+
+    pub fn from_bases(bases: &[Base]) -> PackedSeq {
+        let two_bit = !bases.contains(&Base::N);
+        let data = if two_bit {
+            let mut data = vec![0u8; bases.len().div_ceil(4)];
+            for (i, b) in bases.iter().enumerate() {
+                data[i / 4] |= (*b as u8) << ((i % 4) * 2);
+            }
+            data
+        } else {
+            let mut data = vec![0u8; bases.len().div_ceil(2)];
+            for (i, b) in bases.iter().enumerate() {
+                data[i / 2] |= (*b as u8) << ((i % 2) * 4);
+            }
+            data
+        };
+        PackedSeq {
+            len: bases.len() as u32,
+            two_bit,
+            data,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the sequence uses the compact 2-bit encoding.
+    pub fn is_two_bit(&self) -> bool {
+        self.two_bit
+    }
+
+    /// Packed payload size in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn get(&self, i: usize) -> Base {
+        debug_assert!(i < self.len());
+        if self.two_bit {
+            let code = (self.data[i / 4] >> ((i % 4) * 2)) & 0b11;
+            Base::from_code4(code)
+        } else {
+            let code = (self.data[i / 2] >> ((i % 2) * 4)) & 0b1111;
+            Base::from_code4(code)
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    pub fn to_string_seq(&self) -> String {
+        self.iter().map(|b| b.to_char()).collect()
+    }
+
+    pub fn reverse_complement(&self) -> PackedSeq {
+        let bases: Vec<Base> = self.iter().map(|b| b.complement()).collect();
+        let rev: Vec<Base> = bases.into_iter().rev().collect();
+        PackedSeq::from_bases(&rev)
+    }
+
+    /// Serialize: `len u32 | two_bit u8 | payload`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.data.len());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.push(self.two_bit as u8);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    pub fn from_bytes(buf: &[u8]) -> Result<PackedSeq> {
+        let err = || DbError::InvalidData("corrupt packed sequence".into());
+        if buf.len() < 5 {
+            return Err(err());
+        }
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        let two_bit = buf[4] != 0;
+        let expected = if two_bit {
+            (len as usize).div_ceil(4)
+        } else {
+            (len as usize).div_ceil(2)
+        };
+        let data = buf.get(5..5 + expected).ok_or_else(err)?.to_vec();
+        Ok(PackedSeq { len, two_bit, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_with_and_without_n() {
+        for s in ["ACGT", "ACGTN", "", "GATTACA", "NNNN"] {
+            let p = PackedSeq::from_str(s).unwrap();
+            assert_eq!(p.to_string_seq(), s);
+            assert_eq!(p.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn two_bit_is_quarter_size() {
+        // The §5.1.2 claim: bit-encoding ≈ 1/4 of the text size.
+        let s = "ACGT".repeat(9); // 36bp read
+        let p = PackedSeq::from_str(&s).unwrap();
+        assert!(p.is_two_bit());
+        assert_eq!(p.packed_bytes(), 9);
+        let with_n = format!("{}N", &s[..35]);
+        let p = PackedSeq::from_str(&with_n).unwrap();
+        assert!(!p.is_two_bit());
+        assert_eq!(p.packed_bytes(), 18);
+    }
+
+    #[test]
+    fn reverse_complement() {
+        let p = PackedSeq::from_str("AACGTN").unwrap();
+        assert_eq!(p.reverse_complement().to_string_seq(), "NACGTT");
+        assert_eq!(reverse_complement_str("GATTACA").unwrap(), "TGTAATC");
+    }
+
+    #[test]
+    fn invalid_characters_rejected() {
+        assert!(PackedSeq::from_str("ACGU").is_err());
+        assert!(Base::from_char('x').is_err());
+        assert_eq!(Base::from_char('a').unwrap(), Base::A);
+    }
+
+    #[test]
+    fn serialization_roundtrip_and_corruption() {
+        let p = PackedSeq::from_str("ACGTNACGT").unwrap();
+        let b = p.to_bytes();
+        assert_eq!(PackedSeq::from_bytes(&b).unwrap(), p);
+        assert!(PackedSeq::from_bytes(&b[..3]).is_err());
+        assert!(PackedSeq::from_bytes(&b[..b.len() - 1]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn packing_roundtrips(s in "[ACGTN]{0,100}") {
+            let p = PackedSeq::from_str(&s).unwrap();
+            prop_assert_eq!(p.to_string_seq(), s.clone());
+            let b = p.to_bytes();
+            prop_assert_eq!(PackedSeq::from_bytes(&b).unwrap(), p);
+        }
+
+        #[test]
+        fn revcomp_is_involution(s in "[ACGTN]{0,60}") {
+            let p = PackedSeq::from_str(&s).unwrap();
+            prop_assert_eq!(p.reverse_complement().reverse_complement(), p);
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! FASTQ parsing and writing.
+//!
+//! Two reader implementations mirror the two access paths the paper
+//! benchmarks in §5.2:
+//!
+//! * [`SimpleFastqReader`] — line-at-a-time with per-record allocation
+//!   (the "StreamReader" stored-procedure rung);
+//! * [`ChunkedFastqParser`] — the §4.1 buffer-paging parser: reads the
+//!   input in large chunks, parses entries out of an internal byte
+//!   buffer, and when an entry straddles the chunk boundary memmoves the
+//!   incomplete tail to the front of the buffer before fetching the next
+//!   chunk (the `ReadChunk`/`ParseShortReadEntry` pseudocode, verbatim).
+//!
+//! The chunked parser separates *cursor advancement* ([`ChunkedFastqParser::next_ref`],
+//! zero-copy — the TVF `MoveNext()`) from *record conversion*
+//! ([`FastqEntryRef::to_record`] — the TVF `FillRow()`), because the
+//! paper measures those costs separately.
+
+use std::io::Read;
+
+use seqdb_types::{DbError, Result};
+
+use crate::quality::{Phred, QualityEncoding};
+
+/// One owned FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read name without the leading `@`.
+    pub name: String,
+    /// Base calls as ASCII.
+    pub seq: String,
+    /// Per-base qualities.
+    pub quals: Vec<Phred>,
+}
+
+impl FastqRecord {
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// Serialize records in FASTQ format.
+pub fn write_fastq<W: std::io::Write>(
+    w: &mut W,
+    records: impl IntoIterator<Item = FastqRecord>,
+    encoding: QualityEncoding,
+) -> Result<()> {
+    for r in records {
+        write_fastq_record(w, &r, encoding)?;
+    }
+    Ok(())
+}
+
+pub fn write_fastq_record<W: std::io::Write>(
+    w: &mut W,
+    r: &FastqRecord,
+    encoding: QualityEncoding,
+) -> Result<()> {
+    if r.seq.len() != r.quals.len() {
+        return Err(DbError::InvalidData(format!(
+            "read {}: {} bases but {} qualities",
+            r.name,
+            r.seq.len(),
+            r.quals.len()
+        )));
+    }
+    writeln!(w, "@{}", r.name)?;
+    writeln!(w, "{}", r.seq)?;
+    writeln!(w, "+")?;
+    writeln!(w, "{}", encoding.encode(&r.quals))?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Line-at-a-time reader (the allocating baseline).
+// ----------------------------------------------------------------------
+
+/// FASTQ reader that goes through `BufRead::read_line`, allocating per
+/// record. Correct but deliberately naive (§5.2's 21-second rung).
+pub struct SimpleFastqReader<R: std::io::BufRead> {
+    reader: R,
+    encoding: QualityEncoding,
+    line: String,
+}
+
+impl<R: std::io::BufRead> SimpleFastqReader<R> {
+    pub fn new(reader: R, encoding: QualityEncoding) -> Self {
+        SimpleFastqReader {
+            reader,
+            encoding,
+            line: String::new(),
+        }
+    }
+
+    fn read_line(&mut self) -> Result<Option<String>> {
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.line.trim_end_matches(['\n', '\r']).to_string()))
+    }
+
+    pub fn next_record(&mut self) -> Result<Option<FastqRecord>> {
+        let Some(header) = self.read_line()? else {
+            return Ok(None);
+        };
+        if header.is_empty() {
+            // Tolerate a trailing blank line.
+            return self.next_record();
+        }
+        let name = header
+            .strip_prefix('@')
+            .ok_or_else(|| DbError::InvalidData(format!("expected '@', got '{header}'")))?
+            .to_string();
+        let seq = self
+            .read_line()?
+            .ok_or_else(|| DbError::InvalidData(format!("read {name}: missing sequence")))?;
+        let plus = self
+            .read_line()?
+            .ok_or_else(|| DbError::InvalidData(format!("read {name}: missing '+' line")))?;
+        if !plus.starts_with('+') {
+            return Err(DbError::InvalidData(format!(
+                "read {name}: expected '+', got '{plus}'"
+            )));
+        }
+        let qual_line = self
+            .read_line()?
+            .ok_or_else(|| DbError::InvalidData(format!("read {name}: missing qualities")))?;
+        let quals = self.encoding.decode(&qual_line)?;
+        if quals.len() != seq.len() {
+            return Err(DbError::InvalidData(format!(
+                "read {name}: {} bases but {} qualities",
+                seq.len(),
+                quals.len()
+            )));
+        }
+        Ok(Some(FastqRecord { name, seq, quals }))
+    }
+
+    /// Drain all records.
+    pub fn read_all(&mut self) -> Result<Vec<FastqRecord>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Chunked buffer-paging parser (§4.1).
+// ----------------------------------------------------------------------
+
+/// Sequential chunk supplier — the `GetBytes` + `SequentialAccess`
+/// contract of a FileStream (implemented for any `io::Read` here and for
+/// FileStream readers in seqdb-core).
+pub trait ChunkSource {
+    /// Fill as much of `buf` as possible; 0 = end of data.
+    fn read_chunk(&mut self, buf: &mut [u8]) -> Result<usize>;
+}
+
+/// Adapter making any `io::Read` a chunk source.
+pub struct IoChunkSource<R: Read>(pub R);
+
+impl<R: Read> ChunkSource for IoChunkSource<R> {
+    fn read_chunk(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let mut n = 0;
+        // Fill the chunk fully where possible (short reads at EOF only),
+        // matching FileStream GetBytes semantics.
+        while n < buf.len() {
+            let r = self.0.read(&mut buf[n..])?;
+            if r == 0 {
+                break;
+            }
+            n += r;
+        }
+        Ok(n)
+    }
+}
+
+/// Borrowed view of one FASTQ entry inside the parser's buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct FastqEntryRef<'a> {
+    pub name: &'a [u8],
+    pub seq: &'a [u8],
+    pub qual: &'a [u8],
+}
+
+impl FastqEntryRef<'_> {
+    /// The `FillRow` step: convert the borrowed entry into an owned
+    /// record (allocations + quality decoding happen here, and only
+    /// here).
+    pub fn to_record(&self, encoding: QualityEncoding) -> Result<FastqRecord> {
+        let name = std::str::from_utf8(self.name)
+            .map_err(|_| DbError::InvalidData("non-utf8 read name".into()))?
+            .to_string();
+        let seq = std::str::from_utf8(self.seq)
+            .map_err(|_| DbError::InvalidData("non-utf8 sequence".into()))?
+            .to_string();
+        let qual_line = std::str::from_utf8(self.qual)
+            .map_err(|_| DbError::InvalidData("non-utf8 qualities".into()))?;
+        let quals = encoding.decode(qual_line)?;
+        if quals.len() != seq.len() {
+            return Err(DbError::InvalidData(format!(
+                "read {name}: {} bases but {} qualities",
+                seq.len(),
+                quals.len()
+            )));
+        }
+        Ok(FastqRecord { name, seq, quals })
+    }
+}
+
+/// Byte ranges of one parsed entry within the buffer.
+struct EntryBounds {
+    name: (usize, usize),
+    seq: (usize, usize),
+    qual: (usize, usize),
+    consumed: usize,
+}
+
+/// Default chunk size; the paper found chunked access ~3× faster than
+/// line-at-a-time streaming.
+pub const DEFAULT_CHUNK: usize = 64 * 1024;
+
+/// The §4.1 chunked FASTQ parser.
+pub struct ChunkedFastqParser<S: ChunkSource> {
+    source: S,
+    buffer: Vec<u8>,
+    /// Valid bytes in `buffer`.
+    bytes_read: usize,
+    /// Parse cursor within the valid region.
+    buffer_pos: usize,
+    /// Bytes carried over from the previous chunk (the paging tail).
+    buffer_offset: usize,
+    eof: bool,
+    /// Records parsed so far (diagnostics).
+    pub records_parsed: u64,
+    /// Chunks fetched so far (diagnostics; shows ~size/chunk I/O calls).
+    pub chunks_read: u64,
+}
+
+impl<S: ChunkSource> ChunkedFastqParser<S> {
+    pub fn new(source: S) -> Self {
+        Self::with_chunk_size(source, DEFAULT_CHUNK)
+    }
+
+    pub fn with_chunk_size(source: S, chunk: usize) -> Self {
+        ChunkedFastqParser {
+            source,
+            buffer: vec![0u8; chunk.max(256)],
+            bytes_read: 0,
+            buffer_pos: 0,
+            buffer_offset: 0,
+            eof: false,
+            records_parsed: 0,
+            chunks_read: 0,
+        }
+    }
+
+    /// The paper's `ReadChunk()`: fill the buffer after any carried-over
+    /// tail bytes.
+    fn read_chunk(&mut self) -> Result<usize> {
+        let len = self.buffer.len() - self.buffer_offset;
+        let read = self.source.read_chunk(&mut self.buffer[self.buffer_offset..][..len])?;
+        self.chunks_read += 1;
+        self.buffer_pos = 0;
+        let total = if read > 0 || self.buffer_offset > 0 {
+            let t = read + self.buffer_offset;
+            self.buffer_offset = 0;
+            t
+        } else {
+            0
+        };
+        if read == 0 {
+            self.eof = true;
+        }
+        Ok(total)
+    }
+
+    /// The paper's `MoveNext()`: advance to the next entry, returning its
+    /// bounds, handling the buffer-wrap paging.
+    fn move_next(&mut self) -> Result<Option<EntryBounds>> {
+        if self.bytes_read == 0 && !self.eof {
+            self.bytes_read = self.read_chunk()?;
+        }
+        while self.bytes_read > 0 {
+            if self.buffer_pos >= self.bytes_read {
+                if self.eof {
+                    return Ok(None);
+                }
+                self.bytes_read = self.read_chunk()?;
+                continue;
+            }
+            match parse_entry(&self.buffer[..self.bytes_read], self.buffer_pos)? {
+                Some(bounds) => {
+                    self.buffer_pos = bounds.consumed;
+                    self.records_parsed += 1;
+                    return Ok(Some(bounds));
+                }
+                None => {
+                    // Incomplete entry at the end of the chunk.
+                    if self.eof {
+                        // Trailing whitespace is fine; a partial record is not.
+                        let tail = &self.buffer[self.buffer_pos..self.bytes_read];
+                        if tail.iter().all(|b| b.is_ascii_whitespace()) {
+                            return Ok(None);
+                        }
+                        return Err(DbError::InvalidData(
+                            "truncated FASTQ entry at end of input".into(),
+                        ));
+                    }
+                    // The paging algorithm: move the incomplete entry to
+                    // the start of the buffer and refill behind it.
+                    let tail_len = self.bytes_read - self.buffer_pos;
+                    if tail_len >= self.buffer.len() {
+                        // Entry bigger than the buffer: grow it.
+                        self.buffer.resize(self.buffer.len() * 2, 0);
+                    }
+                    self.buffer.copy_within(self.buffer_pos..self.bytes_read, 0);
+                    self.buffer_offset = tail_len;
+                    self.bytes_read = self.read_chunk()?;
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Next entry as borrowed slices (no conversion cost).
+    pub fn next_ref(&mut self) -> Result<Option<FastqEntryRef<'_>>> {
+        match self.move_next()? {
+            None => Ok(None),
+            Some(b) => Ok(Some(FastqEntryRef {
+                name: &self.buffer[b.name.0..b.name.1],
+                seq: &self.buffer[b.seq.0..b.seq.1],
+                qual: &self.buffer[b.qual.0..b.qual.1],
+            })),
+        }
+    }
+
+    /// Next entry converted to an owned record (`MoveNext` + `FillRow`).
+    pub fn next_record(&mut self, encoding: QualityEncoding) -> Result<Option<FastqRecord>> {
+        match self.move_next()? {
+            None => Ok(None),
+            Some(b) => {
+                let e = FastqEntryRef {
+                    name: &self.buffer[b.name.0..b.name.1],
+                    seq: &self.buffer[b.seq.0..b.seq.1],
+                    qual: &self.buffer[b.qual.0..b.qual.1],
+                };
+                Ok(Some(e.to_record(encoding)?))
+            }
+        }
+    }
+
+    /// Count entries without any conversion — the `SELECT COUNT(*)`
+    /// shape of the §5.2 experiment.
+    pub fn count_remaining(&mut self) -> Result<u64> {
+        let mut n = 0;
+        while self.move_next()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// The paper's `ParseShortReadEntry`: parse one 4-line entry starting at
+/// `pos`. `Ok(None)` = the entry continues past the end of the buffer.
+fn parse_entry(buf: &[u8], mut pos: usize) -> Result<Option<EntryBounds>> {
+    // Skip blank lines between entries.
+    while pos < buf.len() && (buf[pos] == b'\n' || buf[pos] == b'\r') {
+        pos += 1;
+    }
+    if pos >= buf.len() {
+        return Ok(None);
+    }
+    if buf[pos] != b'@' {
+        return Err(DbError::InvalidData(format!(
+            "expected '@' at FASTQ entry start, got {:?}",
+            buf[pos] as char
+        )));
+    }
+    let line = |start: usize| -> Option<(usize, usize, usize)> {
+        // (content_start, content_end, next_line_start)
+        let nl = buf[start..].iter().position(|&b| b == b'\n')?;
+        let mut end = start + nl;
+        let next = end + 1;
+        if end > start && buf[end - 1] == b'\r' {
+            end -= 1;
+        }
+        Some((start, end, next))
+    };
+    let Some((h_start, h_end, p1)) = line(pos) else {
+        return Ok(None);
+    };
+    let Some((s_start, s_end, p2)) = line(p1) else {
+        return Ok(None);
+    };
+    let Some((plus_start, plus_end, p3)) = line(p2) else {
+        return Ok(None);
+    };
+    let Some((q_start, q_end, p4)) = line(p3) else {
+        // The final line may lack a trailing newline only at EOF — the
+        // caller retries with more data first, and accepts the tail at
+        // EOF via the whitespace check; be strict here and require the
+        // newline unless the qual line would complete the buffer exactly.
+        return Ok(None);
+    };
+    if plus_start >= plus_end || buf[plus_start] != b'+' {
+        return Err(DbError::InvalidData(
+            "malformed FASTQ entry: missing '+' separator".into(),
+        ));
+    }
+    Ok(Some(EntryBounds {
+        name: (h_start + 1, h_end),
+        seq: (s_start, s_end),
+        qual: (q_start, q_end),
+        consumed: p4,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::QualityEncoding as QE;
+
+    fn sample(n: usize) -> (String, Vec<FastqRecord>) {
+        let mut text = String::new();
+        let mut recs = Vec::new();
+        for i in 0..n {
+            let seq = if i % 7 == 0 { "ACGTNACGTNAC" } else { "GATTACAGATTA" };
+            let quals: Vec<Phred> = (0..seq.len()).map(|j| Phred((30 - j as u8).min(40))).collect();
+            let r = FastqRecord {
+                name: format!("IL4_855:1:{}:{}:{}", i / 100 + 1, i, i * 2),
+                seq: seq.to_string(),
+                quals,
+            };
+            let mut buf = Vec::new();
+            write_fastq_record(&mut buf, &r, QE::Sanger).unwrap();
+            text.push_str(std::str::from_utf8(&buf).unwrap());
+            recs.push(r);
+        }
+        (text, recs)
+    }
+
+    #[test]
+    fn simple_reader_roundtrip() {
+        let (text, recs) = sample(25);
+        let mut r = SimpleFastqReader::new(text.as_bytes(), QE::Sanger);
+        let got = r.read_all().unwrap();
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn chunked_parser_matches_simple_reader_at_awkward_chunk_sizes() {
+        let (text, recs) = sample(40);
+        // Chunk sizes chosen to hit every boundary condition, including
+        // chunks smaller than one entry (forces paging + buffer growth).
+        for chunk in [256, 257, 300, 1024, 64 * 1024] {
+            let src = IoChunkSource(text.as_bytes());
+            let mut p = ChunkedFastqParser::with_chunk_size(src, chunk);
+            let mut got = Vec::new();
+            while let Some(r) = p.next_record(QE::Sanger).unwrap() {
+                got.push(r);
+            }
+            assert_eq!(got, recs, "chunk={chunk}");
+            assert_eq!(p.records_parsed, 40);
+        }
+    }
+
+    #[test]
+    fn paging_moves_partial_entries_across_chunks() {
+        let (text, _) = sample(10);
+        // A chunk size that is guaranteed to split entries.
+        let src = IoChunkSource(text.as_bytes());
+        let mut p = ChunkedFastqParser::with_chunk_size(src, 256);
+        let n = p.count_remaining().unwrap();
+        assert_eq!(n, 10);
+        assert!(p.chunks_read >= 2, "must have paged across chunks");
+    }
+
+    #[test]
+    fn count_without_conversion() {
+        let (text, _) = sample(100);
+        let mut p = ChunkedFastqParser::new(IoChunkSource(text.as_bytes()));
+        assert_eq!(p.count_remaining().unwrap(), 100);
+    }
+
+    #[test]
+    fn truncated_entry_is_an_error() {
+        let text = "@r1\nACGT\n+\nIIII\n@r2\nACG";
+        let mut p = ChunkedFastqParser::new(IoChunkSource(text.as_bytes()));
+        assert!(p.next_ref().unwrap().is_some());
+        assert!(p.next_ref().is_err());
+    }
+
+    #[test]
+    fn malformed_entries_error_in_both_readers() {
+        let text = "ACGT\n+\nIIII\n";
+        let mut s = SimpleFastqReader::new(text.as_bytes(), QE::Sanger);
+        assert!(s.next_record().is_err());
+        let mut p = ChunkedFastqParser::new(IoChunkSource(text.as_bytes()));
+        assert!(p.next_ref().is_err());
+
+        let bad_plus = "@r\nACGT\nIIII\nIIII\n";
+        let mut p = ChunkedFastqParser::new(IoChunkSource(bad_plus.as_bytes()));
+        assert!(p.next_ref().is_err());
+    }
+
+    #[test]
+    fn quality_length_mismatch_detected_at_fill_row() {
+        let text = "@r\nACGT\n+\nIII\n";
+        let mut p = ChunkedFastqParser::new(IoChunkSource(text.as_bytes()));
+        // move_next succeeds (bounds only)...
+        let e = p.next_ref().unwrap().unwrap();
+        // ...the FillRow conversion catches the mismatch.
+        assert!(e.to_record(QE::Sanger).is_err());
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let text = "@r1\r\nACGT\r\n+\r\nIIII\r\n";
+        let mut p = ChunkedFastqParser::new(IoChunkSource(text.as_bytes()));
+        let r = p.next_record(QE::Sanger).unwrap().unwrap();
+        assert_eq!(r.seq, "ACGT");
+        assert_eq!(r.name, "r1");
+    }
+
+    #[test]
+    fn entry_without_trailing_newline_at_eof() {
+        let text = "@r1\nACGT\n+\nIIII";
+        let mut p = ChunkedFastqParser::new(IoChunkSource(text.as_bytes()));
+        // Strict: the final qual line has no newline; the parser reports
+        // a truncated entry rather than silently guessing.
+        assert!(p.next_ref().is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Illumina-style read names.
+//!
+//! The paper (§5.1.1): "the name of an individual short read entry in a
+//! FASTQ file is a string that combines the name of the sequencer machine
+//! with the flowcell id, the lane and tile numbers on the flowcell, and
+//! the x and y coordinates on the tile" — e.g. `IL4_855:1:1:954:659`.
+//! Materializing these textual composite keys in every table is what
+//! makes the 1:1 relational import *larger* than the source files
+//! (Tables 1–2); the normalized schema replaces them with synthetic ids.
+
+use std::fmt;
+
+use seqdb_types::{DbError, Result};
+
+/// A parsed read name: `machine_flowcell:lane:tile:x:y`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReadName {
+    pub machine: String,
+    pub flowcell: u32,
+    pub lane: u32,
+    pub tile: u32,
+    pub x: u32,
+    pub y: u32,
+}
+
+impl ReadName {
+    pub fn new(machine: &str, flowcell: u32, lane: u32, tile: u32, x: u32, y: u32) -> ReadName {
+        ReadName {
+            machine: machine.to_string(),
+            flowcell,
+            lane,
+            tile,
+            x,
+            y,
+        }
+    }
+
+    /// Parse `IL4_855:1:1:954:659`.
+    pub fn parse(s: &str) -> Result<ReadName> {
+        let err = || DbError::InvalidData(format!("malformed read name '{s}'"));
+        let mut parts = s.split(':');
+        let head = parts.next().ok_or_else(err)?;
+        let (machine, flowcell) = head.rsplit_once('_').ok_or_else(err)?;
+        let flowcell: u32 = flowcell.parse().map_err(|_| err())?;
+        let mut nums = [0u32; 4];
+        for slot in nums.iter_mut() {
+            *slot = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(ReadName {
+            machine: machine.to_string(),
+            flowcell,
+            lane: nums[0],
+            tile: nums[1],
+            x: nums[2],
+            y: nums[3],
+        })
+    }
+}
+
+impl fmt::Display for ReadName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}_{}:{}:{}:{}:{}",
+            self.machine, self.flowcell, self.lane, self.tile, self.x, self.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let n = ReadName::parse("IL4_855:1:1:954:659").unwrap();
+        assert_eq!(n.machine, "IL4");
+        assert_eq!(n.flowcell, 855);
+        assert_eq!(n.lane, 1);
+        assert_eq!(n.tile, 1);
+        assert_eq!(n.x, 954);
+        assert_eq!(n.y, 659);
+        assert_eq!(n.to_string(), "IL4_855:1:1:954:659");
+    }
+
+    #[test]
+    fn machine_names_with_underscores() {
+        let n = ReadName::parse("HWI_EAS_99:2:33:10:20").unwrap();
+        assert_eq!(n.machine, "HWI_EAS");
+        assert_eq!(n.flowcell, 99);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "IL4:1:1:1:1", "IL4_855:1:1:954", "IL4_855:1:1:954:659:7", "IL4_x:1:1:1:1"] {
+            assert!(ReadName::parse(bad).is_err(), "{bad}");
+        }
+    }
+}

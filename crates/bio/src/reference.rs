@@ -1,0 +1,163 @@
+//! Reference genomes: loading from FASTA and synthetic generation.
+//!
+//! The paper aligns against the Human reference genome ("the 25
+//! chromosomes", §5.1.2). seqdb uses a scaled-down synthetic reference
+//! with the same *shape*: multiple chromosomes of uneven lengths with
+//! realistic base composition (including low-complexity repeats, which
+//! give aligners and compressors honest work).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use seqdb_types::{DbError, Result};
+
+use crate::fasta::{read_fasta, write_fasta, FastaRecord};
+
+/// One chromosome: a name and its sequence (ASCII bases, uppercase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chromosome {
+    pub name: String,
+    pub seq: Vec<u8>,
+}
+
+impl Chromosome {
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// A reference genome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferenceGenome {
+    pub chromosomes: Vec<Chromosome>,
+}
+
+impl ReferenceGenome {
+    /// Total length in base pairs.
+    pub fn total_len(&self) -> usize {
+        self.chromosomes.iter().map(Chromosome::len).sum()
+    }
+
+    pub fn chromosome(&self, name: &str) -> Option<&Chromosome> {
+        self.chromosomes.iter().find(|c| c.name == name)
+    }
+
+    /// Load from FASTA.
+    pub fn from_fasta<R: std::io::BufRead>(r: R) -> Result<ReferenceGenome> {
+        let records = read_fasta(r)?;
+        if records.is_empty() {
+            return Err(DbError::InvalidData("empty reference FASTA".into()));
+        }
+        Ok(ReferenceGenome {
+            chromosomes: records
+                .into_iter()
+                .map(|r| Chromosome {
+                    name: r.id,
+                    seq: r.seq.to_ascii_uppercase().into_bytes(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Write as FASTA (60-column wrapped).
+    pub fn to_fasta<W: std::io::Write>(&self, w: &mut W) -> Result<()> {
+        let records: Vec<FastaRecord> = self
+            .chromosomes
+            .iter()
+            .map(|c| FastaRecord {
+                id: c.name.clone(),
+                description: String::new(),
+                seq: String::from_utf8_lossy(&c.seq).into_owned(),
+            })
+            .collect();
+        write_fasta(w, &records)
+    }
+
+    /// Generate a synthetic genome: `n_chroms` chromosomes whose lengths
+    /// shrink like real karyotypes, with occasional repeat expansions.
+    pub fn synthetic(seed: u64, n_chroms: usize, total_bp: usize) -> ReferenceGenome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..n_chroms).map(|i| 1.0 / (1.0 + i as f64 * 0.35)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut chromosomes = Vec::with_capacity(n_chroms);
+        for (i, w) in weights.iter().enumerate() {
+            let len = ((total_bp as f64) * w / wsum).round().max(200.0) as usize;
+            chromosomes.push(Chromosome {
+                name: format!("chr{}", i + 1),
+                seq: random_sequence(&mut rng, len),
+            });
+        }
+        ReferenceGenome { chromosomes }
+    }
+}
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Random sequence with ~8% of the bases coming from short tandem
+/// repeats (keeps alignment non-trivial and compression honest).
+fn random_sequence(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut seq = Vec::with_capacity(len);
+    while seq.len() < len {
+        if rng.gen_bool(0.02) {
+            // Repeat expansion: a 2-6mer repeated 5-20 times.
+            let unit_len = rng.gen_range(2..=6);
+            let unit: Vec<u8> = (0..unit_len).map(|_| BASES[rng.gen_range(0..4)]).collect();
+            let times = rng.gen_range(5..=20);
+            for _ in 0..times {
+                seq.extend_from_slice(&unit);
+                if seq.len() >= len {
+                    break;
+                }
+            }
+        } else {
+            seq.push(BASES[rng.gen_range(0..4)]);
+        }
+    }
+    seq.truncate(len);
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_has_requested_shape() {
+        let g = ReferenceGenome::synthetic(42, 5, 100_000);
+        assert_eq!(g.chromosomes.len(), 5);
+        let total = g.total_len();
+        assert!((90_000..=110_000).contains(&total), "{total}");
+        // Karyotype-like: chr1 is the longest.
+        assert!(g.chromosomes[0].len() > g.chromosomes[4].len());
+        // Deterministic per seed.
+        assert_eq!(ReferenceGenome::synthetic(42, 5, 100_000), g);
+        assert_ne!(ReferenceGenome::synthetic(43, 5, 100_000), g);
+        // Only ACGT.
+        assert!(g.chromosomes[0].seq.iter().all(|b| BASES.contains(b)));
+    }
+
+    #[test]
+    fn fasta_roundtrip() {
+        let g = ReferenceGenome::synthetic(7, 3, 10_000);
+        let mut buf = Vec::new();
+        g.to_fasta(&mut buf).unwrap();
+        let back = ReferenceGenome::from_fasta(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let g = ReferenceGenome::synthetic(1, 3, 3_000);
+        assert!(g.chromosome("chr2").is_some());
+        assert!(g.chromosome("chrX").is_none());
+    }
+
+    #[test]
+    fn empty_fasta_is_an_error() {
+        assert!(ReferenceGenome::from_fasta("".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! Sequencing simulators — the stand-in for real Illumina lane data.
+//!
+//! Two generators match the paper's two scenarios:
+//!
+//! * [`ReadSimulator`] — re-sequencing (1000 Genomes, §2.1.1): reads are
+//!   sampled uniformly from the whole reference, so almost every read is
+//!   unique (Table 2's workload property). Positional quality decay and
+//!   a per-base error model give the quality strings realistic shape.
+//! * [`DgeSimulator`] — digital gene expression (§2.1.2): a Zipf
+//!   distribution over genes produces tags that repeat heavily ("only a
+//!   fraction of the genome is active in a cell and tags are repeating"),
+//!   which is what makes GROUP BY binning and dictionary compression
+//!   effective in Table 1 and §5.3.2.
+//!
+//! Read names follow the flowcell model of §2.1: each lane has ~300
+//! tiles, reads get tile and x/y coordinates, and names render as
+//! `machine_flowcell:lane:tile:x:y`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fastq::FastqRecord;
+use crate::quality::Phred;
+use crate::readname::ReadName;
+use crate::reference::ReferenceGenome;
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Strand a read was sampled from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimStrand {
+    Forward,
+    Reverse,
+}
+
+/// A simulated read plus its ground truth (for aligner validation).
+#[derive(Debug, Clone)]
+pub struct SimulatedRead {
+    pub record: FastqRecord,
+    pub true_chrom: usize,
+    pub true_pos: usize,
+    pub strand: SimStrand,
+}
+
+/// Configuration shared by both simulators.
+#[derive(Debug, Clone)]
+pub struct LaneConfig {
+    pub machine: String,
+    pub flowcell: u32,
+    pub lane: u32,
+    pub read_len: usize,
+    /// Phred quality at the first cycle.
+    pub base_quality: u8,
+    /// Quality lost per cycle (Illumina reads degrade along the read).
+    pub quality_decay: f64,
+    /// Extra error probability on top of the quality-implied one.
+    pub extra_error: f64,
+}
+
+impl Default for LaneConfig {
+    fn default() -> LaneConfig {
+        LaneConfig {
+            machine: "IL4".into(),
+            flowcell: 855,
+            lane: 1,
+            read_len: 36,
+            base_quality: 35,
+            quality_decay: 0.45,
+            extra_error: 0.001,
+        }
+    }
+}
+
+impl LaneConfig {
+    /// Generate the read name for the `i`-th read of the lane: tiles of
+    /// ~300 per lane, pseudo-random coordinates.
+    fn name_for(&self, i: u64, rng: &mut StdRng) -> ReadName {
+        ReadName::new(
+            &self.machine,
+            self.flowcell,
+            self.lane,
+            (i / 20_000 % 300 + 1) as u32,
+            rng.gen_range(0..2048),
+            rng.gen_range(0..2048),
+        )
+    }
+
+    /// Quality profile for one read: decaying with cycle + jitter.
+    fn qualities(&self, rng: &mut StdRng) -> Vec<Phred> {
+        (0..self.read_len)
+            .map(|cycle| {
+                let q = self.base_quality as f64 - self.quality_decay * cycle as f64
+                    + rng.gen_range(-2.0..2.0);
+                Phred::new(q.max(2.0) as u8)
+            })
+            .collect()
+    }
+}
+
+/// Apply the error model to a sampled fragment.
+fn corrupt(fragment: &mut [u8], quals: &[Phred], extra_error: f64, rng: &mut StdRng) {
+    for (i, base) in fragment.iter_mut().enumerate() {
+        let p = quals[i].error_prob() + extra_error;
+        if rng.gen_bool(p.min(0.5)) {
+            if quals[i].0 <= 5 && rng.gen_bool(0.3) {
+                *base = b'N'; // no-call at very low quality
+            } else {
+                // Substitute with a different base.
+                let mut b = BASES[rng.gen_range(0..4)];
+                while b == *base {
+                    b = BASES[rng.gen_range(0..4)];
+                }
+                *base = b;
+            }
+        }
+    }
+}
+
+fn reverse_complement_ascii(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .rev()
+        .map(|b| match b {
+            b'A' => b'T',
+            b'T' => b'A',
+            b'C' => b'G',
+            b'G' => b'C',
+            other => *other,
+        })
+        .collect()
+}
+
+/// Re-sequencing simulator: uniform sampling over the reference.
+pub struct ReadSimulator {
+    pub config: LaneConfig,
+    rng: StdRng,
+    counter: u64,
+}
+
+impl ReadSimulator {
+    pub fn new(config: LaneConfig, seed: u64) -> ReadSimulator {
+        ReadSimulator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
+    }
+
+    /// Sample one read from the reference.
+    pub fn next_read(&mut self, reference: &ReferenceGenome) -> SimulatedRead {
+        let rl = self.config.read_len;
+        // Chromosome weighted by length.
+        let total: usize = reference
+            .chromosomes
+            .iter()
+            .map(|c| c.len().saturating_sub(rl))
+            .sum::<usize>()
+            .max(1);
+        let mut target = self.rng.gen_range(0..total);
+        let mut chrom_idx = 0;
+        for (i, c) in reference.chromosomes.iter().enumerate() {
+            let span = c.len().saturating_sub(rl);
+            if target < span {
+                chrom_idx = i;
+                break;
+            }
+            target -= span;
+        }
+        let chrom = &reference.chromosomes[chrom_idx];
+        let pos = target.min(chrom.len().saturating_sub(rl));
+        let mut fragment = chrom.seq[pos..pos + rl].to_vec();
+        let strand = if self.rng.gen_bool(0.5) {
+            fragment = reverse_complement_ascii(&fragment);
+            SimStrand::Reverse
+        } else {
+            SimStrand::Forward
+        };
+        let quals = self.config.qualities(&mut self.rng);
+        corrupt(&mut fragment, &quals, self.config.extra_error, &mut self.rng);
+        let name = self.config.name_for(self.counter, &mut self.rng);
+        self.counter += 1;
+        SimulatedRead {
+            record: FastqRecord {
+                name: name.to_string(),
+                seq: String::from_utf8(fragment).expect("ASCII bases"),
+                quals,
+            },
+            true_chrom: chrom_idx,
+            true_pos: pos,
+            strand,
+        }
+    }
+
+    /// Sample a whole lane.
+    pub fn lane(&mut self, reference: &ReferenceGenome, n_reads: usize) -> Vec<SimulatedRead> {
+        (0..n_reads).map(|_| self.next_read(reference)).collect()
+    }
+}
+
+/// A simulated gene/transcript for the DGE scenario.
+#[derive(Debug, Clone)]
+pub struct SimGene {
+    pub gene_id: u32,
+    pub chrom: usize,
+    pub start: usize,
+    pub len: usize,
+    /// The gene's characteristic tag (fixed offset near the 3' end).
+    pub tag: String,
+    /// Relative expression weight (Zipf).
+    pub weight: f64,
+}
+
+/// Digital gene expression simulator.
+pub struct DgeSimulator {
+    pub config: LaneConfig,
+    pub genes: Vec<SimGene>,
+    cumulative: Vec<f64>,
+    rng: StdRng,
+    counter: u64,
+    /// Ground-truth tag emission counts per gene.
+    pub true_counts: Vec<u64>,
+}
+
+impl DgeSimulator {
+    /// Pick `n_genes` gene loci on the reference and assign Zipf
+    /// expression weights with exponent `zipf_s` (~1.0 is typical).
+    pub fn new(
+        config: LaneConfig,
+        reference: &ReferenceGenome,
+        n_genes: usize,
+        zipf_s: f64,
+        seed: u64,
+    ) -> DgeSimulator {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tag_len = config.read_len;
+        let mut genes = Vec::with_capacity(n_genes);
+        for g in 0..n_genes {
+            // Place the gene on a random chromosome with room for it.
+            let (chrom, start, len) = loop {
+                let ci = rng.gen_range(0..reference.chromosomes.len());
+                let c = &reference.chromosomes[ci];
+                let glen = rng.gen_range(500..2000).min(c.len() / 2);
+                if c.len() > glen + tag_len + 10 {
+                    let start = rng.gen_range(0..c.len() - glen - tag_len);
+                    break (ci, start, glen);
+                }
+            };
+            // Tag = the CATG-anchored fragment near the 3' end (here: a
+            // fixed offset before the gene end, like SAGE/DGE tags).
+            let c = &reference.chromosomes[chrom];
+            let tag_start = start + len - tag_len;
+            let tag = String::from_utf8(c.seq[tag_start..tag_start + tag_len].to_vec())
+                .expect("ASCII bases");
+            genes.push(SimGene {
+                gene_id: g as u32 + 1,
+                chrom,
+                start,
+                len,
+                tag,
+                weight: 1.0 / ((g + 1) as f64).powf(zipf_s),
+            });
+        }
+        let mut cumulative = Vec::with_capacity(n_genes);
+        let mut acc = 0.0;
+        for g in &genes {
+            acc += g.weight;
+            cumulative.push(acc);
+        }
+        DgeSimulator {
+            config,
+            true_counts: vec![0; genes.len()],
+            genes,
+            cumulative,
+            rng,
+            counter: 0,
+        }
+    }
+
+    fn sample_gene(&mut self) -> usize {
+        let total = *self.cumulative.last().expect("at least one gene");
+        let x = self.rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < x).min(self.genes.len() - 1)
+    }
+
+    /// Emit one tag read.
+    pub fn next_tag(&mut self) -> FastqRecord {
+        let gi = self.sample_gene();
+        self.true_counts[gi] += 1;
+        let mut fragment = self.genes[gi].tag.clone().into_bytes();
+        let quals = self.config.qualities(&mut self.rng);
+        corrupt(
+            &mut fragment,
+            &quals,
+            self.config.extra_error,
+            &mut self.rng,
+        );
+        let name = self.config.name_for(self.counter, &mut self.rng);
+        self.counter += 1;
+        FastqRecord {
+            name: name.to_string(),
+            seq: String::from_utf8(fragment).expect("ASCII bases"),
+            quals,
+        }
+    }
+
+    /// Emit a whole lane of tags.
+    pub fn lane(&mut self, n_tags: usize) -> Vec<FastqRecord> {
+        (0..n_tags).map(|_| self.next_tag()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genome() -> ReferenceGenome {
+        ReferenceGenome::synthetic(11, 4, 80_000)
+    }
+
+    #[test]
+    fn resequencing_reads_match_reference_modulo_errors() {
+        let g = genome();
+        let mut sim = ReadSimulator::new(LaneConfig::default(), 5);
+        let reads = sim.lane(&g, 200);
+        assert_eq!(reads.len(), 200);
+        let mut exact = 0;
+        for r in &reads {
+            assert_eq!(r.record.seq.len(), 36);
+            assert_eq!(r.record.quals.len(), 36);
+            let chrom = &g.chromosomes[r.true_chrom];
+            let truth = &chrom.seq[r.true_pos..r.true_pos + 36];
+            let read_fwd = match r.strand {
+                SimStrand::Forward => r.record.seq.clone().into_bytes(),
+                SimStrand::Reverse => reverse_complement_ascii(r.record.seq.as_bytes()),
+            };
+            let mismatches = truth
+                .iter()
+                .zip(read_fwd.iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(mismatches <= 12, "error model out of control: {mismatches}");
+            if mismatches == 0 {
+                exact += 1;
+            }
+        }
+        assert!(exact > 100, "most reads should be error-light: {exact}");
+    }
+
+    #[test]
+    fn resequencing_reads_are_mostly_unique() {
+        // Table 2's workload property.
+        let g = genome();
+        let mut sim = ReadSimulator::new(LaneConfig::default(), 6);
+        let reads = sim.lane(&g, 2000);
+        let distinct: std::collections::HashSet<&str> =
+            reads.iter().map(|r| r.record.seq.as_str()).collect();
+        assert!(
+            distinct.len() as f64 > 0.9 * reads.len() as f64,
+            "{} of {}",
+            distinct.len(),
+            reads.len()
+        );
+    }
+
+    #[test]
+    fn dge_tags_repeat_heavily_with_zipf_shape() {
+        // Table 1 / §5.3.2 workload property.
+        let g = genome();
+        let mut sim = DgeSimulator::new(LaneConfig::default(), &g, 50, 1.0, 9);
+        let tags = sim.lane(5000);
+        let mut counts: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+        for t in &tags {
+            *counts.entry(t.seq.as_str()).or_default() += 1;
+        }
+        assert!(
+            counts.len() < 1000,
+            "tags must repeat: {} distinct of 5000",
+            counts.len()
+        );
+        // The most frequent tag dominates (Zipf head).
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 500, "Zipf head too flat: {max}");
+        // Ground truth accounting adds up.
+        assert_eq!(sim.true_counts.iter().sum::<u64>(), 5000);
+    }
+
+    #[test]
+    fn read_names_follow_the_flowcell_model() {
+        let g = genome();
+        let mut sim = ReadSimulator::new(LaneConfig::default(), 1);
+        let r = sim.next_read(&g);
+        let name = crate::readname::ReadName::parse(&r.record.name).unwrap();
+        assert_eq!(name.machine, "IL4");
+        assert_eq!(name.flowcell, 855);
+        assert_eq!(name.lane, 1);
+        assert!(name.tile >= 1 && name.tile <= 300);
+    }
+
+    #[test]
+    fn simulators_are_deterministic_per_seed() {
+        let g = genome();
+        let a = ReadSimulator::new(LaneConfig::default(), 42).lane(&g, 10);
+        let b = ReadSimulator::new(LaneConfig::default(), 42).lane(&g, 10);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.record, y.record);
+        }
+    }
+}

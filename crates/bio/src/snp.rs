@@ -1,0 +1,246 @@
+//! SNP (single-nucleotide polymorphism) calling — the final step of the
+//! paper's 1000 Genomes tertiary analysis (§2.1.1: the consensus is
+//! compared across genomes and "looks for variations between individual
+//! genomes (SNPs)").
+//!
+//! Two halves:
+//!
+//! * [`plant_snps`] mutates a reference genome into an *individual
+//!   donor* genome with known variants — the ground truth the simulator
+//!   sequences from;
+//! * [`call_snps`] compares a called consensus against the reference and
+//!   reports confident differences.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::quality::Phred;
+use crate::reference::ReferenceGenome;
+
+/// A known (planted) variant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlantedSnp {
+    pub chrom: usize,
+    pub pos: usize,
+    pub ref_base: u8,
+    pub alt_base: u8,
+}
+
+/// A variant called from a consensus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnpCall {
+    pub chrom: usize,
+    pub pos: usize,
+    pub ref_base: u8,
+    pub alt_base: u8,
+    /// Consensus quality at the site.
+    pub quality: Phred,
+}
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Copy `reference` into a donor genome with SNPs planted at roughly
+/// `rate` per base pair. Returns the donor and the ground-truth list
+/// (sorted by chromosome, position).
+pub fn plant_snps(
+    reference: &ReferenceGenome,
+    rate: f64,
+    seed: u64,
+) -> (ReferenceGenome, Vec<PlantedSnp>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut donor = reference.clone();
+    let mut planted = Vec::new();
+    for (ci, chrom) in donor.chromosomes.iter_mut().enumerate() {
+        for pos in 0..chrom.seq.len() {
+            if rng.gen_bool(rate.clamp(0.0, 0.2)) {
+                let ref_base = chrom.seq[pos];
+                let mut alt = BASES[rng.gen_range(0..4)];
+                while alt == ref_base {
+                    alt = BASES[rng.gen_range(0..4)];
+                }
+                chrom.seq[pos] = alt;
+                planted.push(PlantedSnp {
+                    chrom: ci,
+                    pos,
+                    ref_base,
+                    alt_base: alt,
+                });
+            }
+        }
+    }
+    (donor, planted)
+}
+
+/// Call SNPs by comparing a consensus fragment against the reference.
+/// `start` is the reference offset of `consensus[0]` (consensus strings
+/// begin at the first covered position). Sites are reported when the
+/// consensus differs from the reference, both are proper bases, and the
+/// consensus quality is at least `min_quality`.
+pub fn call_snps(
+    reference: &ReferenceGenome,
+    chrom: usize,
+    start: usize,
+    consensus: &[u8],
+    quals: &[Phred],
+    min_quality: Phred,
+) -> Vec<SnpCall> {
+    let refseq = &reference.chromosomes[chrom].seq;
+    let mut out = Vec::new();
+    for (i, (&called, q)) in consensus.iter().zip(quals.iter()).enumerate() {
+        let pos = start + i;
+        if pos >= refseq.len() {
+            break;
+        }
+        let ref_base = refseq[pos];
+        if called == b'N' || ref_base == b'N' {
+            continue;
+        }
+        if called != ref_base && *q >= min_quality {
+            out.push(SnpCall {
+                chrom,
+                pos,
+                ref_base,
+                alt_base: called,
+                quality: *q,
+            });
+        }
+    }
+    out
+}
+
+/// Precision/recall of a call set against planted ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnpAccuracy {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+}
+
+impl SnpAccuracy {
+    pub fn precision(&self) -> f64 {
+        let called = self.true_positives + self.false_positives;
+        if called == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / called as f64
+        }
+    }
+
+    pub fn recall(&self) -> f64 {
+        let truth = self.true_positives + self.false_negatives;
+        if truth == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / truth as f64
+        }
+    }
+}
+
+/// Score `calls` against `truth`, counting only truth sites within
+/// `covered` (chrom, start, end) spans — uncovered SNPs are not
+/// recallable and would distort the measurement.
+pub fn score_calls(
+    calls: &[SnpCall],
+    truth: &[PlantedSnp],
+    covered: &[(usize, usize, usize)],
+) -> SnpAccuracy {
+    let truth_set: std::collections::HashSet<(usize, usize, u8)> = truth
+        .iter()
+        .map(|s| (s.chrom, s.pos, s.alt_base))
+        .collect();
+    let in_cover = |chrom: usize, pos: usize| {
+        covered
+            .iter()
+            .any(|&(c, s, e)| c == chrom && pos >= s && pos < e)
+    };
+    let mut tp = 0;
+    let mut fp = 0;
+    for c in calls {
+        if truth_set.contains(&(c.chrom, c.pos, c.alt_base)) {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+    let called_set: std::collections::HashSet<(usize, usize)> =
+        calls.iter().map(|c| (c.chrom, c.pos)).collect();
+    let mut fnn = 0;
+    for t in truth {
+        if in_cover(t.chrom, t.pos) && !called_set.contains(&(t.chrom, t.pos)) {
+            fnn += 1;
+        }
+    }
+    SnpAccuracy {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fnn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plant_snps_mutates_at_the_requested_rate() {
+        let g = ReferenceGenome::synthetic(1, 3, 30_000);
+        let (donor, planted) = plant_snps(&g, 0.001, 7);
+        // ~30 expected; allow wide slack.
+        assert!((5..150).contains(&planted.len()), "{}", planted.len());
+        for s in &planted {
+            assert_eq!(g.chromosomes[s.chrom].seq[s.pos], s.ref_base);
+            assert_eq!(donor.chromosomes[s.chrom].seq[s.pos], s.alt_base);
+            assert_ne!(s.ref_base, s.alt_base);
+        }
+        // Deterministic.
+        let (_, p2) = plant_snps(&g, 0.001, 7);
+        assert_eq!(planted, p2);
+    }
+
+    #[test]
+    fn call_snps_finds_exact_differences() {
+        let g = ReferenceGenome::synthetic(2, 1, 1_000);
+        let refseq = &g.chromosomes[0].seq;
+        // Consensus = reference fragment with one substitution.
+        let start = 100;
+        let mut cons = refseq[start..start + 50].to_vec();
+        let old = cons[10];
+        cons[10] = if old == b'A' { b'G' } else { b'A' };
+        let mut quals = vec![Phred(40); 50];
+        quals[20] = Phred(2); // a low-quality site that also differs...
+        let mut cons2 = cons.clone();
+        cons2[20] = if cons2[20] == b'C' { b'T' } else { b'C' };
+        let calls = call_snps(&g, 0, start, &cons2, &quals, Phred(20));
+        // Only the confident site is reported.
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].pos, start + 10);
+        assert_eq!(calls[0].ref_base, old);
+    }
+
+    #[test]
+    fn n_positions_are_never_called() {
+        let g = ReferenceGenome::synthetic(3, 1, 500);
+        let cons = vec![b'N'; 50];
+        let quals = vec![Phred(40); 50];
+        assert!(call_snps(&g, 0, 0, &cons, &quals, Phred(0)).is_empty());
+    }
+
+    #[test]
+    fn scoring_counts_tp_fp_fn() {
+        let truth = vec![
+            PlantedSnp { chrom: 0, pos: 10, ref_base: b'A', alt_base: b'C' },
+            PlantedSnp { chrom: 0, pos: 20, ref_base: b'G', alt_base: b'T' },
+            PlantedSnp { chrom: 0, pos: 999, ref_base: b'G', alt_base: b'T' }, // uncovered
+        ];
+        let calls = vec![
+            SnpCall { chrom: 0, pos: 10, ref_base: b'A', alt_base: b'C', quality: Phred(40) }, // TP
+            SnpCall { chrom: 0, pos: 50, ref_base: b'A', alt_base: b'G', quality: Phred(40) }, // FP
+        ];
+        let acc = score_calls(&calls, &truth, &[(0, 0, 100)]);
+        assert_eq!(acc.true_positives, 1);
+        assert_eq!(acc.false_positives, 1);
+        assert_eq!(acc.false_negatives, 1); // pos 20 covered but missed
+        assert!((acc.precision() - 0.5).abs() < 1e-9);
+        assert!((acc.recall() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Storage-efficiency accounting (Tables 1 and 2).
+//!
+//! For each data artifact (short reads, unique tags, alignments, gene
+//! expression) the report compares: the original files, FileStream
+//! blobs, the 1:1 file-image import, the normalized schema, and the
+//! normalized schema with row/page compression. Table sizes are
+//! allocated pages × 8 KiB, which is what `sp_spaceused` reports.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use seqdb_engine::Database;
+use seqdb_types::Result;
+
+/// One measured cell of a storage table.
+#[derive(Debug, Clone)]
+pub struct SizeCell {
+    pub artifact: String,
+    pub design: String,
+    pub bytes: u64,
+}
+
+/// A storage-efficiency table in the making.
+#[derive(Debug, Default, Clone)]
+pub struct StorageReport {
+    pub cells: Vec<SizeCell>,
+}
+
+impl StorageReport {
+    pub fn add(&mut self, artifact: &str, design: &str, bytes: u64) {
+        self.cells.push(SizeCell {
+            artifact: artifact.to_string(),
+            design: design.to_string(),
+            bytes,
+        });
+    }
+
+    pub fn add_file(&mut self, artifact: &str, design: &str, path: &Path) -> Result<()> {
+        self.add(artifact, design, std::fs::metadata(path)?.len());
+        Ok(())
+    }
+
+    pub fn add_table(
+        &mut self,
+        artifact: &str,
+        design: &str,
+        db: &Arc<Database>,
+        table: &str,
+    ) -> Result<()> {
+        let t = db.catalog().table(table)?;
+        self.add(artifact, design, t.heap.allocated_bytes());
+        Ok(())
+    }
+
+    pub fn get(&self, artifact: &str, design: &str) -> Option<u64> {
+        self.cells
+            .iter()
+            .find(|c| c.artifact == artifact && c.design == design)
+            .map(|c| c.bytes)
+    }
+
+    /// Ratio of a design's size to the file baseline for an artifact.
+    pub fn ratio_to_files(&self, artifact: &str, design: &str) -> Option<f64> {
+        let files = self.get(artifact, "Files")? as f64;
+        let d = self.get(artifact, design)? as f64;
+        if files == 0.0 {
+            None
+        } else {
+            Some(d / files)
+        }
+    }
+
+    /// Render as an aligned text table: artifacts down, designs across.
+    pub fn render(&self, designs: &[&str]) -> String {
+        let mut artifacts: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !artifacts.contains(&c.artifact.as_str()) {
+                artifacts.push(&c.artifact);
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{:<24}", "artifact"));
+        for d in designs {
+            out.push_str(&format!("{d:>16}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(24 + 16 * designs.len()));
+        out.push('\n');
+        for a in artifacts {
+            out.push_str(&format!("{a:<24}"));
+            for d in designs {
+                match self.get(a, d) {
+                    Some(b) => out.push_str(&format!("{:>14.2}kB", b as f64 / 1024.0)),
+                    None => out.push_str(&format!("{:>16}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut r = StorageReport::default();
+        r.add("short reads", "Files", 1000);
+        r.add("short reads", "FileStream", 1000);
+        r.add("short reads", "1:1 import", 1900);
+        r.add("alignments", "Files", 500);
+        assert_eq!(r.get("short reads", "1:1 import"), Some(1900));
+        assert_eq!(r.ratio_to_files("short reads", "1:1 import"), Some(1.9));
+        let text = r.render(&["Files", "FileStream", "1:1 import"]);
+        assert!(text.contains("short reads"));
+        assert!(text.contains("alignments"));
+        assert!(text.lines().count() >= 4);
+    }
+}

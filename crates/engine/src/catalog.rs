@@ -1,0 +1,475 @@
+//! The system catalog: tables, indexes and registered functions.
+//!
+//! Mirrors the registration model of the paper's prototype: CLR
+//! assemblies register scalar UDFs, TVFs and UDAs with the server; here
+//! they are `Arc<dyn ...>` objects registered with the [`Catalog`].
+//! Built-ins (`COUNT`, `CHARINDEX`, ...) live in the same registries as
+//! user extensions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use seqdb_types::{DbError, Result, Row, Schema, Value};
+
+use seqdb_storage::keycode;
+use seqdb_storage::rowfmt::{self, Compression};
+use seqdb_storage::{BTree, BufferPool, HeapFile};
+
+use crate::udx::{Aggregate, ScalarUdf, TableFunction};
+
+/// A secondary (or clustered-key) B+-tree index over a table.
+pub struct TableIndex {
+    pub name: String,
+    /// Positions of the key columns in the table schema.
+    pub columns: Vec<usize>,
+    pub unique: bool,
+    pub btree: BTree,
+}
+
+impl TableIndex {
+    /// Encode the index key for a row.
+    pub fn key_of(&self, row: &Row) -> Vec<u8> {
+        let vals: Vec<Value> = self.columns.iter().map(|&c| row[c].clone()).collect();
+        keycode::encode_key(&vals)
+    }
+}
+
+/// A table: heap storage plus any indexes.
+pub struct Table {
+    pub name: String,
+    pub schema: Arc<Schema>,
+    pub heap: Arc<HeapFile>,
+    /// Positions of the declared PRIMARY KEY columns (if any). The PK is
+    /// backed by the first index in `indexes`.
+    pub primary_key: Option<Vec<usize>>,
+    pub indexes: RwLock<Vec<Arc<TableIndex>>>,
+}
+
+impl Table {
+    /// Insert one row, maintaining all indexes and PK uniqueness.
+    pub fn insert(&self, row: &Row) -> Result<()> {
+        let mut row = row.clone();
+        self.schema.coerce_row(&mut row);
+        self.schema.check_row(&row)?;
+        // Uniqueness checks before any mutation.
+        {
+            let indexes = self.indexes.read();
+            for idx in indexes.iter().filter(|i| i.unique) {
+                let key = idx.key_of(&row);
+                if idx.btree.get(&key)?.is_some() {
+                    return Err(DbError::Constraint(format!(
+                        "duplicate key in unique index {} of table {}",
+                        idx.name, self.name
+                    )));
+                }
+            }
+        }
+        self.heap.insert(&row)?;
+        let encoded = rowfmt::encode_row(&self.schema, &row, Compression::Row, None);
+        let indexes = self.indexes.read();
+        for idx in indexes.iter() {
+            let mut key = idx.key_of(&row);
+            if !idx.unique {
+                // Disambiguate duplicate keys with a sequence suffix so
+                // non-unique indexes keep every row.
+                key.extend_from_slice(&idx.btree.len().to_be_bytes());
+            }
+            idx.btree.insert(&key, &encoded)?;
+        }
+        Ok(())
+    }
+
+    /// Bulk insert.
+    pub fn insert_many<'a>(&self, rows: impl IntoIterator<Item = &'a Row>) -> Result<u64> {
+        let mut n = 0;
+        for r in rows {
+            self.insert(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Delete one row (by its record id and current contents),
+    /// maintaining all indexes. Non-unique index entries are located by
+    /// a prefix scan over the key and matched on the encoded row.
+    pub fn delete_row(&self, rid: seqdb_storage::RecordId, row: &Row) -> Result<()> {
+        let mut row = row.clone();
+        self.schema.coerce_row(&mut row);
+        if !self.heap.delete(rid)? {
+            return Err(DbError::NotFound(format!(
+                "record {rid:?} in table {}",
+                self.name
+            )));
+        }
+        let encoded = rowfmt::encode_row(&self.schema, &row, Compression::Row, None);
+        let indexes = self.indexes.read();
+        for idx in indexes.iter() {
+            let key = idx.key_of(&row);
+            if idx.unique {
+                idx.btree.delete(&key)?;
+            } else {
+                // Prefix scan: suffixed duplicates share the prefix.
+                let mut hi = key.clone();
+                hi.push(0xff);
+                let matching: Option<Vec<u8>> = idx
+                    .btree
+                    .range(
+                        std::ops::Bound::Included(key.as_slice()),
+                        std::ops::Bound::Excluded(hi.as_slice()),
+                    )?
+                    .filter_map(|e| e.ok())
+                    .find(|(_, v)| *v == encoded)
+                    .map(|(k, _)| k);
+                if let Some(full_key) = matching {
+                    idx.btree.delete(&full_key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete all rows matching `pred`; returns the number removed.
+    pub fn delete_where(&self, pred: impl Fn(&Row) -> Result<bool>) -> Result<u64> {
+        let victims: Vec<(seqdb_storage::RecordId, Row)> = self
+            .heap
+            .scan()
+            .filter_map(|item| match item {
+                Ok((rid, row)) => match pred(&row) {
+                    Ok(true) => Some(Ok((rid, row))),
+                    Ok(false) => None,
+                    Err(e) => Some(Err(e)),
+                },
+                Err(e) => Some(Err(e)),
+            })
+            .collect::<Result<_>>()?;
+        for (rid, row) in &victims {
+            self.delete_row(*rid, row)?;
+        }
+        Ok(victims.len() as u64)
+    }
+
+    pub fn row_count(&self) -> u64 {
+        self.heap.row_count()
+    }
+
+    /// Find an index whose key columns *start with* `cols` (enabling
+    /// ordered scans and merge joins on a prefix of the key).
+    pub fn index_with_prefix(&self, cols: &[usize]) -> Option<Arc<TableIndex>> {
+        self.indexes
+            .read()
+            .iter()
+            .find(|i| i.columns.len() >= cols.len() && i.columns[..cols.len()] == *cols)
+            .cloned()
+    }
+
+    pub fn index_named(&self, name: &str) -> Option<Arc<TableIndex>> {
+        self.indexes
+            .read()
+            .iter()
+            .find(|i| i.name.eq_ignore_ascii_case(name))
+            .cloned()
+    }
+}
+
+/// The catalog of one database.
+pub struct Catalog {
+    pool: Arc<BufferPool>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    scalar_fns: RwLock<HashMap<String, Arc<dyn ScalarUdf>>>,
+    table_fns: RwLock<HashMap<String, Arc<dyn TableFunction>>>,
+    aggregates: RwLock<HashMap<String, Arc<dyn Aggregate>>>,
+}
+
+impl Catalog {
+    pub fn new(pool: Arc<BufferPool>) -> Arc<Catalog> {
+        Arc::new(Catalog {
+            pool,
+            tables: RwLock::new(HashMap::new()),
+            scalar_fns: RwLock::new(HashMap::new()),
+            table_fns: RwLock::new(HashMap::new()),
+            aggregates: RwLock::new(HashMap::new()),
+        })
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Create a table. `primary_key` columns get a unique index
+    /// `PK_<table>` automatically (the "clustered index" of the paper's
+    /// physical designs).
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        compression: Compression,
+        primary_key: Option<Vec<usize>>,
+    ) -> Result<Arc<Table>> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(DbError::Schema(format!("table {name} already exists")));
+        }
+        if let Some(pk) = &primary_key {
+            for &c in pk {
+                if c >= schema.len() {
+                    return Err(DbError::Schema(format!(
+                        "primary key column #{c} out of range"
+                    )));
+                }
+            }
+        }
+        let schema = Arc::new(schema);
+        let heap = Arc::new(HeapFile::create(
+            self.pool.clone(),
+            schema.clone(),
+            compression,
+        )?);
+        let mut indexes = Vec::new();
+        if let Some(pk) = &primary_key {
+            indexes.push(Arc::new(TableIndex {
+                name: format!("PK_{name}"),
+                columns: pk.clone(),
+                unique: true,
+                btree: BTree::create(self.pool.clone())?,
+            }));
+        }
+        let table = Arc::new(Table {
+            name: name.to_string(),
+            schema,
+            heap,
+            primary_key,
+            indexes: RwLock::new(indexes),
+        });
+        tables.insert(key, table.clone());
+        Ok(table)
+    }
+
+    /// Create a secondary index and backfill it from existing rows.
+    pub fn create_index(
+        &self,
+        table: &str,
+        index_name: &str,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> Result<Arc<TableIndex>> {
+        let table = self.table(table)?;
+        let idx = Arc::new(TableIndex {
+            name: index_name.to_string(),
+            columns,
+            unique,
+            btree: BTree::create(self.pool.clone())?,
+        });
+        for item in table.heap.scan() {
+            let (_, row) = item?;
+            let mut key = idx.key_of(&row);
+            if idx.unique {
+                if idx.btree.get(&key)?.is_some() {
+                    return Err(DbError::Constraint(format!(
+                        "duplicate key while building unique index {index_name}"
+                    )));
+                }
+            } else {
+                key.extend_from_slice(&idx.btree.len().to_be_bytes());
+            }
+            let encoded = rowfmt::encode_row(&table.schema, &row, Compression::Row, None);
+            idx.btree.insert(&key, &encoded)?;
+        }
+        table.indexes.write().push(idx.clone());
+        Ok(idx)
+    }
+
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| DbError::NotFound(format!("table {name}")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| DbError::NotFound(format!("table {name}")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().values().map(|t| t.name.clone()).collect();
+        v.sort();
+        v
+    }
+
+    // -- function registries ------------------------------------------
+
+    pub fn register_scalar(&self, f: Arc<dyn ScalarUdf>) {
+        self.scalar_fns
+            .write()
+            .insert(f.name().to_ascii_uppercase(), f);
+    }
+
+    pub fn register_table_fn(&self, f: Arc<dyn TableFunction>) {
+        self.table_fns
+            .write()
+            .insert(f.name().to_ascii_uppercase(), f);
+    }
+
+    pub fn register_aggregate(&self, f: Arc<dyn Aggregate>) {
+        self.aggregates
+            .write()
+            .insert(f.name().to_ascii_uppercase(), f);
+    }
+
+    pub fn scalar_fn(&self, name: &str) -> Option<Arc<dyn ScalarUdf>> {
+        self.scalar_fns
+            .read()
+            .get(&name.to_ascii_uppercase())
+            .cloned()
+    }
+
+    pub fn table_fn(&self, name: &str) -> Option<Arc<dyn TableFunction>> {
+        self.table_fns
+            .read()
+            .get(&name.to_ascii_uppercase())
+            .cloned()
+    }
+
+    pub fn aggregate(&self, name: &str) -> Option<Arc<dyn Aggregate>> {
+        self.aggregates
+            .read()
+            .get(&name.to_ascii_uppercase())
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdb_storage::MemPager;
+    use seqdb_types::{Column, DataType};
+
+    fn catalog() -> Arc<Catalog> {
+        let pool = BufferPool::new(Arc::new(MemPager::new()), 1024);
+        Catalog::new(pool)
+    }
+
+    fn read_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int).not_null(),
+            Column::new("seq", DataType::Text),
+        ])
+    }
+
+    #[test]
+    fn create_insert_and_pk_enforcement() {
+        let cat = catalog();
+        let t = cat
+            .create_table("Read", read_schema(), Compression::Row, Some(vec![0]))
+            .unwrap();
+        t.insert(&Row::new(vec![Value::Int(1), Value::text("ACGT")]))
+            .unwrap();
+        let dup = t.insert(&Row::new(vec![Value::Int(1), Value::text("GGGG")]));
+        assert!(matches!(dup, Err(DbError::Constraint(_))));
+        assert_eq!(t.row_count(), 1);
+        // Case-insensitive lookup.
+        assert!(cat.table("READ").is_ok());
+        assert!(cat.table("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let cat = catalog();
+        cat.create_table("t", read_schema(), Compression::None, None)
+            .unwrap();
+        assert!(cat
+            .create_table("T", read_schema(), Compression::None, None)
+            .is_err());
+    }
+
+    #[test]
+    fn secondary_index_backfills_and_orders() {
+        let cat = catalog();
+        let t = cat
+            .create_table("t", read_schema(), Compression::Row, None)
+            .unwrap();
+        for i in [5i64, 3, 9, 1] {
+            t.insert(&Row::new(vec![Value::Int(i), Value::text("X")]))
+                .unwrap();
+        }
+        let idx = cat.create_index("t", "ix_id", vec![0], false).unwrap();
+        let keys: Vec<i64> = idx
+            .btree
+            .range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+            .unwrap()
+            .map(|e| {
+                let (_, v) = e.unwrap();
+                let row = rowfmt::decode_row(&t.schema, &v, Compression::Row, None).unwrap();
+                row[0].as_int().unwrap()
+            })
+            .collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+        assert!(t.index_with_prefix(&[0]).is_some());
+        assert!(t.index_with_prefix(&[1]).is_none());
+    }
+
+    #[test]
+    fn non_unique_index_keeps_duplicates() {
+        let cat = catalog();
+        let t = cat
+            .create_table("t", read_schema(), Compression::Row, None)
+            .unwrap();
+        cat.create_index("t", "ix_seq", vec![1], false).unwrap();
+        for _ in 0..5 {
+            t.insert(&Row::new(vec![Value::Int(1), Value::text("SAME")]))
+                .unwrap();
+        }
+        let idx = t.index_named("ix_seq").unwrap();
+        assert_eq!(idx.btree.len(), 5);
+    }
+
+    #[test]
+    fn delete_maintains_indexes() {
+        let cat = catalog();
+        let t = cat
+            .create_table("t", read_schema(), Compression::Row, Some(vec![0]))
+            .unwrap();
+        cat.create_index("t", "ix_seq", vec![1], false).unwrap();
+        for i in 0..50i64 {
+            t.insert(&Row::new(vec![Value::Int(i), Value::text(format!("S{}", i % 5))]))
+                .unwrap();
+        }
+        let n = t
+            .delete_where(|r| Ok(r[0].as_int()? % 2 == 0))
+            .unwrap();
+        assert_eq!(n, 25);
+        assert_eq!(t.row_count(), 25);
+        // PK index reflects the deletions.
+        let pk = t.index_with_prefix(&[0]).unwrap();
+        assert_eq!(pk.btree.len(), 25);
+        // Non-unique secondary index too.
+        let ix = t.index_named("ix_seq").unwrap();
+        assert_eq!(ix.btree.len(), 25);
+        // Deleted keys can be reinserted (index entries truly gone).
+        t.insert(&Row::new(vec![Value::Int(0), Value::text("S0")]))
+            .unwrap();
+        assert_eq!(t.row_count(), 26);
+    }
+
+    #[test]
+    fn function_registries_are_case_insensitive() {
+        let cat = catalog();
+        for f in crate::builtins::all_builtins() {
+            cat.register_scalar(f);
+        }
+        assert!(cat.scalar_fn("charindex").is_some());
+        assert!(cat.scalar_fn("CHARINDEX").is_some());
+        assert!(cat.scalar_fn("nosuch").is_none());
+    }
+}

@@ -1,0 +1,332 @@
+//! The database façade: storage, catalog, FileStream store, temp space
+//! and configuration in one handle.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use seqdb_storage::rowfmt::Compression;
+use seqdb_storage::{BufferPool, FilePager, FileStreamStore, MemPager, TempSpace};
+use seqdb_types::{Result, Row, Schema};
+
+use crate::catalog::{Catalog, Table};
+use crate::exec::ExecContext;
+use crate::plan::{Plan, QueryResult};
+
+/// Tunables, adjustable at run time (the analogue of `sp_configure`).
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Max degree of parallelism for eligible operators.
+    pub max_dop: usize,
+    /// Row-count threshold below which the planner does not bother with a
+    /// parallel plan.
+    pub parallel_threshold: u64,
+    /// Memory budget for blocking operators before spilling.
+    pub sort_budget: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> DbConfig {
+        DbConfig {
+            max_dop: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            parallel_threshold: 10_000,
+            sort_budget: ExecContext::DEFAULT_SORT_BUDGET,
+        }
+    }
+}
+
+/// A seqdb database instance.
+pub struct Database {
+    pool: Arc<BufferPool>,
+    catalog: Arc<Catalog>,
+    filestream: Arc<FileStreamStore>,
+    temp: Arc<TempSpace>,
+    config: RwLock<DbConfig>,
+}
+
+impl Database {
+    /// Fully in-memory database (page store in RAM, FileStream and temp
+    /// space under the system temp directory).
+    pub fn in_memory() -> Arc<Database> {
+        let pool = BufferPool::with_default_capacity(Arc::new(MemPager::new()));
+        let base = std::env::temp_dir().join(format!(
+            "seqdb-mem-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        Self::assemble(pool, &base).expect("temp-dir backed stores")
+    }
+
+    /// Disk-backed database rooted at `dir` (data file, FileStream
+    /// directory and temp space inside it).
+    pub fn open(dir: &Path) -> Result<Arc<Database>> {
+        std::fs::create_dir_all(dir)?;
+        let pager = FilePager::open(&dir.join("seqdb.data"))?;
+        let pool = BufferPool::with_default_capacity(Arc::new(pager));
+        Self::assemble(pool, dir)
+    }
+
+    fn assemble(pool: Arc<BufferPool>, base: &Path) -> Result<Arc<Database>> {
+        let catalog = Catalog::new(pool.clone());
+        for f in crate::builtins::all_builtins() {
+            catalog.register_scalar(f);
+        }
+        for (name, agg) in builtin_aggregates() {
+            let _ = name;
+            catalog.register_aggregate(agg);
+        }
+        let filestream = Arc::new(FileStreamStore::open(base.join("filestream"))?);
+        // FileStream-aware scalar functions (the T-SQL `col.PathName()`
+        // method and DATALENGTH over a FILESTREAM column resolve to
+        // these; they need the store handle).
+        catalog.register_scalar(Arc::new(FsPathNameFn {
+            store: filestream.clone(),
+        }));
+        catalog.register_scalar(Arc::new(FsDataLengthFn {
+            store: filestream.clone(),
+        }));
+        Ok(Arc::new(Database {
+            pool,
+            catalog,
+            filestream,
+            temp: TempSpace::open(base.join("tempdb"))?,
+            config: RwLock::new(DbConfig::default()),
+        }))
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    pub fn filestream(&self) -> &Arc<FileStreamStore> {
+        &self.filestream
+    }
+
+    pub fn temp(&self) -> &Arc<TempSpace> {
+        &self.temp
+    }
+
+    pub fn config(&self) -> DbConfig {
+        self.config.read().clone()
+    }
+
+    pub fn set_config(&self, cfg: DbConfig) {
+        *self.config.write() = cfg;
+    }
+
+    /// Convenience: set the max degree of parallelism.
+    pub fn set_max_dop(&self, dop: usize) {
+        self.config.write().max_dop = dop.max(1);
+    }
+
+    /// Build an execution context snapshotting current configuration.
+    pub fn exec_context(&self) -> ExecContext {
+        let cfg = self.config.read();
+        ExecContext {
+            catalog: self.catalog.clone(),
+            filestream: self.filestream.clone(),
+            temp: self.temp.clone(),
+            dop: cfg.max_dop,
+            sort_budget: cfg.sort_budget,
+        }
+    }
+
+    /// Create a table (programmatic DDL; SQL DDL goes through seqdb-sql).
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        compression: Compression,
+        primary_key: Option<Vec<usize>>,
+    ) -> Result<Arc<Table>> {
+        self.catalog.create_table(name, schema, compression, primary_key)
+    }
+
+    /// Run a SELECT-shaped plan and collect its result.
+    pub fn run_plan(&self, plan: &Plan) -> Result<QueryResult> {
+        let ctx = self.exec_context();
+        let rows = plan.run(&ctx)?;
+        Ok(QueryResult {
+            schema: plan.schema(),
+            rows,
+            affected: 0,
+        })
+    }
+
+    /// Run a plan and insert its output into `table`.
+    pub fn run_insert(&self, table: &Arc<Table>, plan: &Plan) -> Result<QueryResult> {
+        let ctx = self.exec_context();
+        let mut it = plan.open(&ctx)?;
+        let mut n = 0u64;
+        while let Some(row) = it.next()? {
+            table.insert(&row)?;
+            n += 1;
+        }
+        Ok(QueryResult {
+            schema: Arc::new(Schema::empty()),
+            rows: Vec::new(),
+            affected: n,
+        })
+    }
+
+    /// Bulk-insert rows into a table by name.
+    pub fn insert_rows(&self, table: &str, rows: &[Row]) -> Result<u64> {
+        let t = self.catalog.table(table)?;
+        t.insert_many(rows)
+    }
+
+    /// Flush all dirty pages (clean-shutdown durability).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.pool.flush_all()
+    }
+}
+
+/// `column.PathName()` on a FILESTREAM column: the blob's filesystem path.
+struct FsPathNameFn {
+    store: Arc<FileStreamStore>,
+}
+
+impl crate::udx::ScalarUdf for FsPathNameFn {
+    fn name(&self) -> &str {
+        "FS_PATHNAME"
+    }
+    fn invoke(&self, args: &[seqdb_types::Value]) -> Result<seqdb_types::Value> {
+        use seqdb_types::Value;
+        match args {
+            [Value::Null] => Ok(Value::Null),
+            [Value::Guid(g)] => Ok(Value::text(
+                self.store.path_name(*g)?.to_string_lossy().into_owned(),
+            )),
+            _ => Err(seqdb_types::DbError::Execution(
+                "PathName() expects a FILESTREAM column".into(),
+            )),
+        }
+    }
+}
+
+/// `DATALENGTH(column)` on a FILESTREAM column: the blob's byte length.
+struct FsDataLengthFn {
+    store: Arc<FileStreamStore>,
+}
+
+impl crate::udx::ScalarUdf for FsDataLengthFn {
+    fn name(&self) -> &str {
+        "FS_DATALENGTH"
+    }
+    fn invoke(&self, args: &[seqdb_types::Value]) -> Result<seqdb_types::Value> {
+        use seqdb_types::Value;
+        match args {
+            [Value::Null] => Ok(Value::Null),
+            [Value::Guid(g)] => Ok(Value::Int(self.store.len(*g)? as i64)),
+            _ => Err(seqdb_types::DbError::Execution(
+                "DATALENGTH on a FILESTREAM column expects its GUID".into(),
+            )),
+        }
+    }
+}
+
+fn builtin_aggregates() -> Vec<(&'static str, Arc<dyn crate::udx::Aggregate>)> {
+    use crate::udx::{AvgAgg, CountAgg, MaxAgg, MinAgg, SumAgg};
+    vec![
+        ("COUNT", Arc::new(CountAgg)),
+        ("SUM", Arc::new(SumAgg)),
+        ("MIN", Arc::new(MinAgg)),
+        ("MAX", Arc::new(MaxAgg)),
+        ("AVG", Arc::new(AvgAgg)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::Plan;
+    use seqdb_types::{Column, DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int).not_null(),
+            Column::new("x", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn in_memory_end_to_end() {
+        let db = Database::in_memory();
+        let t = db
+            .create_table("t", schema(), Compression::Row, Some(vec![0]))
+            .unwrap();
+        for i in 0..10i64 {
+            t.insert(&Row::new(vec![Value::Int(i), Value::Int(i * i)]))
+                .unwrap();
+        }
+        let plan = Plan::Filter {
+            input: Box::new(Plan::TableScan {
+                table: t.clone(),
+                filter: None,
+                projection: None,
+                schema: t.schema.clone(),
+            }),
+            predicate: Expr::binary(
+                crate::expr::BinOp::GtEq,
+                Expr::col(1, "x"),
+                Expr::lit(49),
+            ),
+        };
+        let res = db.run_plan(&plan).unwrap();
+        assert_eq!(res.rows.len(), 3); // 49, 64, 81
+    }
+
+    #[test]
+    fn disk_backed_database_persists_pages() {
+        let dir = std::env::temp_dir().join(format!("seqdb-dbtest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = db
+                .create_table("t", schema(), Compression::Row, None)
+                .unwrap();
+            t.insert(&Row::new(vec![Value::Int(1), Value::Int(2)]))
+                .unwrap();
+            db.checkpoint().unwrap();
+        }
+        assert!(dir.join("seqdb.data").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn builtin_aggregate_registry() {
+        let db = Database::in_memory();
+        assert!(db.catalog().aggregate("count").is_some());
+        assert!(db.catalog().aggregate("SUM").is_some());
+        assert!(db.catalog().scalar_fn("CHARINDEX").is_some());
+    }
+
+    #[test]
+    fn insert_plan_counts_affected_rows() {
+        let db = Database::in_memory();
+        let t = db
+            .create_table("t", schema(), Compression::Row, None)
+            .unwrap();
+        let src = Plan::Values {
+            schema: t.schema.clone(),
+            rows: vec![
+                Row::new(vec![Value::Int(1), Value::Int(10)]),
+                Row::new(vec![Value::Int(2), Value::Int(20)]),
+            ],
+        };
+        let res = db.run_insert(&t, &src).unwrap();
+        assert_eq!(res.affected, 2);
+        assert_eq!(t.row_count(), 2);
+    }
+}

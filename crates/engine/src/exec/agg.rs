@@ -1,0 +1,362 @@
+//! Aggregation operators: hash aggregate (unordered input) and stream
+//! aggregate (input sorted by the group columns).
+//!
+//! Both work off [`AggSpec`]s that pair an [`Aggregate`] factory with its
+//! argument expressions — built-in and user-defined aggregates are
+//! indistinguishable here, which is the extensibility claim of §2.3.4.
+//! The stream aggregate is what makes the paper's sliding-window
+//! `AssembleConsensus` plan non-blocking: with input ordered by
+//! chromosome (and alignment position within it), each group finishes as
+//! soon as its last row has been consumed.
+
+use std::collections::HashMap;
+
+use seqdb_types::{Result, Row, Value};
+
+use crate::exec::{BoxedIter, RowIterator};
+use crate::expr::Expr;
+use crate::udx::{AggState, Aggregate};
+
+/// One aggregate call in a GROUP BY query.
+#[derive(Clone)]
+pub struct AggSpec {
+    pub factory: std::sync::Arc<dyn Aggregate>,
+    /// Argument expressions over the input row. Empty = `COUNT(*)`.
+    pub args: Vec<Expr>,
+    /// Output column name (for schemas and EXPLAIN).
+    pub name: String,
+}
+
+impl AggSpec {
+    pub fn new(
+        factory: std::sync::Arc<dyn Aggregate>,
+        args: Vec<Expr>,
+        name: impl Into<String>,
+    ) -> AggSpec {
+        AggSpec {
+            factory,
+            args,
+            name: name.into(),
+        }
+    }
+
+    fn update(&self, state: &mut Box<dyn AggState>, row: &Row) -> Result<()> {
+        if self.args.is_empty() {
+            state.update(&[])
+        } else {
+            let vals: Vec<Value> = self
+                .args
+                .iter()
+                .map(|e| e.eval(row))
+                .collect::<Result<_>>()?;
+            state.update(&vals)
+        }
+    }
+}
+
+/// Evaluate the grouping key of a row.
+pub fn group_key(group_exprs: &[Expr], row: &Row) -> Result<Vec<Value>> {
+    group_exprs.iter().map(|e| e.eval(row)).collect()
+}
+
+/// Build and run a hash-aggregation over an entire input, returning the
+/// grouped states. Shared by the serial operator and the parallel
+/// partial/final plan in [`crate::parallel`].
+pub fn aggregate_into_map(
+    input: &mut dyn RowIterator,
+    group_exprs: &[Expr],
+    aggs: &[AggSpec],
+) -> Result<HashMap<Vec<Value>, Vec<Box<dyn AggState>>>> {
+    let mut groups: HashMap<Vec<Value>, Vec<Box<dyn AggState>>> = HashMap::new();
+    while let Some(row) = input.next()? {
+        let key = group_key(group_exprs, &row)?;
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|a| a.factory.create()).collect());
+        for (spec, state) in aggs.iter().zip(states.iter_mut()) {
+            spec.update(state, &row)?;
+        }
+    }
+    Ok(groups)
+}
+
+/// Merge a partial aggregation map into an accumulator map (the "final"
+/// side of a parallel aggregate).
+pub fn merge_maps(
+    into: &mut HashMap<Vec<Value>, Vec<Box<dyn AggState>>>,
+    from: HashMap<Vec<Value>, Vec<Box<dyn AggState>>>,
+) -> Result<()> {
+    for (key, states) in from {
+        match into.entry(key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(states);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                for (acc, part) in e.get_mut().iter_mut().zip(states) {
+                    acc.merge(part)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Turn a finished group map into output rows (group values then
+/// aggregate results).
+pub fn finish_map(
+    groups: HashMap<Vec<Value>, Vec<Box<dyn AggState>>>,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, mut states) in groups {
+        let mut vals = key;
+        for s in &mut states {
+            vals.push(s.finish()?);
+        }
+        out.push(Row::new(vals));
+    }
+    Ok(out)
+}
+
+/// Blocking hash aggregate. Output order is unspecified (like SQL).
+pub struct HashAggIter {
+    input: Option<BoxedIter>,
+    group_exprs: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+    output: std::vec::IntoIter<Row>,
+}
+
+impl HashAggIter {
+    pub fn new(input: BoxedIter, group_exprs: Vec<Expr>, aggs: Vec<AggSpec>) -> HashAggIter {
+        HashAggIter {
+            input: Some(input),
+            group_exprs,
+            aggs,
+            output: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl RowIterator for HashAggIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(mut input) = self.input.take() {
+            let groups = aggregate_into_map(input.as_mut(), &self.group_exprs, &self.aggs)?;
+            if groups.is_empty() && self.group_exprs.is_empty() {
+                // Global aggregate over empty input still yields one row.
+                let mut vals = Vec::new();
+                for a in &self.aggs {
+                    vals.push(a.factory.create().finish()?);
+                }
+                self.output = vec![Row::new(vals)].into_iter();
+            } else {
+                self.output = finish_map(groups)?.into_iter();
+            }
+        }
+        Ok(self.output.next())
+    }
+}
+
+/// Streaming aggregate over input already sorted by the group
+/// expressions. Non-blocking: emits each group as soon as the key
+/// changes, holding only one group's state.
+pub struct StreamAggIter {
+    input: BoxedIter,
+    group_exprs: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+    current: Option<(Vec<Value>, Vec<Box<dyn AggState>>)>,
+    done: bool,
+    saw_rows: bool,
+}
+
+impl StreamAggIter {
+    pub fn new(input: BoxedIter, group_exprs: Vec<Expr>, aggs: Vec<AggSpec>) -> StreamAggIter {
+        StreamAggIter {
+            input,
+            group_exprs,
+            aggs,
+            current: None,
+            done: false,
+            saw_rows: false,
+        }
+    }
+
+    fn emit(&mut self, key: Vec<Value>, mut states: Vec<Box<dyn AggState>>) -> Result<Row> {
+        let mut vals = key;
+        for s in &mut states {
+            vals.push(s.finish()?);
+        }
+        Ok(Row::new(vals))
+    }
+}
+
+impl RowIterator for StreamAggIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            match self.input.next()? {
+                Some(row) => {
+                    self.saw_rows = true;
+                    let key = group_key(&self.group_exprs, &row)?;
+                    match &mut self.current {
+                        Some((ckey, states)) if *ckey == key => {
+                            for (spec, state) in self.aggs.iter().zip(states.iter_mut()) {
+                                spec.update(state, &row)?;
+                            }
+                        }
+                        Some(_) => {
+                            // Group boundary: emit the finished group and
+                            // start the new one.
+                            let (okey, ostates) =
+                                self.current.take().expect("checked Some above");
+                            let mut states: Vec<Box<dyn AggState>> =
+                                self.aggs.iter().map(|a| a.factory.create()).collect();
+                            for (spec, state) in self.aggs.iter().zip(states.iter_mut()) {
+                                spec.update(state, &row)?;
+                            }
+                            self.current = Some((key, states));
+                            return Ok(Some(self.emit(okey, ostates)?));
+                        }
+                        None => {
+                            let mut states: Vec<Box<dyn AggState>> =
+                                self.aggs.iter().map(|a| a.factory.create()).collect();
+                            for (spec, state) in self.aggs.iter().zip(states.iter_mut()) {
+                                spec.update(state, &row)?;
+                            }
+                            self.current = Some((key, states));
+                        }
+                    }
+                }
+                None => {
+                    self.done = true;
+                    if let Some((key, states)) = self.current.take() {
+                        return Ok(Some(self.emit(key, states)?));
+                    }
+                    if !self.saw_rows && self.group_exprs.is_empty() {
+                        let mut vals = Vec::new();
+                        for a in &self.aggs {
+                            vals.push(a.factory.create().finish()?);
+                        }
+                        return Ok(Some(Row::new(vals)));
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::int_rows;
+    use crate::exec::{collect, ValuesIter};
+    use crate::udx::{CountAgg, SumAgg};
+    use std::sync::Arc;
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::new(Arc::new(CountAgg), vec![], "cnt"),
+            AggSpec::new(Arc::new(SumAgg), vec![Expr::col(1, "v")], "total"),
+        ]
+    }
+
+    fn rows() -> Vec<Row> {
+        int_rows(&[&[1, 10], &[2, 5], &[1, 30], &[2, 5], &[3, 1]])
+    }
+
+    fn normalize(mut rows: Vec<Row>) -> Vec<(i64, i64, i64)> {
+        let mut out: Vec<(i64, i64, i64)> = rows
+            .drain(..)
+            .map(|r| {
+                (
+                    r[0].as_int().unwrap(),
+                    r[1].as_int().unwrap(),
+                    r[2].as_int().unwrap(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn hash_agg_groups_correctly() {
+        let it = HashAggIter::new(
+            Box::new(ValuesIter::new(rows())),
+            vec![Expr::col(0, "g")],
+            specs(),
+        );
+        let got = normalize(collect(Box::new(it)).unwrap());
+        assert_eq!(got, vec![(1, 2, 40), (2, 2, 10), (3, 1, 1)]);
+    }
+
+    #[test]
+    fn stream_agg_matches_hash_agg_on_sorted_input() {
+        let mut sorted = rows();
+        sorted.sort_by_key(|r| r[0].as_int().unwrap());
+        let it = StreamAggIter::new(
+            Box::new(ValuesIter::new(sorted)),
+            vec![Expr::col(0, "g")],
+            specs(),
+        );
+        let got = normalize(collect(Box::new(it)).unwrap());
+        assert_eq!(got, vec![(1, 2, 40), (2, 2, 10), (3, 1, 1)]);
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let it = HashAggIter::new(Box::new(ValuesIter::new(rows())), vec![], specs());
+        let out = collect(Box::new(it)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Value::Int(5));
+        assert_eq!(out[0][1], Value::Int(51));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_yields_one_row() {
+        for blocking in [true, false] {
+            let input = Box::new(ValuesIter::new(vec![]));
+            let out = if blocking {
+                collect(Box::new(HashAggIter::new(input, vec![], specs()))).unwrap()
+            } else {
+                collect(Box::new(StreamAggIter::new(input, vec![], specs()))).unwrap()
+            };
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0][0], Value::Int(0));
+            assert_eq!(out[0][1], Value::Null);
+        }
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_is_empty() {
+        let it = HashAggIter::new(
+            Box::new(ValuesIter::new(vec![])),
+            vec![Expr::col(0, "g")],
+            specs(),
+        );
+        assert!(collect(Box::new(it)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn partial_final_split_equals_single_pass() {
+        // The invariant the parallel aggregate relies on.
+        let all = rows();
+        let serial = {
+            let mut it = ValuesIter::new(all.clone());
+            aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs()).unwrap()
+        };
+        let mut merged = {
+            let mut it = ValuesIter::new(all[..2].to_vec());
+            aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs()).unwrap()
+        };
+        let part2 = {
+            let mut it = ValuesIter::new(all[2..].to_vec());
+            aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs()).unwrap()
+        };
+        merge_maps(&mut merged, part2).unwrap();
+        let a = normalize(finish_map(serial).unwrap());
+        let b = normalize(finish_map(merged).unwrap());
+        assert_eq!(a, b);
+    }
+}

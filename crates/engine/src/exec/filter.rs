@@ -1,0 +1,211 @@
+//! Row-at-a-time filter, projection and limit operators.
+
+use std::sync::Arc;
+
+use seqdb_types::{Result, Row, Schema};
+
+use crate::exec::{BoxedIter, RowIterator};
+use crate::expr::Expr;
+
+/// WHERE: passes rows whose predicate evaluates to TRUE (NULL = drop).
+pub struct FilterIter {
+    input: BoxedIter,
+    predicate: Expr,
+}
+
+impl FilterIter {
+    pub fn new(input: BoxedIter, predicate: Expr) -> Self {
+        FilterIter { input, predicate }
+    }
+}
+
+impl RowIterator for FilterIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            if self.predicate.eval_predicate(&row)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// SELECT list: computes one expression per output column.
+pub struct ProjectIter {
+    input: BoxedIter,
+    exprs: Vec<Expr>,
+}
+
+impl ProjectIter {
+    pub fn new(input: BoxedIter, exprs: Vec<Expr>) -> Self {
+        ProjectIter { input, exprs }
+    }
+}
+
+impl RowIterator for ProjectIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                let vals = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval(&row))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Some(Row::new(vals)))
+            }
+        }
+    }
+}
+
+/// TOP n: stops the pull after n rows (non-blocking).
+pub struct LimitIter {
+    input: BoxedIter,
+    remaining: u64,
+}
+
+impl LimitIter {
+    pub fn new(input: BoxedIter, limit: u64) -> Self {
+        LimitIter {
+            input,
+            remaining: limit,
+        }
+    }
+}
+
+impl RowIterator for LimitIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+            Some(r) => {
+                self.remaining -= 1;
+                Ok(Some(r))
+            }
+        }
+    }
+}
+
+/// Compute the output schema of a projection, inferring names from
+/// column references and falling back to `exprN`.
+pub fn project_schema(input: &Schema, exprs: &[Expr], aliases: &[Option<String>]) -> Arc<Schema> {
+    use seqdb_types::{Column, DataType};
+    let cols = exprs
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let name = aliases
+                .get(i)
+                .and_then(|a| a.clone())
+                .unwrap_or_else(|| match e {
+                    Expr::Column { index, .. } => input.column(*index).name.clone(),
+                    other => format!("{other}"),
+                });
+            let dtype = infer_type(input, e).unwrap_or(DataType::Text);
+            Column::new(name, dtype)
+        })
+        .collect();
+    Arc::new(Schema::new(cols))
+}
+
+/// Best-effort static type inference for projection schemas.
+fn infer_type(input: &Schema, e: &Expr) -> Option<seqdb_types::DataType> {
+    use crate::expr::BinOp;
+    use seqdb_types::DataType;
+    match e {
+        Expr::Column { index, .. } => Some(input.column(*index).dtype),
+        Expr::Literal(v) => v.data_type(),
+        Expr::Binary { op, left, right } => match op {
+            BinOp::Eq
+            | BinOp::NotEq
+            | BinOp::Lt
+            | BinOp::LtEq
+            | BinOp::Gt
+            | BinOp::GtEq
+            | BinOp::And
+            | BinOp::Or => Some(DataType::Bool),
+            _ => {
+                let l = infer_type(input, left)?;
+                let r = infer_type(input, right)?;
+                if l == DataType::Text || r == DataType::Text {
+                    Some(DataType::Text)
+                } else if l == DataType::Float || r == DataType::Float {
+                    Some(DataType::Float)
+                } else {
+                    Some(DataType::Int)
+                }
+            }
+        },
+        Expr::Not(_) | Expr::IsNull { .. } => Some(DataType::Bool),
+        Expr::Neg(inner) => infer_type(input, inner),
+        Expr::Func { udf, .. } => match udf.name() {
+            "CHARINDEX" | "LEN" | "DATALENGTH" | "TO_INT" => Some(DataType::Int),
+            "ROUND" | "TO_FLOAT" => Some(DataType::Float),
+            "NEWID" => Some(DataType::Guid),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::int_rows;
+    use crate::exec::{collect, ValuesIter};
+    use crate::expr::BinOp;
+    use seqdb_types::Value;
+
+    #[test]
+    fn filter_and_project_compose() {
+        let rows = int_rows(&[&[1, 10], &[2, 20], &[3, 30], &[4, 40]]);
+        let scan = Box::new(ValuesIter::new(rows));
+        let filt = Box::new(FilterIter::new(
+            scan,
+            Expr::binary(BinOp::Gt, Expr::col(1, "v"), Expr::lit(15)),
+        ));
+        let proj = Box::new(ProjectIter::new(
+            filt,
+            vec![Expr::binary(BinOp::Mul, Expr::col(0, "k"), Expr::lit(100))],
+        ));
+        let out = collect(proj).unwrap();
+        assert_eq!(
+            out.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Value::Int(200), Value::Int(300), Value::Int(400)]
+        );
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let rows = int_rows(&[&[1], &[2], &[3]]);
+        let it = Box::new(LimitIter::new(Box::new(ValuesIter::new(rows)), 2));
+        assert_eq!(collect(it).unwrap().len(), 2);
+        let it = Box::new(LimitIter::new(
+            Box::new(ValuesIter::new(int_rows(&[&[1]]))),
+            5,
+        ));
+        assert_eq!(collect(it).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn project_schema_names_and_types() {
+        use seqdb_types::{Column, DataType};
+        let input = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("seq", DataType::Text),
+        ]);
+        let exprs = vec![
+            Expr::col(1, "seq"),
+            Expr::binary(BinOp::Add, Expr::col(0, "id"), Expr::lit(1)),
+        ];
+        let s = project_schema(&input, &exprs, &[None, Some("next_id".into())]);
+        assert_eq!(s.column(0).name, "seq");
+        assert_eq!(s.column(0).dtype, DataType::Text);
+        assert_eq!(s.column(1).name, "next_id");
+        assert_eq!(s.column(1).dtype, DataType::Int);
+    }
+}

@@ -1,0 +1,311 @@
+//! Join operators: hash join (unordered inputs) and merge join (inputs
+//! ordered on the join keys, e.g. via clustered index scans).
+//!
+//! The paper's consensus query (§5.3.3) joins `Alignment` with `Read` via
+//! a *parallel merge join* enabled by clustered indexes — "about 1.6
+//! million alignments per second" on warm buffers. [`MergeJoinIter`] is
+//! that operator; the planner picks it whenever both sides come from
+//! index scans with compatible key prefixes.
+
+use std::cmp::Ordering;
+
+use seqdb_types::{Result, Row, Value};
+
+use crate::exec::{BoxedIter, RowIterator};
+use crate::expr::Expr;
+
+fn eval_all(exprs: &[Expr], row: &Row) -> Result<Vec<Value>> {
+    exprs.iter().map(|e| e.eval(row)).collect()
+}
+
+fn cmp_keys(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let o = x.total_cmp(y);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Keys containing NULL never match (SQL equi-join semantics).
+fn key_joinable(k: &[Value]) -> bool {
+    !k.iter().any(Value::is_null)
+}
+
+/// Inner equi hash join. Builds on the left input, probes with the right,
+/// emits `left ++ right` rows.
+pub struct HashJoinIter {
+    build: Option<BoxedIter>,
+    probe: BoxedIter,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    table: std::collections::HashMap<Vec<Value>, Vec<Row>>,
+    /// Matches pending for the current probe row.
+    pending: std::vec::IntoIter<Row>,
+    current_probe: Option<Row>,
+}
+
+impl HashJoinIter {
+    pub fn new(
+        build: BoxedIter,
+        probe: BoxedIter,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+    ) -> HashJoinIter {
+        HashJoinIter {
+            build: Some(build),
+            probe,
+            left_keys,
+            right_keys,
+            table: std::collections::HashMap::new(),
+            pending: Vec::new().into_iter(),
+            current_probe: None,
+        }
+    }
+}
+
+impl RowIterator for HashJoinIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(mut build) = self.build.take() {
+            while let Some(row) = build.next()? {
+                let key = eval_all(&self.left_keys, &row)?;
+                if key_joinable(&key) {
+                    self.table.entry(key).or_default().push(row);
+                }
+            }
+        }
+        loop {
+            if let Some(left) = self.pending.next() {
+                let probe = self.current_probe.as_ref().expect("probe row set");
+                return Ok(Some(left.concat(probe)));
+            }
+            match self.probe.next()? {
+                None => return Ok(None),
+                Some(row) => {
+                    let key = eval_all(&self.right_keys, &row)?;
+                    if key_joinable(&key) {
+                        if let Some(matches) = self.table.get(&key) {
+                            self.pending = matches.clone().into_iter();
+                            self.current_probe = Some(row);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Inner merge join over inputs sorted ascending on their join keys.
+/// Handles duplicate keys on both sides by buffering the right-side group.
+pub struct MergeJoinIter {
+    left: BoxedIter,
+    right: BoxedIter,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    left_row: Option<(Vec<Value>, Row)>,
+    right_row: Option<(Vec<Value>, Row)>,
+    /// Buffered right rows sharing the current key (for left dups).
+    right_group: Vec<Row>,
+    right_group_key: Vec<Value>,
+    emit_idx: usize,
+    started: bool,
+}
+
+impl MergeJoinIter {
+    pub fn new(
+        left: BoxedIter,
+        right: BoxedIter,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+    ) -> MergeJoinIter {
+        MergeJoinIter {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            left_row: None,
+            right_row: None,
+            right_group: Vec::new(),
+            right_group_key: Vec::new(),
+            emit_idx: 0,
+            started: false,
+        }
+    }
+
+    fn advance_left(&mut self) -> Result<()> {
+        self.left_row = match self.left.next()? {
+            Some(r) => Some((eval_all(&self.left_keys, &r)?, r)),
+            None => None,
+        };
+        Ok(())
+    }
+
+    fn advance_right(&mut self) -> Result<()> {
+        self.right_row = match self.right.next()? {
+            Some(r) => Some((eval_all(&self.right_keys, &r)?, r)),
+            None => None,
+        };
+        Ok(())
+    }
+
+    /// Fill `right_group` with every right row matching `key` (the right
+    /// cursor is already positioned at the first such row).
+    fn gather_right_group(&mut self, key: &[Value]) -> Result<()> {
+        self.right_group.clear();
+        self.right_group_key = key.to_vec();
+        while let Some((rk, row)) = &self.right_row {
+            if cmp_keys(rk, key) == Ordering::Equal {
+                self.right_group.push(row.clone());
+                self.advance_right()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl RowIterator for MergeJoinIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.started {
+            self.started = true;
+            self.advance_left()?;
+            self.advance_right()?;
+        }
+        loop {
+            // Emit pending cross-products of the current left row with
+            // the buffered right group.
+            if self.emit_idx < self.right_group.len() {
+                let (_, lrow) = self.left_row.as_ref().expect("left row during emit");
+                let out = lrow.concat(&self.right_group[self.emit_idx]);
+                self.emit_idx += 1;
+                return Ok(Some(out));
+            }
+            // Finished the group for this left row: advance left and see
+            // if it matches the same buffered group.
+            if !self.right_group.is_empty() {
+                self.advance_left()?;
+                match &self.left_row {
+                    Some((lk, _))
+                        if key_joinable(lk)
+                            && cmp_keys(lk, &self.right_group_key) == Ordering::Equal =>
+                    {
+                        self.emit_idx = 0;
+                        continue;
+                    }
+                    _ => {
+                        self.right_group.clear();
+                        self.emit_idx = 0;
+                    }
+                }
+            }
+            let (Some((lk, _)), Some((rk, _))) = (&self.left_row, &self.right_row) else {
+                return Ok(None);
+            };
+            if !key_joinable(lk) {
+                self.advance_left()?;
+                continue;
+            }
+            if !key_joinable(rk) {
+                self.advance_right()?;
+                continue;
+            }
+            match cmp_keys(lk, rk) {
+                Ordering::Less => self.advance_left()?,
+                Ordering::Greater => self.advance_right()?,
+                Ordering::Equal => {
+                    let key = lk.clone();
+                    self.gather_right_group(&key)?;
+                    self.emit_idx = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::int_rows;
+    use crate::exec::{collect, ValuesIter};
+
+    fn join_all(kind: &str, left: Vec<Row>, right: Vec<Row>) -> Vec<(i64, i64)> {
+        let lk = vec![Expr::col(0, "k")];
+        let rk = vec![Expr::col(0, "k")];
+        let it: BoxedIter = match kind {
+            "hash" => Box::new(HashJoinIter::new(
+                Box::new(ValuesIter::new(left)),
+                Box::new(ValuesIter::new(right)),
+                lk,
+                rk,
+            )),
+            _ => Box::new(MergeJoinIter::new(
+                Box::new(ValuesIter::new(left)),
+                Box::new(ValuesIter::new(right)),
+                lk,
+                rk,
+            )),
+        };
+        let mut out: Vec<(i64, i64)> = collect(it)
+            .unwrap()
+            .iter()
+            .map(|r| (r[1].as_int().unwrap(), r[3].as_int().unwrap()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn left_rows() -> Vec<Row> {
+        // (key, payload) sorted by key with duplicates
+        int_rows(&[&[1, 100], &[2, 200], &[2, 201], &[4, 400]])
+    }
+
+    fn right_rows() -> Vec<Row> {
+        int_rows(&[&[2, 20], &[2, 21], &[3, 30], &[4, 40]])
+    }
+
+    #[test]
+    fn hash_and_merge_agree_with_duplicates() {
+        let expected = vec![(200, 20), (200, 21), (201, 20), (201, 21), (400, 40)];
+        assert_eq!(join_all("hash", left_rows(), right_rows()), expected);
+        assert_eq!(join_all("merge", left_rows(), right_rows()), expected);
+    }
+
+    #[test]
+    fn nulls_never_join() {
+        let left = vec![
+            Row::new(vec![Value::Null, Value::Int(1)]),
+            Row::new(vec![Value::Int(7), Value::Int(2)]),
+        ];
+        let right = vec![
+            Row::new(vec![Value::Null, Value::Int(3)]),
+            Row::new(vec![Value::Int(7), Value::Int(4)]),
+        ];
+        assert_eq!(join_all("hash", left.clone(), right.clone()), vec![(2, 4)]);
+        assert_eq!(join_all("merge", left, right), vec![(2, 4)]);
+    }
+
+    #[test]
+    fn disjoint_inputs_produce_nothing() {
+        let left = int_rows(&[&[1, 1], &[2, 2]]);
+        let right = int_rows(&[&[3, 3], &[4, 4]]);
+        assert!(join_all("hash", left.clone(), right.clone()).is_empty());
+        assert!(join_all("merge", left, right).is_empty());
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert!(join_all("merge", vec![], right_rows()).is_empty());
+        assert!(join_all("merge", left_rows(), vec![]).is_empty());
+        assert!(join_all("hash", vec![], vec![]).is_empty());
+    }
+
+    #[test]
+    fn merge_join_large_cross_groups() {
+        // 3 left dups x 4 right dups on one key = 12 output rows.
+        let left = int_rows(&[&[5, 1], &[5, 2], &[5, 3]]);
+        let right = int_rows(&[&[5, 10], &[5, 11], &[5, 12], &[5, 13]]);
+        assert_eq!(join_all("merge", left, right).len(), 12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Physical execution: the Volcano iterator model.
+//!
+//! Every operator implements [`RowIterator`]; the query processor pulls
+//! rows one at a time (`next()`), which is the same contract SQL Server's
+//! query processor has with CLR table-valued functions (paper §4.1,
+//! Figure 5).
+
+pub mod agg;
+pub mod apply;
+pub mod filter;
+pub mod join;
+pub mod rowser;
+pub mod scan;
+pub mod sort;
+pub mod window;
+
+use std::sync::Arc;
+
+use seqdb_types::{Result, Row};
+
+use seqdb_storage::{FileStreamStore, TempSpace};
+
+use crate::catalog::Catalog;
+
+/// Everything an operator needs at run time.
+#[derive(Clone)]
+pub struct ExecContext {
+    pub catalog: Arc<Catalog>,
+    pub filestream: Arc<FileStreamStore>,
+    pub temp: Arc<TempSpace>,
+    /// Degree of parallelism for eligible operators.
+    pub dop: usize,
+    /// Memory budget (bytes) for blocking operators before they spill.
+    pub sort_budget: usize,
+}
+
+impl ExecContext {
+    /// Default memory budget for blocking operators: 64 MiB.
+    pub const DEFAULT_SORT_BUDGET: usize = 64 * 1024 * 1024;
+}
+
+/// A pull-based row stream.
+pub trait RowIterator: Send {
+    /// Produce the next row, `None` at end-of-stream. After `None` (or an
+    /// error) the iterator must not be called again.
+    fn next(&mut self) -> Result<Option<Row>>;
+}
+
+/// Boxed operator, the unit plans compose.
+pub type BoxedIter = Box<dyn RowIterator>;
+
+/// Drain an iterator into a vector (tests, small results).
+pub fn collect(mut it: BoxedIter) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(r) = it.next()? {
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// An iterator over a pre-materialized set of rows.
+pub struct ValuesIter {
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl ValuesIter {
+    pub fn new(rows: Vec<Row>) -> ValuesIter {
+        ValuesIter {
+            rows: rows.into_iter(),
+        }
+    }
+}
+
+impl RowIterator for ValuesIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.rows.next())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use seqdb_storage::{BufferPool, MemPager};
+    use seqdb_types::Value;
+
+    /// A throwaway context over in-memory storage.
+    pub fn test_context() -> ExecContext {
+        let pool = BufferPool::new(Arc::new(MemPager::new()), 1024);
+        let catalog = Catalog::new(pool);
+        for f in crate::builtins::all_builtins() {
+            catalog.register_scalar(f);
+        }
+        let fsdir = std::env::temp_dir().join(format!(
+            "seqdb-exec-test-{}-{:p}",
+            std::process::id(),
+            &catalog
+        ));
+        ExecContext {
+            catalog,
+            filestream: Arc::new(FileStreamStore::open(fsdir).unwrap()),
+            temp: TempSpace::system().unwrap(),
+            dop: 2,
+            sort_budget: ExecContext::DEFAULT_SORT_BUDGET,
+        }
+    }
+
+    pub fn int_rows(vals: &[&[i64]]) -> Vec<Row> {
+        vals.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            .collect()
+    }
+}

@@ -1,0 +1,160 @@
+//! Self-describing row serialization for spill files.
+//!
+//! Unlike [`seqdb_storage::rowfmt`] (which needs a schema), spill records
+//! carry their own type tags, because sort keys and intermediate rows are
+//! not tied to any table schema.
+
+use std::sync::Arc;
+
+use seqdb_storage::varint;
+use seqdb_types::{DbError, Result, Row, Value};
+
+const T_NULL: u8 = 0;
+const T_BOOL: u8 = 1;
+const T_INT: u8 = 2;
+const T_FLOAT: u8 = 3;
+const T_TEXT: u8 = 4;
+const T_BYTES: u8 = 5;
+const T_GUID: u8 = 6;
+
+/// Append one value.
+pub fn write_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(T_NULL),
+        Value::Bool(b) => {
+            out.push(T_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(T_INT);
+            varint::write_i64(out, *i);
+        }
+        Value::Float(f) => {
+            out.push(T_FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(T_TEXT);
+            varint::write_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(T_BYTES);
+            varint::write_u64(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Value::Guid(g) => {
+            out.push(T_GUID);
+            out.extend_from_slice(&g.to_be_bytes());
+        }
+    }
+}
+
+/// Read one value.
+pub fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let err = || DbError::Storage("corrupt spill record".into());
+    let tag = *buf.get(*pos).ok_or_else(err)?;
+    *pos += 1;
+    Ok(match tag {
+        T_NULL => Value::Null,
+        T_BOOL => {
+            let b = *buf.get(*pos).ok_or_else(err)?;
+            *pos += 1;
+            Value::Bool(b != 0)
+        }
+        T_INT => Value::Int(varint::read_i64(buf, pos).ok_or_else(err)?),
+        T_FLOAT => {
+            let raw = buf.get(*pos..*pos + 8).ok_or_else(err)?;
+            *pos += 8;
+            Value::Float(f64::from_le_bytes(raw.try_into().unwrap()))
+        }
+        T_TEXT => {
+            let n = varint::read_u64(buf, pos).ok_or_else(err)? as usize;
+            let end = pos.checked_add(n).ok_or_else(err)?;
+            let raw = buf.get(*pos..end).ok_or_else(err)?;
+            let s = std::str::from_utf8(raw).map_err(|_| err())?;
+            let v = Value::Text(Arc::from(s));
+            *pos = end;
+            v
+        }
+        T_BYTES => {
+            let n = varint::read_u64(buf, pos).ok_or_else(err)? as usize;
+            let end = pos.checked_add(n).ok_or_else(err)?;
+            let raw = buf.get(*pos..end).ok_or_else(err)?;
+            let v = Value::Bytes(Arc::from(raw));
+            *pos = end;
+            v
+        }
+        T_GUID => {
+            let raw = buf.get(*pos..*pos + 16).ok_or_else(err)?;
+            *pos += 16;
+            Value::Guid(u128::from_be_bytes(raw.try_into().unwrap()))
+        }
+        _ => return Err(err()),
+    })
+}
+
+/// Serialize a row (value count + tagged values).
+pub fn write_row(out: &mut Vec<u8>, row: &Row) {
+    varint::write_u64(out, row.len() as u64);
+    for v in row.values() {
+        write_value(out, v);
+    }
+}
+
+/// Deserialize a row.
+pub fn read_row(buf: &[u8], pos: &mut usize) -> Result<Row> {
+    let err = || DbError::Storage("corrupt spill record".into());
+    let n = varint::read_u64(buf, pos).ok_or_else(err)? as usize;
+    let mut vals = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        vals.push(read_value(buf, pos)?);
+    }
+    Ok(Row::new(vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let row = Row::new(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-12345),
+            Value::Float(0.25),
+            Value::text("IL4_855:1:1:954:659"),
+            Value::bytes(b"\x00\xff"),
+            Value::Guid(77),
+        ]);
+        let mut buf = Vec::new();
+        write_row(&mut buf, &row);
+        let mut pos = 0;
+        let back = read_row(&buf, &mut pos).unwrap();
+        assert_eq!(back, row);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error() {
+        let mut pos = 0;
+        assert!(read_row(&[9, 9, 9], &mut pos).is_err());
+    }
+
+    #[test]
+    fn multiple_rows_stream() {
+        let rows: Vec<Row> = (0..10)
+            .map(|i| Row::new(vec![Value::Int(i), Value::text(format!("r{i}"))]))
+            .collect();
+        let mut buf = Vec::new();
+        for r in &rows {
+            write_row(&mut buf, r);
+        }
+        let mut pos = 0;
+        for r in &rows {
+            assert_eq!(&read_row(&buf, &mut pos).unwrap(), r);
+        }
+        assert_eq!(pos, buf.len());
+    }
+}

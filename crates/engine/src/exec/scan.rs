@@ -1,0 +1,321 @@
+//! Table access: heap scans (optionally over a page partition) and
+//! ordered B+-tree index scans.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use seqdb_storage::page::PageId;
+use seqdb_storage::rowfmt::{self, Compression};
+use seqdb_types::{Result, Row, Value};
+
+use crate::catalog::{Table, TableIndex};
+use crate::exec::RowIterator;
+use crate::expr::Expr;
+
+/// Sequential heap scan with an optional residual predicate and
+/// projection pushed into the scan (the paper's parallel plans push both
+/// below the exchange).
+pub struct HeapScanIter {
+    table: Arc<Table>,
+    pages: std::vec::IntoIter<PageId>,
+    current: std::vec::IntoIter<Row>,
+    filter: Option<Expr>,
+    projection: Option<Vec<usize>>,
+}
+
+impl HeapScanIter {
+    pub fn new(table: Arc<Table>, filter: Option<Expr>, projection: Option<Vec<usize>>) -> Self {
+        let pages = table.heap.pages_snapshot();
+        HeapScanIter {
+            table,
+            pages: pages.into_iter(),
+            current: Vec::new().into_iter(),
+            filter,
+            projection,
+        }
+    }
+
+    /// Scan only partition `part` of `nparts` (page-range partitioning).
+    pub fn partitioned(
+        table: Arc<Table>,
+        filter: Option<Expr>,
+        projection: Option<Vec<usize>>,
+        part: usize,
+        nparts: usize,
+    ) -> Self {
+        let all = table.heap.pages_snapshot();
+        let pages: Vec<PageId> = all
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % nparts == part)
+            .map(|(_, p)| p)
+            .collect();
+        HeapScanIter {
+            table,
+            pages: pages.into_iter(),
+            current: Vec::new().into_iter(),
+            filter,
+            projection,
+        }
+    }
+}
+
+impl RowIterator for HeapScanIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(row) = self.current.next() {
+                if let Some(f) = &self.filter {
+                    if !f.eval_predicate(&row)? {
+                        continue;
+                    }
+                }
+                let row = match &self.projection {
+                    Some(p) => row.project(p),
+                    None => row,
+                };
+                return Ok(Some(row));
+            }
+            let Some(pid) = self.pages.next() else {
+                return Ok(None);
+            };
+            let rows: Vec<Row> = self
+                .table
+                .heap
+                .scan_pages(vec![pid])
+                .map(|r| r.map(|(_, row)| row))
+                .collect::<Result<_>>()?;
+            self.current = rows.into_iter();
+        }
+    }
+}
+
+/// Ordered scan of a B+-tree index, decoding full rows. Supports an
+/// equality prefix (`key_prefix`) that narrows the scan to one key range.
+pub struct IndexScanIter {
+    iter: OwnedRange,
+    schema: Arc<seqdb_types::Schema>,
+    filter: Option<Expr>,
+    projection: Option<Vec<usize>>,
+}
+
+/// The B+-tree range iterator materialized leaf-by-leaf; holding the
+/// index `Arc` keeps the tree alive for the scan's lifetime.
+struct OwnedRange {
+    index: Arc<TableIndex>,
+    buffer: std::vec::IntoIter<Vec<u8>>,
+    done: bool,
+    lower: Bound<Vec<u8>>,
+    upper: Bound<Vec<u8>>,
+    last_key: Option<Vec<u8>>,
+}
+
+impl OwnedRange {
+    fn refill(&mut self) -> Result<()> {
+        // Pull the next batch of entries from the tree. We re-open the
+        // range from just after the last seen key; this keeps the borrow
+        // on the tree short-lived and the iterator `Send`.
+        const BATCH: usize = 1024;
+        let start: Bound<&[u8]> = match &self.last_key {
+            Some(k) => Bound::Excluded(k.as_slice()),
+            None => match &self.lower {
+                Bound::Included(k) => Bound::Included(k.as_slice()),
+                Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+                Bound::Unbounded => Bound::Unbounded,
+            },
+        };
+        let end: Bound<&[u8]> = match &self.upper {
+            Bound::Included(k) => Bound::Included(k.as_slice()),
+            Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut vals = Vec::with_capacity(BATCH);
+        let mut last = None;
+        for entry in self.index.btree.range(start, end)?.take(BATCH) {
+            let (k, v) = entry?;
+            last = Some(k);
+            vals.push(v);
+        }
+        if vals.len() < BATCH {
+            self.done = true;
+        }
+        if let Some(k) = last {
+            self.last_key = Some(k);
+        }
+        self.buffer = vals.into_iter();
+        Ok(())
+    }
+}
+
+impl IndexScanIter {
+    /// Scan rows whose index key starts with `prefix` (empty = full scan),
+    /// in key order.
+    pub fn new(
+        table: &Arc<Table>,
+        index: Arc<TableIndex>,
+        prefix: &[Value],
+        filter: Option<Expr>,
+        projection: Option<Vec<usize>>,
+    ) -> Self {
+        let (lower, upper) = prefix_bounds(prefix);
+        IndexScanIter {
+            iter: OwnedRange {
+                index,
+                buffer: Vec::new().into_iter(),
+                done: false,
+                lower,
+                upper,
+                last_key: None,
+            },
+            schema: table.schema.clone(),
+            filter,
+            projection,
+        }
+    }
+}
+
+/// Key-range bounds covering every composite key beginning with `prefix`.
+fn prefix_bounds(prefix: &[Value]) -> (Bound<Vec<u8>>, Bound<Vec<u8>>) {
+    if prefix.is_empty() {
+        return (Bound::Unbounded, Bound::Unbounded);
+    }
+    let lo = seqdb_storage::keycode::encode_key(prefix);
+    // The upper bound is the prefix with a 0xFF sentinel appended: every
+    // continuation of the prefix encoding sorts below it because keycode
+    // type tags are all < 0xFF.
+    let mut hi = lo.clone();
+    hi.push(0xff);
+    (Bound::Included(lo), Bound::Excluded(hi))
+}
+
+impl RowIterator for IndexScanIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            let Some(encoded) = self.iter.buffer.next() else {
+                if self.iter.done {
+                    return Ok(None);
+                }
+                self.iter.refill()?;
+                if self.iter.buffer.len() == 0 && self.iter.done {
+                    return Ok(None);
+                }
+                continue;
+            };
+            let row = rowfmt::decode_row(&self.schema, &encoded, Compression::Row, None)?;
+            if let Some(f) = &self.filter {
+                if !f.eval_predicate(&row)? {
+                    continue;
+                }
+            }
+            return Ok(Some(match &self.projection {
+                Some(p) => row.project(p),
+                None => row,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::test_context;
+    use crate::exec::{collect, RowIterator};
+    use crate::expr::{BinOp, Expr};
+    use seqdb_types::{Column, DataType, Schema};
+
+    fn setup() -> (crate::exec::ExecContext, Arc<Table>) {
+        let ctx = test_context();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int).not_null(),
+            Column::new("grp", DataType::Int),
+            Column::new("seq", DataType::Text),
+        ]);
+        let t = ctx
+            .catalog
+            .create_table("reads", schema, Compression::Row, Some(vec![0]))
+            .unwrap();
+        for i in 0..500i64 {
+            t.insert(&Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 3),
+                Value::text(format!("SEQ{i}")),
+            ]))
+            .unwrap();
+        }
+        (ctx, t)
+    }
+
+    #[test]
+    fn full_scan_with_filter_and_projection() {
+        let (_ctx, t) = setup();
+        let filter = Expr::binary(BinOp::Eq, Expr::col(1, "grp"), Expr::lit(1));
+        let it = HeapScanIter::new(t, Some(filter), Some(vec![2, 0]));
+        let rows = collect(Box::new(it)).unwrap();
+        assert_eq!(rows.len(), 167); // ids 1,4,...,499
+        assert_eq!(rows[0].len(), 2);
+        assert_eq!(rows[0][0], Value::text("SEQ1"));
+        assert_eq!(rows[0][1], Value::Int(1));
+    }
+
+    #[test]
+    fn partitions_cover_everything_disjointly() {
+        let (_ctx, t) = setup();
+        let nparts = 3;
+        let mut all = Vec::new();
+        for p in 0..nparts {
+            let it = HeapScanIter::partitioned(t.clone(), None, None, p, nparts);
+            all.extend(collect(Box::new(it)).unwrap());
+        }
+        assert_eq!(all.len(), 500);
+        let mut ids: Vec<i64> = all.iter().map(|r| r[0].as_int().unwrap()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 500);
+    }
+
+    #[test]
+    fn index_scan_is_ordered() {
+        let (_ctx, t) = setup();
+        let idx = t.index_with_prefix(&[0]).unwrap();
+        let it = IndexScanIter::new(&t, idx, &[], None, None);
+        let rows = collect(Box::new(it)).unwrap();
+        assert_eq!(rows.len(), 500);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r[0], Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn index_scan_with_equality_prefix() {
+        let (ctx, _) = setup();
+        // Composite-key table: (grp, id) primary key.
+        let schema = Schema::new(vec![
+            Column::new("grp", DataType::Int).not_null(),
+            Column::new("id", DataType::Int).not_null(),
+        ]);
+        let t = ctx
+            .catalog
+            .create_table("pairs", schema, Compression::Row, Some(vec![0, 1]))
+            .unwrap();
+        for g in 0..5i64 {
+            for i in 0..20i64 {
+                t.insert(&Row::new(vec![Value::Int(g), Value::Int(i)])).unwrap();
+            }
+        }
+        let idx = t.index_with_prefix(&[0]).unwrap();
+        let it = IndexScanIter::new(&t, idx, &[Value::Int(3)], None, None);
+        let rows = collect(Box::new(it)).unwrap();
+        assert_eq!(rows.len(), 20);
+        assert!(rows.iter().all(|r| r[0] == Value::Int(3)));
+        // Ordered by the second key column within the prefix.
+        let ids: Vec<i64> = rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_prefix_range_is_empty() {
+        let (_ctx, t) = setup();
+        let idx = t.index_with_prefix(&[0]).unwrap();
+        let mut it = IndexScanIter::new(&t, idx, &[Value::Int(10_000)], None, None);
+        assert!(it.next().unwrap().is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! Window functions: `ROW_NUMBER() OVER (ORDER BY ...)`.
+//!
+//! The paper's Query 1 uses `ROW_NUMBER() OVER (ORDER BY COUNT(*) DESC)`
+//! to rank binned short-reads. The planner lowers the OVER clause into a
+//! [`crate::exec::sort::SortIter`] below this operator, which then simply
+//! prepends (or appends) a running counter.
+
+use seqdb_types::{Result, Row, Value};
+
+use crate::exec::{BoxedIter, RowIterator};
+
+/// Appends a 1-based row number column to each input row. The input must
+/// already be ordered per the window's ORDER BY.
+pub struct RowNumberIter {
+    input: BoxedIter,
+    counter: i64,
+    /// If true, the number is prepended instead of appended (Query 1
+    /// selects the rank first).
+    prepend: bool,
+}
+
+impl RowNumberIter {
+    pub fn new(input: BoxedIter, prepend: bool) -> RowNumberIter {
+        RowNumberIter {
+            input,
+            counter: 0,
+            prepend,
+        }
+    }
+}
+
+impl RowIterator for RowNumberIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                self.counter += 1;
+                let mut vals = Vec::with_capacity(row.len() + 1);
+                if self.prepend {
+                    vals.push(Value::Int(self.counter));
+                    vals.extend_from_slice(row.values());
+                } else {
+                    vals.extend_from_slice(row.values());
+                    vals.push(Value::Int(self.counter));
+                }
+                Ok(Some(Row::new(vals)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::int_rows;
+    use crate::exec::{collect, ValuesIter};
+
+    #[test]
+    fn numbers_rows_in_order() {
+        let rows = int_rows(&[&[30], &[20], &[10]]);
+        let it = RowNumberIter::new(Box::new(ValuesIter::new(rows)), false);
+        let out = collect(Box::new(it)).unwrap();
+        let pairs: Vec<(i64, i64)> = out
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(pairs, vec![(30, 1), (20, 2), (10, 3)]);
+    }
+
+    #[test]
+    fn prepend_mode() {
+        let rows = int_rows(&[&[7]]);
+        let it = RowNumberIter::new(Box::new(ValuesIter::new(rows)), true);
+        let out = collect(Box::new(it)).unwrap();
+        assert_eq!(out[0].values(), &[Value::Int(1), Value::Int(7)]);
+    }
+}

@@ -1,0 +1,36 @@
+//! seqdb query engine.
+//!
+//! An iterator-model ("Volcano") relational query processor with the
+//! extensibility surface of the paper's platform (SQL Server 2008 + CLR
+//! hosting, *Röhm & Blakeley, CIDR 2009*):
+//!
+//! * scalar UDFs, pull-model table-valued functions and mergeable
+//!   user-defined aggregates ([`udx`]) — built-ins and user extensions go
+//!   through the same contracts;
+//! * physical operators ([`exec`]): heap/index scans, filter, project,
+//!   external sort (spill-accounted), hash/stream aggregation, hash/merge
+//!   joins, CROSS APPLY, ROW_NUMBER, TOP;
+//! * exchange-style parallel aggregation with per-worker statistics
+//!   ([`parallel`]) reproducing the parallel plans of Figures 8–9;
+//! * a plan tree with `EXPLAIN` rendering ([`plan`]) for Figures 9–10;
+//! * a catalog and database façade ([`catalog`], [`database`]).
+//!
+//! SQL text parsing lives in the separate `seqdb-sql` crate (which
+//! depends on this one); programs can also build [`plan::Plan`]s
+//! directly.
+
+pub mod builtins;
+pub mod catalog;
+pub mod database;
+pub mod exec;
+pub mod expr;
+pub mod parallel;
+pub mod plan;
+pub mod udx;
+
+pub use catalog::{Catalog, Table, TableIndex};
+pub use database::{Database, DbConfig};
+pub use exec::{BoxedIter, ExecContext, RowIterator};
+pub use expr::{BinOp, Expr};
+pub use plan::{Plan, QueryResult};
+pub use udx::{AggState, Aggregate, ScalarUdf, TableFunction, TvfCursor};

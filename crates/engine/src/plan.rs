@@ -1,0 +1,647 @@
+//! Physical plans: a tree of operators that can be opened into a
+//! [`RowIterator`] pipeline and pretty-printed for `EXPLAIN` (the query
+//! plans of the paper's Figures 9 and 10).
+
+use std::sync::Arc;
+
+use seqdb_types::{DbError, Result, Row, Schema, Value};
+
+use crate::catalog::{Table, TableIndex};
+use crate::exec::agg::{AggSpec, HashAggIter, StreamAggIter};
+use crate::exec::apply::{CrossApplyIter, TvfScanIter};
+use crate::exec::filter::{FilterIter, LimitIter, ProjectIter};
+use crate::exec::join::{HashJoinIter, MergeJoinIter};
+use crate::exec::scan::{HeapScanIter, IndexScanIter};
+use crate::exec::sort::{SortIter, SortKey, TopNIter};
+use crate::exec::window::RowNumberIter;
+use crate::exec::{BoxedIter, ExecContext, ValuesIter};
+use crate::expr::Expr;
+use crate::parallel::ParallelAggIter;
+use crate::udx::TableFunction;
+
+/// A physical query plan node.
+pub enum Plan {
+    /// Heap scan with pushed-down filter/projection.
+    TableScan {
+        table: Arc<Table>,
+        filter: Option<Expr>,
+        projection: Option<Vec<usize>>,
+        schema: Arc<Schema>,
+    },
+    /// Ordered clustered-index scan, optionally restricted to an equality
+    /// prefix of the key.
+    IndexScan {
+        table: Arc<Table>,
+        index: Arc<TableIndex>,
+        prefix: Vec<Value>,
+        filter: Option<Expr>,
+        projection: Option<Vec<usize>>,
+        schema: Arc<Schema>,
+    },
+    /// `FROM tvf(constants)`.
+    TvfScan {
+        tvf: Arc<dyn TableFunction>,
+        args: Vec<Value>,
+    },
+    /// Literal rows (`INSERT ... VALUES`, tests).
+    Values { schema: Arc<Schema>, rows: Vec<Row> },
+    Filter { input: Box<Plan>, predicate: Expr },
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<Expr>,
+        schema: Arc<Schema>,
+    },
+    Sort { input: Box<Plan>, keys: Vec<SortKey> },
+    TopN {
+        input: Box<Plan>,
+        keys: Vec<SortKey>,
+        n: u64,
+    },
+    Limit { input: Box<Plan>, n: u64 },
+    /// Serial blocking hash aggregate.
+    HashAggregate {
+        input: Box<Plan>,
+        group_exprs: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+        schema: Arc<Schema>,
+    },
+    /// Non-blocking aggregate over input sorted by the group exprs.
+    StreamAggregate {
+        input: Box<Plan>,
+        group_exprs: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+        schema: Arc<Schema>,
+    },
+    /// Exchange-parallel scan + partial/final aggregate (Figure 9).
+    ParallelAggregate {
+        table: Arc<Table>,
+        filter: Option<Expr>,
+        group_exprs: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+        dop: usize,
+        schema: Arc<Schema>,
+    },
+    HashJoin {
+        build: Box<Plan>,
+        probe: Box<Plan>,
+        build_keys: Vec<Expr>,
+        probe_keys: Vec<Expr>,
+        schema: Arc<Schema>,
+    },
+    MergeJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        schema: Arc<Schema>,
+        /// Degree of parallelism this join *would* run at on a machine
+        /// with that many schedulers; annotated in EXPLAIN (Figure 10).
+        dop_hint: usize,
+    },
+    CrossApply {
+        input: Box<Plan>,
+        tvf: Arc<dyn TableFunction>,
+        args: Vec<Expr>,
+        schema: Arc<Schema>,
+    },
+    /// ROW_NUMBER() over the (already sorted) input.
+    RowNumber {
+        input: Box<Plan>,
+        prepend: bool,
+        schema: Arc<Schema>,
+    },
+}
+
+impl Plan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> Arc<Schema> {
+        match self {
+            Plan::TableScan { schema, .. }
+            | Plan::IndexScan { schema, .. }
+            | Plan::Values { schema, .. }
+            | Plan::Project { schema, .. }
+            | Plan::HashAggregate { schema, .. }
+            | Plan::StreamAggregate { schema, .. }
+            | Plan::ParallelAggregate { schema, .. }
+            | Plan::HashJoin { schema, .. }
+            | Plan::MergeJoin { schema, .. }
+            | Plan::CrossApply { schema, .. }
+            | Plan::RowNumber { schema, .. } => schema.clone(),
+            Plan::TvfScan { tvf, .. } => tvf.schema(),
+            Plan::Filter { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::TopN { input, .. }
+            | Plan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Open the plan into an executable iterator pipeline.
+    pub fn open(&self, ctx: &ExecContext) -> Result<BoxedIter> {
+        Ok(match self {
+            Plan::TableScan {
+                table,
+                filter,
+                projection,
+                ..
+            } => Box::new(HeapScanIter::new(
+                table.clone(),
+                filter.clone(),
+                projection.clone(),
+            )),
+            Plan::IndexScan {
+                table,
+                index,
+                prefix,
+                filter,
+                projection,
+                ..
+            } => Box::new(IndexScanIter::new(
+                table,
+                index.clone(),
+                prefix,
+                filter.clone(),
+                projection.clone(),
+            )),
+            Plan::TvfScan { tvf, args } => Box::new(TvfScanIter::open(tvf, args, ctx)?),
+            Plan::Values { rows, .. } => Box::new(ValuesIter::new(rows.clone())),
+            Plan::Filter { input, predicate } => {
+                Box::new(FilterIter::new(input.open(ctx)?, predicate.clone()))
+            }
+            Plan::Project { input, exprs, .. } => {
+                Box::new(ProjectIter::new(input.open(ctx)?, exprs.clone()))
+            }
+            Plan::Sort { input, keys } => {
+                Box::new(SortIter::new(input.open(ctx)?, keys.clone(), ctx.clone()))
+            }
+            Plan::TopN { input, keys, n } => {
+                Box::new(TopNIter::new(input.open(ctx)?, keys.clone(), *n as usize))
+            }
+            Plan::Limit { input, n } => Box::new(LimitIter::new(input.open(ctx)?, *n)),
+            Plan::HashAggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => Box::new(HashAggIter::new(
+                input.open(ctx)?,
+                group_exprs.clone(),
+                aggs.clone(),
+            )),
+            Plan::StreamAggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => Box::new(StreamAggIter::new(
+                input.open(ctx)?,
+                group_exprs.clone(),
+                aggs.clone(),
+            )),
+            Plan::ParallelAggregate {
+                table,
+                filter,
+                group_exprs,
+                aggs,
+                dop,
+                ..
+            } => Box::new(ParallelAggIter::new(
+                table.clone(),
+                filter.clone(),
+                group_exprs.clone(),
+                aggs.clone(),
+                (*dop).max(1).min(effective_dop(ctx)),
+            )?),
+            Plan::HashJoin {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                ..
+            } => Box::new(HashJoinIter::new(
+                build.open(ctx)?,
+                probe.open(ctx)?,
+                build_keys.clone(),
+                probe_keys.clone(),
+            )),
+            Plan::MergeJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                ..
+            } => Box::new(MergeJoinIter::new(
+                left.open(ctx)?,
+                right.open(ctx)?,
+                left_keys.clone(),
+                right_keys.clone(),
+            )),
+            Plan::CrossApply {
+                input, tvf, args, ..
+            } => Box::new(CrossApplyIter::new(
+                input.open(ctx)?,
+                tvf.clone(),
+                args.clone(),
+                ctx.clone(),
+            )),
+            Plan::RowNumber { input, prepend, .. } => {
+                Box::new(RowNumberIter::new(input.open(ctx)?, *prepend))
+            }
+        })
+    }
+
+    /// Execute to completion and collect the rows.
+    pub fn run(&self, ctx: &ExecContext) -> Result<Vec<Row>> {
+        crate::exec::collect(self.open(ctx)?)
+    }
+
+    /// Render the plan tree (the `EXPLAIN` / showplan output used to
+    /// reproduce Figures 9 and 10).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::TableScan { table, filter, .. } => {
+                out.push_str(&format!("{pad}Table Scan [{}]", table.name));
+                if let Some(f) = filter {
+                    out.push_str(&format!(" WHERE {f}"));
+                }
+                out.push('\n');
+            }
+            Plan::IndexScan {
+                table,
+                index,
+                prefix,
+                filter,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Clustered Index Scan [{}.{}] (ordered)",
+                    table.name, index.name
+                ));
+                if !prefix.is_empty() {
+                    let p: Vec<String> = prefix.iter().map(|v| v.to_string()).collect();
+                    out.push_str(&format!(" SEEK prefix=({})", p.join(", ")));
+                }
+                if let Some(f) = filter {
+                    out.push_str(&format!(" WHERE {f}"));
+                }
+                out.push('\n');
+            }
+            Plan::TvfScan { tvf, args } => {
+                let a: Vec<String> = args.iter().map(|v| v.to_string()).collect();
+                out.push_str(&format!(
+                    "{pad}Table Valued Function [{}({})] (streaming)\n",
+                    tvf.name(),
+                    a.join(", ")
+                ));
+            }
+            Plan::Values { rows, .. } => {
+                out.push_str(&format!("{pad}Constant Scan ({} rows)\n", rows.len()));
+            }
+            Plan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter [{predicate}]\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, exprs, .. } => {
+                let e: Vec<String> = exprs.iter().map(|x| x.to_string()).collect();
+                out.push_str(&format!("{pad}Compute Scalar [{}]\n", e.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort [{}]\n", fmt_keys(keys)));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::TopN { input, keys, n } => {
+                out.push_str(&format!("{pad}Top N Sort [TOP {n}, {}]\n", fmt_keys(keys)));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Top [TOP {n}]\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::HashAggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Hash Match (Aggregate) [GROUP BY {}; {}]\n",
+                    fmt_exprs(group_exprs),
+                    fmt_aggs(aggs)
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::StreamAggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Stream Aggregate [GROUP BY {}; {}] (non-blocking)\n",
+                    fmt_exprs(group_exprs),
+                    fmt_aggs(aggs)
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::ParallelAggregate {
+                table,
+                filter,
+                group_exprs,
+                aggs,
+                dop,
+                ..
+            } => {
+                // Printed as the exchange stack of Figure 9.
+                out.push_str(&format!("{pad}Parallelism (Gather Streams) [DOP={dop}]\n"));
+                let pad1 = "  ".repeat(depth + 1);
+                out.push_str(&format!(
+                    "{pad1}Hash Match (Aggregate, final) [GROUP BY {}; {}]\n",
+                    fmt_exprs(group_exprs),
+                    fmt_aggs(aggs)
+                ));
+                let pad2 = "  ".repeat(depth + 2);
+                out.push_str(&format!(
+                    "{pad2}Parallelism (Repartition Streams) [hash: {}]\n",
+                    fmt_exprs(group_exprs)
+                ));
+                let pad3 = "  ".repeat(depth + 3);
+                out.push_str(&format!(
+                    "{pad3}Hash Match (Aggregate, partial) [GROUP BY {}]\n",
+                    fmt_exprs(group_exprs)
+                ));
+                let pad4 = "  ".repeat(depth + 4);
+                out.push_str(&format!("{pad4}Table Scan [{}] (parallel", table.name));
+                if let Some(f) = filter {
+                    out.push_str(&format!(", WHERE {f}"));
+                }
+                out.push_str(")\n");
+            }
+            Plan::HashJoin {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Hash Match (Inner Join) [{} = {}]\n",
+                    fmt_exprs(build_keys),
+                    fmt_exprs(probe_keys)
+                ));
+                build.explain_into(out, depth + 1);
+                probe.explain_into(out, depth + 1);
+            }
+            Plan::MergeJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                dop_hint,
+                ..
+            } => {
+                if *dop_hint > 1 {
+                    out.push_str(&format!("{pad}Parallelism (Gather Streams) [DOP={dop_hint}]\n"));
+                    let pad1 = "  ".repeat(depth + 1);
+                    out.push_str(&format!(
+                        "{pad1}Merge Join (Inner Join) [{} = {}] (parallel, key-range partitioned)\n",
+                        fmt_exprs(left_keys),
+                        fmt_exprs(right_keys)
+                    ));
+                    left.explain_into(out, depth + 2);
+                    right.explain_into(out, depth + 2);
+                } else {
+                    out.push_str(&format!(
+                        "{pad}Merge Join (Inner Join) [{} = {}]\n",
+                        fmt_exprs(left_keys),
+                        fmt_exprs(right_keys)
+                    ));
+                    left.explain_into(out, depth + 1);
+                    right.explain_into(out, depth + 1);
+                }
+            }
+            Plan::CrossApply {
+                input, tvf, args, ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Nested Loops (Cross Apply) [{}({})]\n",
+                    tvf.name(),
+                    fmt_exprs(args)
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::RowNumber { input, .. } => {
+                out.push_str(&format!("{pad}Sequence Project [ROW_NUMBER()]\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Cap a plan's DOP at the context's configured parallelism.
+fn effective_dop(ctx: &ExecContext) -> usize {
+    ctx.dop.max(1)
+}
+
+fn fmt_exprs(exprs: &[Expr]) -> String {
+    let v: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+    v.join(", ")
+}
+
+fn fmt_keys(keys: &[SortKey]) -> String {
+    let v: Vec<String> = keys
+        .iter()
+        .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { "" }))
+        .collect();
+    v.join(", ")
+}
+
+fn fmt_aggs(aggs: &[AggSpec]) -> String {
+    let v: Vec<String> = aggs
+        .iter()
+        .map(|a| {
+            if a.args.is_empty() {
+                format!("{}(*)", a.factory.name())
+            } else {
+                format!("{}({})", a.factory.name(), fmt_exprs(&a.args))
+            }
+        })
+        .collect();
+    v.join(", ")
+}
+
+/// Result of a query or statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Arc<Schema>,
+    pub rows: Vec<Row>,
+    /// Rows affected by DML (0 for SELECT).
+    pub affected: u64,
+}
+
+impl QueryResult {
+    pub fn empty() -> QueryResult {
+        QueryResult {
+            schema: Arc::new(Schema::empty()),
+            rows: Vec::new(),
+            affected: 0,
+        }
+    }
+
+    /// Render as an ASCII table (for the shell and the report harness).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let names: Vec<&str> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        out.push_str(&names.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(names.join(" | ").len().max(4)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Helper used by planners: build the output schema of a grouped
+/// aggregate (group columns then aggregate outputs).
+pub fn aggregate_schema(
+    input: &Schema,
+    group_exprs: &[Expr],
+    group_names: &[String],
+    aggs: &[AggSpec],
+) -> Result<Arc<Schema>> {
+    use seqdb_types::{Column, DataType};
+    let mut cols = Vec::with_capacity(group_exprs.len() + aggs.len());
+    for (e, name) in group_exprs.iter().zip(group_names) {
+        let dtype = match e {
+            Expr::Column { index, .. } => input.column(*index).dtype,
+            Expr::Literal(v) => v.data_type().unwrap_or(DataType::Text),
+            _ => DataType::Text,
+        };
+        cols.push(Column::new(name.clone(), dtype));
+    }
+    if group_names.len() != group_exprs.len() {
+        return Err(DbError::Plan("group name/expr arity mismatch".into()));
+    }
+    for a in aggs {
+        let dtype = match a.factory.name() {
+            "COUNT" => DataType::Int,
+            "AVG" => DataType::Float,
+            _ => match a.args.first() {
+                Some(Expr::Column { index, .. }) => input.column(*index).dtype,
+                _ => DataType::Int,
+            },
+        };
+        cols.push(Column::new(a.name.clone(), dtype));
+    }
+    Ok(Arc::new(Schema::new(cols)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::test_context;
+    use crate::expr::BinOp;
+    use crate::udx::CountAgg;
+    use seqdb_storage::rowfmt::Compression;
+    use seqdb_types::{Column, DataType};
+
+    fn setup() -> (ExecContext, Arc<Table>) {
+        let ctx = test_context();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int).not_null(),
+            Column::new("grp", DataType::Int),
+        ]);
+        let t = ctx
+            .catalog
+            .create_table("t", schema, Compression::Row, Some(vec![0]))
+            .unwrap();
+        for i in 0..100i64 {
+            t.insert(&Row::new(vec![Value::Int(i), Value::Int(i % 4)]))
+                .unwrap();
+        }
+        (ctx, t)
+    }
+
+    #[test]
+    fn composed_plan_runs() {
+        let (ctx, t) = setup();
+        let scan_schema = t.schema.clone();
+        let plan = Plan::TopN {
+            input: Box::new(Plan::HashAggregate {
+                input: Box::new(Plan::TableScan {
+                    table: t,
+                    filter: Some(Expr::binary(BinOp::Lt, Expr::col(0, "id"), Expr::lit(50))),
+                    projection: None,
+                    schema: scan_schema.clone(),
+                }),
+                group_exprs: vec![Expr::col(1, "grp")],
+                aggs: vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
+                schema: aggregate_schema(
+                    &scan_schema,
+                    &[Expr::col(1, "grp")],
+                    &["grp".to_string()],
+                    &[AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
+                )
+                .unwrap(),
+            }),
+            keys: vec![SortKey::desc(Expr::col(1, "cnt"))],
+            n: 2,
+        };
+        let rows = plan.run(&ctx).unwrap();
+        assert_eq!(rows.len(), 2);
+        // Groups 0,1 have 13 members (0..50 has 13 for grp 0,1; 12 for 2,3).
+        assert_eq!(rows[0][1], Value::Int(13));
+    }
+
+    #[test]
+    fn explain_renders_parallel_aggregate_like_figure9() {
+        let (_ctx, t) = setup();
+        let schema = t.schema.clone();
+        let plan = Plan::ParallelAggregate {
+            table: t,
+            filter: None,
+            group_exprs: vec![Expr::col(1, "grp")],
+            aggs: vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
+            dop: 4,
+            schema,
+        };
+        let ex = plan.explain();
+        assert!(ex.contains("Parallelism (Gather Streams) [DOP=4]"));
+        assert!(ex.contains("Hash Match (Aggregate, final)"));
+        assert!(ex.contains("Parallelism (Repartition Streams)"));
+        assert!(ex.contains("Table Scan [t] (parallel)"));
+    }
+
+    #[test]
+    fn explain_nests_children() {
+        let (_ctx, t) = setup();
+        let schema = t.schema.clone();
+        let plan = Plan::Filter {
+            input: Box::new(Plan::TableScan {
+                table: t,
+                filter: None,
+                projection: None,
+                schema,
+            }),
+            predicate: Expr::binary(BinOp::Gt, Expr::col(0, "id"), Expr::lit(5)),
+        };
+        let ex = plan.explain();
+        let lines: Vec<&str> = ex.lines().collect();
+        assert!(lines[0].starts_with("Filter"));
+        assert!(lines[1].starts_with("  Table Scan"));
+    }
+}

@@ -1,0 +1,40 @@
+//! seqdb storage engine.
+//!
+//! Implements the storage-layer features of SQL Server 2008 that the paper
+//! (*Röhm & Blakeley, CIDR 2009*) builds on:
+//!
+//! * slotted 8 KiB pages with heap files and a buffer pool ([`page`],
+//!   [`heap`], [`buffer`], [`pager`]);
+//! * **row compression** (variable-length numeric storage, §2.3.5) and
+//!   **page compression** (per-page column-prefix + dictionary, §2.3.5)
+//!   in [`rowfmt`] and [`pagec`];
+//! * B+-tree clustered indexes used by the paper's parallel merge join
+//!   (§5.3.3) in [`btree`];
+//! * **FileStream BLOBs** (§2.3.6): database-managed files with streaming
+//!   chunked access (`GetBytes` + `SequentialAccess` prefetch) in
+//!   [`filestream`];
+//! * spill-accounted temporary space for blocking operators ([`tempspace`]),
+//!   which makes the "huge intermediate result on the temporary tablespace"
+//!   of §5.3.3 measurable.
+
+pub mod buffer;
+pub mod btree;
+pub mod filestream;
+pub mod heap;
+pub mod keycode;
+pub mod page;
+pub mod pagec;
+pub mod pager;
+pub mod rowfmt;
+pub mod tempspace;
+pub mod varint;
+
+pub use buffer::BufferPool;
+pub use btree::BTree;
+pub use filestream::{FileStreamReader, FileStreamStore};
+pub use heap::{HeapFile, RecordId};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pagec::PageContext;
+pub use pager::{FilePager, MemPager, PageStore};
+pub use rowfmt::Compression;
+pub use tempspace::TempSpace;

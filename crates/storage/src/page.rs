@@ -1,0 +1,386 @@
+//! Slotted 8 KiB pages.
+//!
+//! Layout:
+//!
+//! ```text
+//! +--------------------+---------------------+----------------->      <-----------+
+//! | header (24 bytes)  | CI area (ci_len)    | record data ...   ...  | slot array |
+//! +--------------------+---------------------+----------------->      <-----------+
+//! ```
+//!
+//! The header stores a sibling pointer (`next_page`) used both for heap
+//! page chains and B+-tree leaf chains. The *CI area* holds the serialized
+//! page-compression context ([`crate::pagec::PageContext`]) on compressed
+//! pages. Records grow upward from the end of the CI area; the slot array
+//! (4 bytes per slot: `u16 offset`, `u16 len`) grows downward from the end
+//! of the page. A slot with `len == 0` is a deleted record.
+
+use seqdb_types::{DbError, Result};
+
+/// Size of every page, matching SQL Server's 8 KiB pages.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Page number within a pager; byte offset = `id * PAGE_SIZE`.
+pub type PageId = u64;
+
+/// Sentinel "no page" value used in sibling pointers.
+pub const NO_PAGE: PageId = u64::MAX;
+
+const MAGIC: u32 = 0x5351_4442; // "SQDB"
+const HEADER_LEN: usize = 24;
+const SLOT_LEN: usize = 4;
+
+// Header field offsets.
+const OFF_MAGIC: usize = 0;
+const OFF_TYPE: usize = 4;
+const OFF_FLAGS: usize = 5;
+const OFF_SLOTS: usize = 6;
+const OFF_FREE_START: usize = 8;
+const OFF_CI_LEN: usize = 10;
+const OFF_NEXT: usize = 12;
+const OFF_AUX: usize = 20; // u32 auxiliary field (B+-tree rightmost child low bits etc.)
+
+/// Kind of page; stored in the header so a pager can be inspected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageType {
+    Meta = 0,
+    Heap = 1,
+    BTreeLeaf = 2,
+    BTreeInternal = 3,
+}
+
+impl PageType {
+    fn from_u8(v: u8) -> Option<PageType> {
+        match v {
+            0 => Some(PageType::Meta),
+            1 => Some(PageType::Heap),
+            2 => Some(PageType::BTreeLeaf),
+            3 => Some(PageType::BTreeInternal),
+            _ => None,
+        }
+    }
+}
+
+/// Flag bit: the CI area contains a serialized compression context.
+pub const FLAG_COMPRESSED: u8 = 0b0000_0001;
+/// Flag bit: this page has already been through recompression (heap pages
+/// are recompressed at most once, when they first fill up).
+pub const FLAG_RECOMPRESSED: u8 = 0b0000_0010;
+
+/// An in-memory page image. The buffer is exactly [`PAGE_SIZE`] bytes and
+/// is what gets written to / read from the pager verbatim.
+#[derive(Clone)]
+pub struct Page {
+    buf: Box<[u8]>,
+}
+
+impl Page {
+    /// A fresh, formatted page of the given type.
+    pub fn new(ptype: PageType) -> Page {
+        let mut page = Page {
+            buf: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        };
+        page.write_u32(OFF_MAGIC, MAGIC);
+        page.buf[OFF_TYPE] = ptype as u8;
+        page.set_slot_count(0);
+        page.set_free_start(HEADER_LEN as u16);
+        page.set_ci_len(0);
+        page.set_next_page(NO_PAGE);
+        page
+    }
+
+    /// Wrap a raw buffer read from disk, validating the magic number.
+    pub fn from_bytes(buf: Box<[u8]>) -> Result<Page> {
+        if buf.len() != PAGE_SIZE {
+            return Err(DbError::Storage(format!(
+                "page buffer has {} bytes, expected {PAGE_SIZE}",
+                buf.len()
+            )));
+        }
+        let page = Page { buf };
+        if page.read_u32(OFF_MAGIC) != MAGIC {
+            return Err(DbError::Storage("bad page magic".into()));
+        }
+        PageType::from_u8(page.buf[OFF_TYPE])
+            .ok_or_else(|| DbError::Storage("unknown page type".into()))?;
+        Ok(page)
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    pub fn page_type(&self) -> PageType {
+        PageType::from_u8(self.buf[OFF_TYPE]).expect("validated at construction")
+    }
+
+    pub fn flags(&self) -> u8 {
+        self.buf[OFF_FLAGS]
+    }
+
+    pub fn set_flag(&mut self, flag: u8) {
+        self.buf[OFF_FLAGS] |= flag;
+    }
+
+    pub fn has_flag(&self, flag: u8) -> bool {
+        self.buf[OFF_FLAGS] & flag != 0
+    }
+
+    pub fn next_page(&self) -> PageId {
+        self.read_u64(OFF_NEXT)
+    }
+
+    pub fn set_next_page(&mut self, id: PageId) {
+        self.write_u64(OFF_NEXT, id);
+    }
+
+    pub fn aux(&self) -> u32 {
+        self.read_u32(OFF_AUX)
+    }
+
+    pub fn set_aux(&mut self, v: u32) {
+        self.write_u32(OFF_AUX, v);
+    }
+
+    pub fn slot_count(&self) -> usize {
+        self.read_u16(OFF_SLOTS) as usize
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.write_u16(OFF_SLOTS, n);
+    }
+
+    fn free_start(&self) -> usize {
+        self.read_u16(OFF_FREE_START) as usize
+    }
+
+    fn set_free_start(&mut self, v: u16) {
+        self.write_u16(OFF_FREE_START, v);
+    }
+
+    fn ci_len(&self) -> usize {
+        self.read_u16(OFF_CI_LEN) as usize
+    }
+
+    fn set_ci_len(&mut self, v: u16) {
+        self.write_u16(OFF_CI_LEN, v);
+    }
+
+    /// The serialized compression-context area (empty slice if none).
+    pub fn ci_area(&self) -> &[u8] {
+        &self.buf[HEADER_LEN..HEADER_LEN + self.ci_len()]
+    }
+
+    /// Bytes available for one more record (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        let slots_end = PAGE_SIZE - self.slot_count() * SLOT_LEN;
+        slots_end
+            .saturating_sub(self.free_start())
+            .saturating_sub(SLOT_LEN)
+    }
+
+    /// Insert a record, returning its slot number, or `None` if the page
+    /// cannot hold it. Empty records are rejected (`len == 0` marks a
+    /// deleted slot; engine rows are never empty — they always carry at
+    /// least a null bitmap byte).
+    pub fn insert(&mut self, record: &[u8]) -> Option<u16> {
+        if record.is_empty() || record.len() > u16::MAX as usize || record.len() > self.free_space()
+        {
+            return None;
+        }
+        let off = self.free_start();
+        self.buf[off..off + record.len()].copy_from_slice(record);
+        let slot = self.slot_count() as u16;
+        self.write_slot(slot, off as u16, record.len() as u16);
+        self.set_slot_count(slot + 1);
+        self.set_free_start((off + record.len()) as u16);
+        Some(slot)
+    }
+
+    /// Record bytes in `slot`, or `None` if out of range or deleted.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if (slot as usize) >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.read_slot(slot);
+        if len == 0 {
+            return None;
+        }
+        Some(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Mark `slot` deleted. Space is reclaimed by [`Page::rebuild`].
+    pub fn delete(&mut self, slot: u16) -> bool {
+        if (slot as usize) >= self.slot_count() {
+            return false;
+        }
+        let (off, len) = self.read_slot(slot);
+        if len == 0 {
+            return false;
+        }
+        self.write_slot(slot, off, 0);
+        true
+    }
+
+    /// Iterate live `(slot, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count() as u16).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+
+    /// Number of live (non-deleted) records.
+    pub fn live_count(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Rewrite the page with a new CI area and record set, preserving type,
+    /// flags and sibling pointer. Returns `false` (leaving `self` intact)
+    /// if the records do not fit.
+    pub fn rebuild(&mut self, ci: &[u8], records: &[Vec<u8>]) -> bool {
+        let mut fresh = Page::new(self.page_type());
+        fresh.buf[OFF_FLAGS] = self.buf[OFF_FLAGS];
+        fresh.set_next_page(self.next_page());
+        fresh.set_aux(self.aux());
+        if HEADER_LEN + ci.len() > PAGE_SIZE / 2 || ci.len() > u16::MAX as usize {
+            return false;
+        }
+        fresh.buf[HEADER_LEN..HEADER_LEN + ci.len()].copy_from_slice(ci);
+        fresh.set_ci_len(ci.len() as u16);
+        fresh.set_free_start((HEADER_LEN + ci.len()) as u16);
+        for r in records {
+            if fresh.insert(r).is_none() {
+                return false;
+            }
+        }
+        *self = fresh;
+        true
+    }
+
+    /// Fraction of the page occupied by record data (diagnostics).
+    pub fn fill_factor(&self) -> f64 {
+        let used = self.free_start() - HEADER_LEN + self.slot_count() * SLOT_LEN;
+        used as f64 / (PAGE_SIZE - HEADER_LEN) as f64
+    }
+
+    fn read_slot(&self, slot: u16) -> (u16, u16) {
+        let base = PAGE_SIZE - (slot as usize + 1) * SLOT_LEN;
+        (
+            u16::from_le_bytes([self.buf[base], self.buf[base + 1]]),
+            u16::from_le_bytes([self.buf[base + 2], self.buf[base + 3]]),
+        )
+    }
+
+    fn write_slot(&mut self, slot: u16, off: u16, len: u16) {
+        let base = PAGE_SIZE - (slot as usize + 1) * SLOT_LEN;
+        self.buf[base..base + 2].copy_from_slice(&off.to_le_bytes());
+        self.buf[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.buf[off..off + 2].try_into().unwrap())
+    }
+    fn write_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+    fn read_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.buf[off..off + 4].try_into().unwrap())
+    }
+    fn write_u32(&mut self, off: usize, v: u32) {
+        self.buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.buf[off..off + 8].try_into().unwrap())
+    }
+    fn write_u64(&mut self, off: usize, v: u64) {
+        self.buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("type", &self.page_type())
+            .field("slots", &self.slot_count())
+            .field("live", &self.live_count())
+            .field("free", &self.free_space())
+            .field("ci_len", &self.ci_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_delete() {
+        let mut p = Page::new(PageType::Heap);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.slot_count(), 2);
+        assert!(p.delete(a));
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.live_count(), 1);
+        assert!(!p.delete(a), "double delete is a no-op");
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = Page::new(PageType::Heap);
+        let rec = vec![7u8; 100];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 8192 - 24 header over 104 bytes/record ≈ 78 records
+        assert!((70..=80).contains(&n), "fit {n} records");
+        assert!(p.free_space() < 104);
+    }
+
+    #[test]
+    fn rebuild_with_ci_preserves_links_and_records() {
+        let mut p = Page::new(PageType::Heap);
+        p.set_next_page(42);
+        p.insert(b"aaa").unwrap();
+        p.insert(b"bbb").unwrap();
+        let records: Vec<Vec<u8>> = p.iter().map(|(_, r)| r.to_vec()).collect();
+        assert!(p.rebuild(b"CTX", &records));
+        assert_eq!(p.ci_area(), b"CTX");
+        assert_eq!(p.next_page(), 42);
+        assert_eq!(p.get(0), Some(&b"aaa"[..]));
+        assert_eq!(p.get(1), Some(&b"bbb"[..]));
+    }
+
+    #[test]
+    fn from_bytes_validates_magic() {
+        let raw = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        assert!(Page::from_bytes(raw).is_err());
+        let p = Page::new(PageType::BTreeLeaf);
+        let back = Page::from_bytes(p.buf.clone()).unwrap();
+        assert_eq!(back.page_type(), PageType::BTreeLeaf);
+    }
+
+    proptest! {
+        #[test]
+        fn records_roundtrip(recs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..200), 1..40)) {
+            let mut p = Page::new(PageType::Heap);
+            let mut stored = Vec::new();
+            for r in &recs {
+                if let Some(slot) = p.insert(r) {
+                    stored.push((slot, r.clone()));
+                }
+            }
+            for (slot, r) in &stored {
+                prop_assert_eq!(p.get(*slot), Some(r.as_slice()));
+            }
+            prop_assert_eq!(p.live_count(), stored.len());
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Schema-aware record (de)serialization with three storage formats,
+//! mirroring SQL Server 2008 `DATA_COMPRESSION = NONE | ROW | PAGE`
+//! (paper §2.3.5).
+//!
+//! * `None` — fixed-width numerics, length-prefixed strings;
+//! * `Row`  — variable-length (zigzag varint) numerics and lengths;
+//! * `Page` — row format plus a per-page [`PageContext`] providing
+//!   column-prefix and dictionary encodings (see [`crate::pagec`]).
+//!
+//! The record layout is: null bitmap (`ceil(ncols/8)` bytes, bit set =
+//! NULL) followed by each non-null column value.
+
+use std::sync::Arc;
+
+use seqdb_types::{DataType, DbError, Result, Row, Schema, Value};
+
+use crate::pagec::PageContext;
+use crate::varint;
+
+/// Table-level compression setting (`WITH (DATA_COMPRESSION = ...)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Compression {
+    #[default]
+    None,
+    Row,
+    Page,
+}
+
+impl Compression {
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            Compression::None => "NONE",
+            Compression::Row => "ROW",
+            Compression::Page => "PAGE",
+        }
+    }
+
+    pub fn from_sql_name(s: &str) -> Option<Compression> {
+        match s.to_ascii_uppercase().as_str() {
+            "NONE" => Some(Compression::None),
+            "ROW" => Some(Compression::Row),
+            "PAGE" => Some(Compression::Page),
+            _ => None,
+        }
+    }
+}
+
+/// Value encoding tags used inside page-compressed records.
+const TAG_INLINE: u8 = 0;
+const TAG_PREFIX: u8 = 1;
+const TAG_DICT: u8 = 2;
+
+/// Encode one value in the *fixed* (no-compression) format. Integers are
+/// stored as 4 bytes when they fit `i32` (SQL Server's `INT`) and as
+/// 8 bytes otherwise (`BIGINT`), discriminated by a width byte.
+fn encode_value_fixed(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => unreachable!("nulls are in the bitmap"),
+        Value::Bool(b) => out.push(*b as u8),
+        Value::Int(i) => {
+            if let Ok(small) = i32::try_from(*i) {
+                out.push(0);
+                out.extend_from_slice(&small.to_le_bytes());
+            } else {
+                out.push(1);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+        Value::Float(f) => out.extend_from_slice(&f.to_le_bytes()),
+        Value::Text(s) => {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        Value::Guid(g) => out.extend_from_slice(&g.to_be_bytes()),
+    }
+}
+
+/// Encode one value in the *row-compressed* format (varint numerics and
+/// lengths). This is also the "canonical" byte form used as dictionary keys
+/// by page compression.
+pub(crate) fn encode_value_row(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => unreachable!("nulls are in the bitmap"),
+        Value::Bool(b) => out.push(*b as u8),
+        Value::Int(i) => varint::write_i64(out, *i),
+        Value::Float(f) => out.extend_from_slice(&f.to_le_bytes()),
+        Value::Text(s) => {
+            varint::write_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            varint::write_u64(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Value::Guid(g) => out.extend_from_slice(&g.to_be_bytes()),
+    }
+}
+
+fn decode_value_fixed(buf: &[u8], pos: &mut usize, dtype: DataType) -> Result<Value> {
+    let trunc = || DbError::Storage("truncated record".into());
+    let take = |buf: &[u8], pos: &mut usize, n: usize| -> Result<Vec<u8>> {
+        let end = pos.checked_add(n).ok_or_else(trunc)?;
+        let s = buf.get(*pos..end).ok_or_else(trunc)?.to_vec();
+        *pos = end;
+        Ok(s)
+    };
+    Ok(match dtype {
+        DataType::Bool => {
+            let b = take(buf, pos, 1)?;
+            Value::Bool(b[0] != 0)
+        }
+        DataType::Int => {
+            let w = take(buf, pos, 1)?;
+            if w[0] == 0 {
+                let b = take(buf, pos, 4)?;
+                Value::Int(i32::from_le_bytes(b.try_into().unwrap()) as i64)
+            } else {
+                let b = take(buf, pos, 8)?;
+                Value::Int(i64::from_le_bytes(b.try_into().unwrap()))
+            }
+        }
+        DataType::Float => {
+            let b = take(buf, pos, 8)?;
+            Value::Float(f64::from_le_bytes(b.try_into().unwrap()))
+        }
+        DataType::Text => {
+            let l = take(buf, pos, 4)?;
+            let n = u32::from_le_bytes(l.try_into().unwrap()) as usize;
+            let b = take(buf, pos, n)?;
+            let s = String::from_utf8(b)
+                .map_err(|_| DbError::Storage("non-utf8 text in record".into()))?;
+            Value::Text(Arc::from(s.as_str()))
+        }
+        DataType::Bytes => {
+            let l = take(buf, pos, 4)?;
+            let n = u32::from_le_bytes(l.try_into().unwrap()) as usize;
+            Value::Bytes(Arc::from(take(buf, pos, n)?.as_slice()))
+        }
+        DataType::Guid => {
+            let b = take(buf, pos, 16)?;
+            Value::Guid(u128::from_be_bytes(b.try_into().unwrap()))
+        }
+    })
+}
+
+pub(crate) fn decode_value_row(buf: &[u8], pos: &mut usize, dtype: DataType) -> Result<Value> {
+    let trunc = || DbError::Storage("truncated record".into());
+    Ok(match dtype {
+        DataType::Bool => {
+            let b = *buf.get(*pos).ok_or_else(trunc)?;
+            *pos += 1;
+            Value::Bool(b != 0)
+        }
+        DataType::Int => Value::Int(varint::read_i64(buf, pos).ok_or_else(trunc)?),
+        DataType::Float => {
+            let end = *pos + 8;
+            let b = buf.get(*pos..end).ok_or_else(trunc)?;
+            let v = f64::from_le_bytes(b.try_into().unwrap());
+            *pos = end;
+            Value::Float(v)
+        }
+        DataType::Text => {
+            let n = varint::read_u64(buf, pos).ok_or_else(trunc)? as usize;
+            let end = pos.checked_add(n).ok_or_else(trunc)?;
+            let b = buf.get(*pos..end).ok_or_else(trunc)?;
+            let s = std::str::from_utf8(b)
+                .map_err(|_| DbError::Storage("non-utf8 text in record".into()))?;
+            let v = Value::Text(Arc::from(s));
+            *pos = end;
+            v
+        }
+        DataType::Bytes => {
+            let n = varint::read_u64(buf, pos).ok_or_else(trunc)? as usize;
+            let end = pos.checked_add(n).ok_or_else(trunc)?;
+            let b = buf.get(*pos..end).ok_or_else(trunc)?;
+            let v = Value::Bytes(Arc::from(b));
+            *pos = end;
+            v
+        }
+        DataType::Guid => {
+            let end = *pos + 16;
+            let b = buf.get(*pos..end).ok_or_else(trunc)?;
+            let v = Value::Guid(u128::from_be_bytes(b.try_into().unwrap()));
+            *pos = end;
+            v
+        }
+    })
+}
+
+/// Raw byte payload of a Text/Bytes value for prefix matching.
+fn raw_payload(v: &Value) -> Option<&[u8]> {
+    match v {
+        Value::Text(s) => Some(s.as_bytes()),
+        Value::Bytes(b) => Some(b),
+        _ => None,
+    }
+}
+
+/// Encode one value in page-compressed format against a [`PageContext`]:
+/// picks the cheapest of dictionary token, column-prefix suffix, or inline.
+fn encode_value_page(out: &mut Vec<u8>, v: &Value, col: usize, ctx: &PageContext) {
+    // Canonical form for dictionary lookup.
+    let mut canon = Vec::new();
+    encode_value_row(&mut canon, v);
+
+    let inline_cost = 1 + canon.len();
+
+    let dict_choice = ctx.dict_lookup(&canon).map(|id| {
+        let cost = 1 + varint::len_u64(id as u64);
+        (id, cost)
+    });
+
+    let prefix_choice = raw_payload(v).and_then(|payload| {
+        let prefix = ctx.prefix(col);
+        if prefix.is_empty() {
+            return None;
+        }
+        let use_len = common_prefix_len(prefix, payload);
+        if use_len < 2 {
+            return None;
+        }
+        let suffix = &payload[use_len..];
+        let cost =
+            1 + varint::len_u64(use_len as u64) + varint::len_u64(suffix.len() as u64) + suffix.len();
+        Some((use_len, cost))
+    });
+
+    let dict_cost = dict_choice.map(|(_, c)| c).unwrap_or(usize::MAX);
+    let prefix_cost = prefix_choice.map(|(_, c)| c).unwrap_or(usize::MAX);
+
+    if dict_cost <= prefix_cost && dict_cost < inline_cost {
+        let (id, _) = dict_choice.unwrap();
+        out.push(TAG_DICT);
+        varint::write_u64(out, id as u64);
+    } else if prefix_cost < inline_cost {
+        let (use_len, _) = prefix_choice.unwrap();
+        let payload = raw_payload(v).unwrap();
+        out.push(TAG_PREFIX);
+        varint::write_u64(out, use_len as u64);
+        varint::write_u64(out, (payload.len() - use_len) as u64);
+        out.extend_from_slice(&payload[use_len..]);
+    } else {
+        out.push(TAG_INLINE);
+        out.extend_from_slice(&canon);
+    }
+}
+
+fn decode_value_page(
+    buf: &[u8],
+    pos: &mut usize,
+    dtype: DataType,
+    ctx: &PageContext,
+    col: usize,
+) -> Result<Value> {
+    let trunc = || DbError::Storage("truncated record".into());
+    let tag = *buf.get(*pos).ok_or_else(trunc)?;
+    *pos += 1;
+    match tag {
+        TAG_INLINE => decode_value_row(buf, pos, dtype),
+        TAG_DICT => {
+            let id = varint::read_u64(buf, pos).ok_or_else(trunc)? as usize;
+            let canon = ctx
+                .dict_entry(id)
+                .ok_or_else(|| DbError::Storage(format!("dangling dictionary id {id}")))?;
+            let mut p = 0;
+            decode_value_row(canon, &mut p, dtype)
+        }
+        TAG_PREFIX => {
+            let use_len = varint::read_u64(buf, pos).ok_or_else(trunc)? as usize;
+            let suf_len = varint::read_u64(buf, pos).ok_or_else(trunc)? as usize;
+            let end = pos.checked_add(suf_len).ok_or_else(trunc)?;
+            let suffix = buf.get(*pos..end).ok_or_else(trunc)?;
+            let prefix = ctx.prefix(col);
+            if use_len > prefix.len() {
+                return Err(DbError::Storage("prefix reference out of range".into()));
+            }
+            let mut payload = Vec::with_capacity(use_len + suf_len);
+            payload.extend_from_slice(&prefix[..use_len]);
+            payload.extend_from_slice(suffix);
+            *pos = end;
+            match dtype {
+                DataType::Text => {
+                    let s = String::from_utf8(payload)
+                        .map_err(|_| DbError::Storage("non-utf8 text in record".into()))?;
+                    Ok(Value::Text(Arc::from(s.as_str())))
+                }
+                DataType::Bytes => Ok(Value::Bytes(Arc::from(payload.as_slice()))),
+                other => Err(DbError::Storage(format!(
+                    "prefix encoding on non-string column of type {other}"
+                ))),
+            }
+        }
+        t => Err(DbError::Storage(format!("unknown value tag {t}"))),
+    }
+}
+
+pub(crate) fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Serialize a row. `ctx` must be `Some` iff `comp == Compression::Page`
+/// *and* the containing page has built a compression context; a page-
+/// compressed table's open page encodes rows in plain row format until it
+/// is recompressed.
+pub fn encode_row(
+    schema: &Schema,
+    row: &Row,
+    comp: Compression,
+    ctx: Option<&PageContext>,
+) -> Vec<u8> {
+    debug_assert_eq!(row.len(), schema.len());
+    let nbitmap = schema.len().div_ceil(8);
+    let mut out = vec![0u8; nbitmap];
+    for (i, v) in row.values().iter().enumerate() {
+        if v.is_null() {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    for (i, v) in row.values().iter().enumerate() {
+        if v.is_null() {
+            continue;
+        }
+        // FILESTREAM columns may hold either the blob's GUID reference or
+        // (rarely) small inline bytes; a marker byte distinguishes them.
+        // They bypass page compression — the payload lives outside the
+        // page anyway.
+        if schema.column(i).filestream {
+            match v {
+                Value::Guid(g) => {
+                    out.push(0);
+                    out.extend_from_slice(&g.to_be_bytes());
+                }
+                Value::Bytes(b) => {
+                    out.push(1);
+                    varint::write_u64(&mut out, b.len() as u64);
+                    out.extend_from_slice(b);
+                }
+                other => unreachable!("schema check admits Guid/Bytes, got {other:?}"),
+            }
+            continue;
+        }
+        match (comp, ctx) {
+            (Compression::None, _) => encode_value_fixed(&mut out, v),
+            (Compression::Row, _) | (Compression::Page, None) => encode_value_row(&mut out, v),
+            (Compression::Page, Some(ctx)) => encode_value_page(&mut out, v, i, ctx),
+        }
+    }
+    out
+}
+
+/// Deserialize a row previously produced by [`encode_row`] with the same
+/// schema/compression/context.
+pub fn decode_row(
+    schema: &Schema,
+    buf: &[u8],
+    comp: Compression,
+    ctx: Option<&PageContext>,
+) -> Result<Row> {
+    let nbitmap = schema.len().div_ceil(8);
+    if buf.len() < nbitmap {
+        return Err(DbError::Storage("record shorter than null bitmap".into()));
+    }
+    let mut pos = nbitmap;
+    let mut vals = Vec::with_capacity(schema.len());
+    for (i, col) in schema.columns().iter().enumerate() {
+        if buf[i / 8] & (1 << (i % 8)) != 0 {
+            vals.push(Value::Null);
+            continue;
+        }
+        if col.filestream {
+            let trunc = || DbError::Storage("truncated record".into());
+            let marker = *buf.get(pos).ok_or_else(trunc)?;
+            pos += 1;
+            let v = match marker {
+                0 => {
+                    let end = pos + 16;
+                    let raw = buf.get(pos..end).ok_or_else(trunc)?;
+                    let g = u128::from_be_bytes(raw.try_into().unwrap());
+                    pos = end;
+                    Value::Guid(g)
+                }
+                1 => {
+                    let n = varint::read_u64(buf, &mut pos).ok_or_else(trunc)? as usize;
+                    let end = pos.checked_add(n).ok_or_else(trunc)?;
+                    let b = buf.get(pos..end).ok_or_else(trunc)?;
+                    let v = Value::Bytes(Arc::from(b));
+                    pos = end;
+                    v
+                }
+                m => {
+                    return Err(DbError::Storage(format!(
+                        "unknown filestream column marker {m}"
+                    )))
+                }
+            };
+            vals.push(v);
+            continue;
+        }
+        let v = match (comp, ctx) {
+            (Compression::None, _) => decode_value_fixed(buf, &mut pos, col.dtype)?,
+            (Compression::Row, _) | (Compression::Page, None) => {
+                decode_value_row(buf, &mut pos, col.dtype)?
+            }
+            (Compression::Page, Some(ctx)) => decode_value_page(buf, &mut pos, col.dtype, ctx, i)?,
+        };
+        vals.push(v);
+    }
+    Ok(Row::new(vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdb_types::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("q", DataType::Float),
+            Column::new("flag", DataType::Bool),
+            Column::new("payload", DataType::Bytes),
+            Column::new("guid", DataType::Guid),
+        ])
+    }
+
+    fn sample_row() -> Row {
+        Row::new(vec![
+            Value::Int(-42),
+            Value::text("IL4_855:1:1:954:659"),
+            Value::Float(0.125),
+            Value::Bool(true),
+            Value::bytes(b"\x00\x01\x02"),
+            Value::Guid(0xdeadbeef),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_none_and_row() {
+        let s = schema();
+        let r = sample_row();
+        for comp in [Compression::None, Compression::Row] {
+            let enc = encode_row(&s, &r, comp, None);
+            let dec = decode_row(&s, &enc, comp, None).unwrap();
+            assert_eq!(dec, r, "{comp:?}");
+        }
+    }
+
+    #[test]
+    fn row_compression_is_smaller_for_small_ints() {
+        let s = Schema::new(vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]);
+        let r = Row::new(vec![Value::Int(3), Value::Int(-7)]);
+        let none = encode_row(&s, &r, Compression::None, None);
+        let rowc = encode_row(&s, &r, Compression::Row, None);
+        assert!(rowc.len() < none.len(), "{} !< {}", rowc.len(), none.len());
+    }
+
+    #[test]
+    fn nulls_roundtrip() {
+        let s = schema();
+        let r = Row::new(vec![
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ]);
+        for comp in [Compression::None, Compression::Row] {
+            let enc = encode_row(&s, &r, comp, None);
+            assert_eq!(enc.len(), 1); // just the bitmap
+            let dec = decode_row(&s, &enc, comp, None).unwrap();
+            assert_eq!(dec, r);
+        }
+    }
+
+    #[test]
+    fn truncated_record_is_an_error_not_a_panic() {
+        let s = schema();
+        let enc = encode_row(&s, &sample_row(), Compression::Row, None);
+        for cut in 0..enc.len() {
+            let _ = decode_row(&s, &enc[..cut], Compression::Row, None);
+        }
+    }
+
+    #[test]
+    fn page_mode_without_context_acts_like_row() {
+        let s = schema();
+        let r = sample_row();
+        let row_enc = encode_row(&s, &r, Compression::Row, None);
+        let page_enc = encode_row(&s, &r, Compression::Page, None);
+        assert_eq!(row_enc, page_enc);
+        let dec = decode_row(&s, &page_enc, Compression::Page, None).unwrap();
+        assert_eq!(dec, r);
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Scalar data types of the seqdb engine.
+///
+/// This mirrors the subset of the SQL Server scalar type system the paper's
+/// prototype uses: integers, floats, (n)varchar, varbinary (including the
+/// `FILESTREAM` flavour, which is a storage attribute on the column, see
+/// [`crate::Column::filestream`]), `uniqueidentifier` and bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean (`BIT`).
+    Bool,
+    /// 64-bit signed integer (`INT`/`BIGINT` are collapsed into one type).
+    Int,
+    /// 64-bit IEEE float (`FLOAT`).
+    Float,
+    /// UTF-8 string (`VARCHAR`/`NVARCHAR`).
+    Text,
+    /// Byte string (`VARBINARY(MAX)`), possibly stored as a FileStream.
+    Bytes,
+    /// 128-bit GUID (`UNIQUEIDENTIFIER`), used as FileStream row ids.
+    Guid,
+}
+
+impl DataType {
+    /// SQL-facing name used in error messages and `EXPLAIN` output.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Bool => "BIT",
+            DataType::Int => "BIGINT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "VARCHAR",
+            DataType::Bytes => "VARBINARY",
+            DataType::Guid => "UNIQUEIDENTIFIER",
+        }
+    }
+
+    /// Parse a SQL type name (as produced by the seqdb-sql lexer, already
+    /// uppercased) into a `DataType`. Length arguments such as
+    /// `VARCHAR(50)` are stripped by the parser before this is called.
+    pub fn from_sql_name(name: &str) -> Option<DataType> {
+        match name {
+            "BIT" | "BOOL" | "BOOLEAN" => Some(DataType::Bool),
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" => Some(DataType::Int),
+            "FLOAT" | "REAL" | "DOUBLE" => Some(DataType::Float),
+            "VARCHAR" | "NVARCHAR" | "CHAR" | "NCHAR" | "TEXT" => Some(DataType::Text),
+            "VARBINARY" | "BINARY" | "BLOB" => Some(DataType::Bytes),
+            "UNIQUEIDENTIFIER" | "GUID" => Some(DataType::Guid),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_names_roundtrip() {
+        for dt in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bytes,
+            DataType::Guid,
+        ] {
+            assert_eq!(DataType::from_sql_name(dt.sql_name()), Some(dt));
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!(DataType::from_sql_name("INT"), Some(DataType::Int));
+        assert_eq!(DataType::from_sql_name("NVARCHAR"), Some(DataType::Text));
+        assert_eq!(DataType::from_sql_name("GEOGRAPHY"), None);
+    }
+}

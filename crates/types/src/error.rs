@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Convenience alias used across all seqdb crates.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+/// The error type shared by every layer of seqdb.
+///
+/// Variants are grouped by the subsystem that raises them so that callers
+/// (tests, the SQL shell, the benchmark harness) can report precise causes
+/// without each crate defining its own error enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Underlying I/O failure. The `std::io::Error` is stringified because
+    /// `io::Error` is neither `Clone` nor `PartialEq`.
+    Io(String),
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A statement referenced a missing table/column/function or violated
+    /// schema rules (e.g. inserting a `Text` into an `Int` column).
+    Schema(String),
+    /// The planner could not produce a plan for a (parsed, bound) statement.
+    Plan(String),
+    /// Runtime failure during query execution (type mismatch discovered at
+    /// run time, user-defined function error, arithmetic error, ...).
+    Execution(String),
+    /// Storage-layer invariant violation (page overflow, corrupt record,
+    /// missing blob, ...).
+    Storage(String),
+    /// Primary-key or not-null constraint violation.
+    Constraint(String),
+    /// A named object (table, index, blob, function) does not exist.
+    NotFound(String),
+    /// Valid input requesting a feature seqdb does not implement.
+    Unsupported(String),
+    /// Malformed genomic input data (bad FASTQ record, invalid base, ...).
+    InvalidData(String),
+}
+
+impl DbError {
+    /// Helper used by storage code to wrap `std::io::Error`.
+    pub fn io(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(m) => write!(f, "i/o error: {m}"),
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Plan(m) => write!(f, "plan error: {m}"),
+            DbError::Execution(m) => write!(f, "execution error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::NotFound(m) => write!(f, "not found: {m}"),
+            DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::InvalidData(m) => write!(f, "invalid data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_subsystem_and_message() {
+        let e = DbError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        let e = DbError::Constraint("duplicate key".into());
+        assert!(e.to_string().contains("constraint violation"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DbError = ioe.into();
+        assert!(matches!(e, DbError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,229 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{DataType, DbError, Result, Row, Value};
+
+/// A column definition: name, type, nullability and whether the column's
+/// BLOB payload is stored as a FileStream (paper §2.3.6) rather than inline
+/// in the row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+    /// `VARBINARY(MAX) FILESTREAM`: the row stores a GUID reference; the
+    /// payload lives as a file in the database-managed blob directory.
+    pub filestream: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: true,
+            filestream: false,
+        }
+    }
+
+    pub fn not_null(mut self) -> Column {
+        self.nullable = false;
+        self
+    }
+
+    pub fn filestream(mut self) -> Column {
+        self.filestream = true;
+        self
+    }
+}
+
+/// An ordered set of columns. Wrapped in `Arc` internally everywhere it is
+/// shared between operators.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    pub fn empty() -> Schema {
+        Schema { columns: vec![] }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Case-insensitive column lookup (T-SQL identifiers are
+    /// case-insensitive).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but returns a schema error naming the
+    /// missing column.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| {
+            DbError::Schema(format!(
+                "column '{name}' not found (have: {})",
+                self.columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Concatenate two schemas (joins, CROSS APPLY).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Schema produced by projecting onto `indices`.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+
+    /// Validate a row against this schema: arity, types and NOT NULL.
+    pub fn check_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::Schema(format!(
+                "row has {} values, table has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.values().iter().zip(&self.columns) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(DbError::Constraint(format!(
+                        "NULL in NOT NULL column '{}'",
+                        c.name
+                    )));
+                }
+                continue;
+            }
+            // FILESTREAM columns store a GUID reference to the blob; both
+            // the GUID and (small, inline) raw bytes are acceptable.
+            if c.filestream && matches!(v, Value::Guid(_)) {
+                continue;
+            }
+            if !v.matches_type(c.dtype) {
+                return Err(DbError::Schema(format!(
+                    "value of type {} does not fit column '{}' of type {}",
+                    v.type_name(),
+                    c.name,
+                    c.dtype
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Coerce integer literals into FLOAT columns in-place. Applied on
+    /// insert so stored rows always carry the declared type.
+    pub fn coerce_row(&self, row: &mut Row) {
+        for (v, c) in row.0.iter_mut().zip(&self.columns) {
+            if c.dtype == DataType::Float {
+                if let Value::Int(i) = v {
+                    *v = Value::Float(*i as f64);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+            if !c.nullable {
+                write!(f, " NOT NULL")?;
+            }
+            if c.filestream {
+                write!(f, " FILESTREAM")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int).not_null(),
+            Column::new("seq", DataType::Text),
+            Column::new("reads", DataType::Bytes).filestream(),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("SEQ"), Some(1));
+        assert_eq!(s.index_of("Id"), Some(0));
+        assert!(s.resolve("missing").is_err());
+    }
+
+    #[test]
+    fn check_row_rejects_bad_arity_type_and_null() {
+        let s = sample();
+        let ok = Row::new(vec![Value::Int(1), Value::text("ACGT"), Value::bytes(b"x")]);
+        assert!(s.check_row(&ok).is_ok());
+
+        let short = Row::new(vec![Value::Int(1)]);
+        assert!(s.check_row(&short).is_err());
+
+        let bad_type = Row::new(vec![Value::text("x"), Value::Null, Value::Null]);
+        assert!(matches!(s.check_row(&bad_type), Err(DbError::Schema(_))));
+
+        let null_pk = Row::new(vec![Value::Null, Value::Null, Value::Null]);
+        assert!(matches!(s.check_row(&null_pk), Err(DbError::Constraint(_))));
+    }
+
+    #[test]
+    fn coerce_int_literal_into_float_column() {
+        let s = Schema::new(vec![Column::new("x", DataType::Float)]);
+        let mut r = Row::new(vec![Value::Int(3)]);
+        s.coerce_row(&mut r);
+        assert_eq!(r[0], Value::Float(3.0));
+    }
+
+    #[test]
+    fn display_mentions_filestream() {
+        let s = sample();
+        let d = s.to_string();
+        assert!(d.contains("reads VARBINARY FILESTREAM"));
+        assert!(d.contains("id BIGINT NOT NULL"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Failure injection and model-based property tests across crates.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use seqdb::engine::Database;
+use seqdb::sql::DatabaseSqlExt;
+use seqdb::storage::{BTree, BufferPool, MemPager, Page, PAGE_SIZE};
+use seqdb::types::{DbError, Value};
+
+// ----------------------------------------------------------------------
+// Failure injection
+// ----------------------------------------------------------------------
+
+#[test]
+fn corrupt_page_magic_is_an_error_not_a_panic() {
+    let raw = vec![0xAAu8; PAGE_SIZE].into_boxed_slice();
+    assert!(matches!(Page::from_bytes(raw), Err(DbError::Storage(_))));
+    let short = vec![0u8; 100].into_boxed_slice();
+    assert!(Page::from_bytes(short).is_err());
+}
+
+#[test]
+fn deleted_blob_surfaces_as_not_found_in_sql() {
+    let db = Database::in_memory();
+    seqdb::core::udx::register_udx(&db, None);
+    seqdb::core::schema::create_filestream_schema(&db, "").unwrap();
+    let fq = b"@r1\nACGT\n+\nIIII\n";
+    let guid = db.filestream().insert(fq).unwrap();
+    db.catalog()
+        .table("ShortReadFiles")
+        .unwrap()
+        .insert(&seqdb::types::Row::new(vec![
+            Value::Guid(guid),
+            Value::Int(1),
+            Value::Int(1),
+            Value::Guid(guid),
+        ]))
+        .unwrap();
+    // Works before deletion...
+    let r = db
+        .query_sql("SELECT COUNT(*) FROM ListShortReads(1, 1, 'FastQ')")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    // ...then the blob vanishes behind the database's back.
+    db.filestream().delete(guid).unwrap();
+    let err = db
+        .query_sql("SELECT COUNT(*) FROM ListShortReads(1, 1, 'FastQ')")
+        .unwrap_err();
+    assert!(matches!(err, DbError::NotFound(_)), "{err}");
+}
+
+#[test]
+fn malformed_blob_content_fails_cleanly() {
+    let db = Database::in_memory();
+    seqdb::core::udx::register_udx(&db, None);
+    seqdb::core::schema::create_filestream_schema(&db, "").unwrap();
+    // Not FASTQ at all.
+    let guid = db.filestream().insert(b"this is not fastq").unwrap();
+    db.catalog()
+        .table("ShortReadFiles")
+        .unwrap()
+        .insert(&seqdb::types::Row::new(vec![
+            Value::Guid(guid),
+            Value::Int(2),
+            Value::Int(1),
+            Value::Guid(guid),
+        ]))
+        .unwrap();
+    let err = db
+        .query_sql("SELECT COUNT(*) FROM ListShortReads(2, 1, 'FastQ')")
+        .unwrap_err();
+    assert!(matches!(err, DbError::InvalidData(_)), "{err}");
+}
+
+#[test]
+fn udf_errors_propagate_through_queries() {
+    let db = Database::in_memory();
+    db.execute_sql_script(
+        "CREATE TABLE t (x INT);
+         INSERT INTO t VALUES (1), (0);",
+    )
+    .unwrap();
+    // Division by zero in the projection of the second row.
+    let err = db.query_sql("SELECT 10 / x FROM t").unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+}
+
+// ----------------------------------------------------------------------
+// Model-based property tests
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u16, u8),
+    Delete(u16),
+    Get(u16),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>()).prop_map(|(k, v)| TreeOp::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| TreeOp::Delete(k % 512)),
+        any::<u16>().prop_map(|k| TreeOp::Get(k % 512)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn btree_matches_std_btreemap(ops in proptest::collection::vec(tree_op(), 1..300)) {
+        let pool = BufferPool::new(Arc::new(MemPager::new()), 128);
+        let tree = BTree::create(pool).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    let old = tree.insert(&k.to_be_bytes(), &[v]).unwrap();
+                    let model_old = model.insert(k, v);
+                    prop_assert_eq!(old.map(|o| o[0]), model_old);
+                }
+                TreeOp::Delete(k) => {
+                    let got = tree.delete(&k.to_be_bytes()).unwrap();
+                    let model_got = model.remove(&k);
+                    prop_assert_eq!(got.map(|o| o[0]), model_got);
+                }
+                TreeOp::Get(k) => {
+                    let got = tree.get(&k.to_be_bytes()).unwrap();
+                    prop_assert_eq!(got.map(|o| o[0]), model.get(&k).copied());
+                }
+            }
+        }
+        // Final full ordered scan matches the model.
+        let scanned: Vec<(u16, u8)> = tree
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .map(|e| {
+                let (k, v) = e.unwrap();
+                (u16::from_be_bytes(k.try_into().unwrap()), v[0])
+            })
+            .collect();
+        let expect: Vec<(u16, u8)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expect);
+    }
+
+    #[test]
+    fn sql_roundtrip_across_compression_modes(
+        rows in proptest::collection::vec(
+            (0i64..100_000, "[ACGTN]{1,64}", any::<bool>()),
+            1..60,
+        )
+    ) {
+        // De-duplicate keys (primary key).
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<_> = rows
+            .into_iter()
+            .filter(|(k, _, _)| seen.insert(*k))
+            .collect();
+        for comp in ["NONE", "ROW", "PAGE"] {
+            let db = Database::in_memory();
+            db.execute_sql(&format!(
+                "CREATE TABLE t (id INT PRIMARY KEY, seq VARCHAR(64), flag INT)
+                 WITH (DATA_COMPRESSION = {comp})"
+            ))
+            .unwrap();
+            for (id, seq, flag) in &rows {
+                db.execute_sql(&format!(
+                    "INSERT INTO t VALUES ({id}, '{seq}', {})",
+                    *flag as i64
+                ))
+                .unwrap();
+            }
+            let r = db.query_sql("SELECT id, seq, flag FROM t ORDER BY id").unwrap();
+            prop_assert_eq!(r.rows.len(), rows.len());
+            let mut sorted = rows.clone();
+            sorted.sort_by_key(|(k, _, _)| *k);
+            for (row, (id, seq, flag)) in r.rows.iter().zip(&sorted) {
+                prop_assert_eq!(&row[0], &Value::Int(*id));
+                prop_assert_eq!(&row[1], &Value::text(seq.as_str()));
+                prop_assert_eq!(&row[2], &Value::Int(*flag as i64));
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_matches_handrolled_aggregation(
+        rows in proptest::collection::vec((0i64..8, -100i64..100), 0..120)
+    ) {
+        let db = Database::in_memory();
+        db.execute_sql("CREATE TABLE t (g INT, v INT)").unwrap();
+        for (g, v) in &rows {
+            db.execute_sql(&format!("INSERT INTO t VALUES ({g}, {v})")).unwrap();
+        }
+        let r = db
+            .query_sql("SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+        let mut model: std::collections::BTreeMap<i64, (i64, i64, i64, i64)> =
+            std::collections::BTreeMap::new();
+        for (g, v) in &rows {
+            let e = model.entry(*g).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 += 1;
+            e.1 += v;
+            e.2 = e.2.min(*v);
+            e.3 = e.3.max(*v);
+        }
+        prop_assert_eq!(r.rows.len(), model.len());
+        for (row, (g, (n, s, mn, mx))) in r.rows.iter().zip(model) {
+            prop_assert_eq!(&row[0], &Value::Int(g));
+            prop_assert_eq!(&row[1], &Value::Int(n));
+            prop_assert_eq!(&row[2], &Value::Int(s));
+            prop_assert_eq!(&row[3], &Value::Int(mn));
+            prop_assert_eq!(&row[4], &Value::Int(mx));
+        }
+    }
+
+    #[test]
+    fn order_by_is_a_permutation_and_sorted(
+        vals in proptest::collection::vec(-1000i64..1000, 0..200)
+    ) {
+        let db = Database::in_memory();
+        db.execute_sql("CREATE TABLE t (v INT)").unwrap();
+        for v in &vals {
+            db.execute_sql(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let r = db.query_sql("SELECT v FROM t ORDER BY v DESC").unwrap();
+        let got: Vec<i64> = r.rows.iter().map(|x| x[0].as_int().unwrap()).collect();
+        let mut expect = vals.clone();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(got, expect);
+    }
+}

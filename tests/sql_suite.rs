@@ -1,0 +1,258 @@
+//! SQL-level integration suite: broader coverage of the T-SQL subset
+//! through the public facade, including edge cases and error paths.
+
+use seqdb::engine::Database;
+use seqdb::sql::DatabaseSqlExt;
+use seqdb::types::{DbError, Value};
+
+fn db() -> std::sync::Arc<Database> {
+    Database::in_memory()
+}
+
+#[test]
+fn joins_three_ways_agree() {
+    let db = db();
+    db.execute_sql_script(
+        "CREATE TABLE l (k INT PRIMARY KEY, v INT);
+         CREATE TABLE r (k INT PRIMARY KEY, w INT);",
+    )
+    .unwrap();
+    for i in 0..500i64 {
+        db.execute_sql(&format!("INSERT INTO l VALUES ({i}, {})", i * 2)).unwrap();
+        if i % 3 == 0 {
+            db.execute_sql(&format!("INSERT INTO r VALUES ({i}, {})", i * 5)).unwrap();
+        }
+    }
+    // Merge join (both indexed) — verify the planner picked it.
+    let plan = db.explain_sql("SELECT v, w FROM l JOIN r ON l.k = r.k").unwrap();
+    assert!(plan.contains("Merge Join"), "{plan}");
+    let res = db
+        .query_sql("SELECT COUNT(*), SUM(v), SUM(w) FROM l JOIN r ON l.k = r.k")
+        .unwrap();
+    assert_eq!(res.rows[0][0], Value::Int(167));
+    // Hash join via a subquery (no index on the derived side).
+    let res2 = db
+        .query_sql(
+            "SELECT COUNT(*), SUM(v), SUM(w)
+             FROM (SELECT k AS k2, v FROM l) x JOIN r ON x.k2 = r.k",
+        )
+        .unwrap();
+    assert_eq!(res.rows[0].values(), res2.rows[0].values());
+}
+
+#[test]
+fn group_by_multiple_columns_and_aliases() {
+    let db = db();
+    db.execute_sql_script(
+        "CREATE TABLE t (a INT, b INT, v INT);
+         INSERT INTO t VALUES (1,1,10),(1,2,20),(1,1,30),(2,1,40);",
+    )
+    .unwrap();
+    let r = db
+        .query_sql(
+            "SELECT a, b, SUM(v) AS total, COUNT(*) AS n
+             FROM t GROUP BY a, b ORDER BY a, b",
+        )
+        .unwrap();
+    assert_eq!(r.schema.index_of("total"), Some(2));
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.rows[0].values()[2], Value::Int(40)); // (1,1)
+    assert_eq!(r.rows[1].values()[2], Value::Int(20)); // (1,2)
+    assert_eq!(r.rows[2].values()[2], Value::Int(40)); // (2,1)
+}
+
+#[test]
+fn order_by_aliases_and_aggregates() {
+    let db = db();
+    db.execute_sql_script(
+        "CREATE TABLE t (g INT, v INT);
+         INSERT INTO t VALUES (1,5),(2,50),(3,20),(1,5);",
+    )
+    .unwrap();
+    // ORDER BY an aggregate that is not in the select list.
+    let r = db
+        .query_sql("SELECT g FROM t GROUP BY g ORDER BY SUM(v) DESC")
+        .unwrap();
+    let gs: Vec<i64> = r.rows.iter().map(|x| x[0].as_int().unwrap()).collect();
+    assert_eq!(gs, vec![2, 3, 1]);
+    // ORDER BY the alias.
+    let r = db
+        .query_sql("SELECT g, SUM(v) AS s FROM t GROUP BY g ORDER BY s")
+        .unwrap();
+    let ss: Vec<i64> = r.rows.iter().map(|x| x[1].as_int().unwrap()).collect();
+    assert_eq!(ss, vec![10, 20, 50]);
+}
+
+#[test]
+fn string_functions_and_casts() {
+    let db = db();
+    db.execute_sql("CREATE TABLE s (x VARCHAR(64))").unwrap();
+    db.execute_sql("INSERT INTO s VALUES ('gattaca')").unwrap();
+    let r = db
+        .query_sql(
+            "SELECT UPPER(x), LEN(x), SUBSTRING(x, 2, 3),
+                    REPLACE(x, 'atta', '-'), CAST('42' AS INT),
+                    CAST(LEN(x) AS VARCHAR(8)) + '!'
+             FROM s",
+        )
+        .unwrap();
+    let row = &r.rows[0];
+    assert_eq!(row[0], Value::text("GATTACA"));
+    assert_eq!(row[1], Value::Int(7));
+    assert_eq!(row[2], Value::text("att"));
+    assert_eq!(row[3], Value::text("g-ca"));
+    assert_eq!(row[4], Value::Int(42));
+    assert_eq!(row[5], Value::text("7!"));
+}
+
+#[test]
+fn null_semantics_through_sql() {
+    let db = db();
+    db.execute_sql_script(
+        "CREATE TABLE n (x INT, y INT);
+         INSERT INTO n VALUES (1, 10), (2, NULL), (NULL, 30);",
+    )
+    .unwrap();
+    // WHERE drops NULL comparisons.
+    let r = db.query_sql("SELECT COUNT(*) FROM n WHERE x > 0").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(2));
+    // IS NULL / IS NOT NULL.
+    let r = db.query_sql("SELECT COUNT(*) FROM n WHERE x IS NULL").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    // Aggregates skip NULLs; COUNT(*) does not.
+    let r = db
+        .query_sql("SELECT COUNT(*), COUNT(y), SUM(y), AVG(y) FROM n")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(3));
+    assert_eq!(r.rows[0][1], Value::Int(2));
+    assert_eq!(r.rows[0][2], Value::Int(40));
+    assert_eq!(r.rows[0][3], Value::Float(20.0));
+    // ISNULL fallback.
+    let r = db
+        .query_sql("SELECT SUM(ISNULL(y, 0) + ISNULL(x, 0)) FROM n")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(43));
+}
+
+#[test]
+fn top_without_order_limits_and_with_order_ranks() {
+    let db = db();
+    db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+    for i in 0..100 {
+        db.execute_sql(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    let r = db.query_sql("SELECT TOP 7 x FROM t").unwrap();
+    assert_eq!(r.rows.len(), 7);
+    let r = db.query_sql("SELECT TOP 3 x FROM t ORDER BY x DESC").unwrap();
+    let xs: Vec<i64> = r.rows.iter().map(|x| x[0].as_int().unwrap()).collect();
+    assert_eq!(xs, vec![99, 98, 97]);
+}
+
+#[test]
+fn create_index_accelerates_ordered_scans() {
+    let db = db();
+    db.execute_sql("CREATE TABLE t (a INT, b INT)").unwrap();
+    for i in 0..200 {
+        db.execute_sql(&format!("INSERT INTO t VALUES ({}, {i})", 200 - i)).unwrap();
+    }
+    db.execute_sql("CREATE INDEX ix_a ON t (a)").unwrap();
+    // The index exists and is used for a merge join against itself via
+    // another indexed table.
+    db.execute_sql("CREATE TABLE u (a INT PRIMARY KEY)").unwrap();
+    for i in 1..=200 {
+        db.execute_sql(&format!("INSERT INTO u VALUES ({i})")).unwrap();
+    }
+    let plan = db.explain_sql("SELECT b FROM t JOIN u ON t.a = u.a").unwrap();
+    assert!(plan.contains("Merge Join"), "{plan}");
+    let r = db.query_sql("SELECT COUNT(*) FROM t JOIN u ON t.a = u.a").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(200));
+}
+
+#[test]
+fn drop_table_removes_it() {
+    let db = db();
+    db.execute_sql("CREATE TABLE gone (x INT)").unwrap();
+    db.execute_sql("DROP TABLE gone").unwrap();
+    assert!(matches!(
+        db.query_sql("SELECT * FROM gone"),
+        Err(DbError::NotFound(_))
+    ));
+    assert!(matches!(
+        db.execute_sql("DROP TABLE gone"),
+        Err(DbError::NotFound(_))
+    ));
+}
+
+#[test]
+fn compression_settings_are_transparent_to_queries() {
+    let db = db();
+    for (name, comp) in [("tn", "NONE"), ("tr", "ROW"), ("tp", "PAGE")] {
+        db.execute_sql(&format!(
+            "CREATE TABLE {name} (id INT PRIMARY KEY, seq VARCHAR(64)) WITH (DATA_COMPRESSION = {comp})"
+        ))
+        .unwrap();
+        for i in 0..2000i64 {
+            db.execute_sql(&format!(
+                "INSERT INTO {name} VALUES ({i}, 'CATGGAATTC_{}')",
+                i % 5
+            ))
+            .unwrap();
+        }
+    }
+    let mut results = Vec::new();
+    for name in ["tn", "tr", "tp"] {
+        let r = db
+            .query_sql(&format!(
+                "SELECT seq, COUNT(*) FROM {name} GROUP BY seq ORDER BY seq"
+            ))
+            .unwrap();
+        results.push(
+            r.rows
+                .iter()
+                .map(|x| (x[0].as_text().unwrap().to_string(), x[1].as_int().unwrap()))
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+    // And the page-compressed table uses fewer pages.
+    let tn = db.catalog().table("tn").unwrap().heap.allocated_bytes();
+    let tp = db.catalog().table("tp").unwrap().heap.allocated_bytes();
+    assert!(tp < tn, "page {tp} !< none {tn}");
+}
+
+#[test]
+fn error_paths_are_descriptive() {
+    let db = db();
+    db.execute_sql("CREATE TABLE t (x INT NOT NULL)").unwrap();
+    let e = db.execute_sql("INSERT INTO t VALUES (NULL)").unwrap_err();
+    assert!(matches!(e, DbError::Constraint(_)), "{e}");
+    let e = db.execute_sql("INSERT INTO t VALUES ('text')").unwrap_err();
+    assert!(matches!(e, DbError::Schema(_)), "{e}");
+    let e = db.query_sql("SELECT x FROM t GROUP BY x ORDER BY y").unwrap_err();
+    assert!(e.to_string().contains("y"), "{e}");
+    let e = db.query_sql("SELECT MAX(x), x FROM t").unwrap_err();
+    assert!(matches!(e, DbError::Plan(_)), "{e}");
+}
+
+#[test]
+fn explain_of_serial_and_parallel_aggregate() {
+    let db = db();
+    db.execute_sql("CREATE TABLE big (g INT, v INT)").unwrap();
+    // Stay under the parallel threshold: serial hash aggregate.
+    db.execute_sql("INSERT INTO big VALUES (1, 1)").unwrap();
+    let serial = db
+        .explain_sql("SELECT g, COUNT(*) FROM big GROUP BY g")
+        .unwrap();
+    assert!(serial.contains("Hash Match (Aggregate)"), "{serial}");
+    assert!(!serial.contains("Gather Streams"), "{serial}");
+    // Lower the threshold: the same query plans parallel.
+    let mut cfg = db.config();
+    cfg.parallel_threshold = 1;
+    cfg.max_dop = 4;
+    db.set_config(cfg);
+    let parallel = db
+        .explain_sql("SELECT g, COUNT(*) FROM big GROUP BY g")
+        .unwrap();
+    assert!(parallel.contains("Gather Streams"), "{parallel}");
+}

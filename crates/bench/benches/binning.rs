@@ -41,7 +41,12 @@ fn bench_binning(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_secs(1));
 
     g.bench_function("compiled-script", |b| {
-        b.iter(|| baseline::binning_script(&s.ds.fastq_path, &out).unwrap().0.len())
+        b.iter(|| {
+            baseline::binning_script(&s.ds.fastq_path, &out)
+                .unwrap()
+                .0
+                .len()
+        })
     });
     g.bench_function("interpreted-script", |b| {
         b.iter(|| {
@@ -52,14 +57,10 @@ fn bench_binning(c: &mut Criterion) {
         })
     });
     for dop in [1usize, 2, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("sql-query1-dop", dop),
-            &dop,
-            |b, &dop| {
-                s.db.set_max_dop(dop);
-                b.iter(|| queries::run_query1(&s.db, NORM).unwrap().rows.len())
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("sql-query1-dop", dop), &dop, |b, &dop| {
+            s.db.set_max_dop(dop);
+            b.iter(|| queries::run_query1(&s.db, NORM).unwrap().rows.len())
+        });
     }
     g.finish();
 }

@@ -80,10 +80,9 @@ fn bench_wrapping(c: &mut Criterion) {
 
     g.bench_function("tvf-through-engine", |b| {
         b.iter(|| {
-            let r = s
-                .db
-                .query_sql("SELECT COUNT(*) FROM ListShortReads(855, 1, 'FastQ')")
-                .unwrap();
+            let r =
+                s.db.query_sql("SELECT COUNT(*) FROM ListShortReads(855, 1, 'FastQ')")
+                    .unwrap();
             assert_eq!(r.rows[0][0].as_int().unwrap() as u64, s.n);
         })
     });

@@ -195,9 +195,10 @@ fn table3(factor: usize) -> Result<()> {
     let ds = reseq_dataset(factor)?;
     let db = dge_database(&dge_dataset(1)?)?; // engine instance for the TVF rung
     seqdb_core::import::import_filestream(&db, "_t3", &ds.fastq_path, 855, 1)?;
-    db.catalog().register_table_fn(Arc::new(
-        seqdb_core::udx::ListShortReadsTvf::new("ShortReadFiles_t3"),
-    ));
+    db.catalog()
+        .register_table_fn(Arc::new(seqdb_core::udx::ListShortReadsTvf::new(
+            "ShortReadFiles_t3",
+        )));
     let n_expected = ds.reads.len() as u64;
 
     // 1. Command-line program: chunked parse straight off the file.
@@ -206,12 +207,18 @@ fn table3(factor: usize) -> Result<()> {
         p.count_remaining()
     });
     assert_eq!(n?, n_expected);
-    println!("  command-line program (chunked file scan)    {:>10}", fmt_dur(d1));
+    println!(
+        "  command-line program (chunked file scan)    {:>10}",
+        fmt_dur(d1)
+    );
 
     // 2. Interpreted row-at-a-time procedure (the T-SQL rung).
     let (n, d2) = time(|| baseline::interpreted_count(&ds.fastq_path));
     assert_eq!(n?, n_expected);
-    println!("  interpreted procedure (T-SQL analogue)      {:>10}", fmt_dur(d2));
+    println!(
+        "  interpreted procedure (T-SQL analogue)      {:>10}",
+        fmt_dur(d2)
+    );
 
     // 3. Line-at-a-time reader (StreamReader rung): per-record allocation.
     let (n, d3) = time(|| -> Result<u64> {
@@ -224,7 +231,10 @@ fn table3(factor: usize) -> Result<()> {
         Ok(n)
     });
     assert_eq!(n?, n_expected);
-    println!("  stored procedure with StreamReader          {:>10}", fmt_dur(d3));
+    println!(
+        "  stored procedure with StreamReader          {:>10}",
+        fmt_dur(d3)
+    );
 
     // 4. Stored procedure with chunking: chunked parse over the
     //    FileStream blob, no row conversion.
@@ -250,18 +260,22 @@ fn table3(factor: usize) -> Result<()> {
         p.count_remaining()
     });
     assert_eq!(n?, n_expected);
-    println!("  stored procedure with chunking (FileStream) {:>10}", fmt_dur(d4));
+    println!(
+        "  stored procedure with chunking (FileStream) {:>10}",
+        fmt_dur(d4)
+    );
 
     // 5. TVF with chunking, through the whole query engine (iterator
     //    contract + FillRow conversion per row).
     let (r, d5) = time(|| db.query_sql("SELECT COUNT(*) FROM ListShortReads(855, 1, 'FastQ')"));
     let r = r?;
     assert_eq!(r.rows[0][0].as_int()? as u64, n_expected);
-    println!("  CLR TVF with chunking (full query engine)   {:>10}", fmt_dur(d5));
-
     println!(
-        "\n  shape check (paper: interpreted >> StreamReader > TVF > chunked SP ~ cmdline):"
+        "  CLR TVF with chunking (full query engine)   {:>10}",
+        fmt_dur(d5)
     );
+
+    println!("\n  shape check (paper: interpreted >> StreamReader > TVF > chunked SP ~ cmdline):");
     println!(
         "    interpreted/cmdline = {:.1}x, StreamReader/chunkedSP = {:.1}x, TVF/chunkedSP = {:.1}x\n",
         d2.as_secs_f64() / d1.as_secs_f64().max(1e-9),
@@ -281,8 +295,15 @@ fn fig7(factor: usize) -> Result<()> {
         let (r, _) = time(|| baseline::binning_script(&ds.fastq_path, &out));
         r?
     };
-    println!("  sequential script over {} reads -> {} unique tags", trace.records, res.len());
-    println!("  cores used: {} (strictly sequential phases)", trace.cores_used);
+    println!(
+        "  sequential script over {} reads -> {} unique tags",
+        trace.records,
+        res.len()
+    );
+    println!(
+        "  cores used: {} (strictly sequential phases)",
+        trace.cores_used
+    );
     let total = trace.total();
     for (name, d) in &trace.phases {
         let pct = 100.0 * d.as_secs_f64() / total.as_secs_f64().max(1e-9);
@@ -326,7 +347,8 @@ fn fig8(factor: usize) -> Result<()> {
         let wall = t.elapsed();
         println!("  DOP {dop}: {groups} groups in {}", fmt_dur(wall));
         for w in it.worker_stats() {
-            let bar = "#".repeat(((w.busy.as_secs_f64() / wall.as_secs_f64().max(1e-9)) * 24.0) as usize);
+            let bar =
+                "#".repeat(((w.busy.as_secs_f64() / wall.as_secs_f64().max(1e-9)) * 24.0) as usize);
             println!(
                 "    worker {}: {:>8} rows, busy {:>9}  {bar}",
                 w.worker,
@@ -335,8 +357,12 @@ fn fig8(factor: usize) -> Result<()> {
             );
         }
     }
-    println!("  note: this host has {} hardware core(s); worker busy time shows the",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "  note: this host has {} hardware core(s); worker busy time shows the",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
     println!("  even work distribution a multi-core host would exploit (see EXPERIMENTS.md).\n");
     Ok(())
 }
@@ -374,8 +400,10 @@ fn binning(factor: usize) -> Result<()> {
     let db = dge_database(&ds)?;
 
     let out = ds.dir.join("e1_tags.txt");
-    let ((script_tags, trace), script_time) =
-        { let (r, d) = time(|| baseline::binning_script(&ds.fastq_path, &out)); (r?, d) };
+    let ((script_tags, trace), script_time) = {
+        let (r, d) = time(|| baseline::binning_script(&ds.fastq_path, &out));
+        (r?, d)
+    };
     let out2 = ds.dir.join("e1_tags_interp.txt");
     let ((interp_tags, _), interp_time) = {
         let (r, d) = time(|| baseline::interpreted_binning_script(&ds.fastq_path, &out2));
@@ -387,14 +415,22 @@ fn binning(factor: usize) -> Result<()> {
     let (sql_res, sql_time) = time(|| queries::run_query1(&db, NORM));
     let sql_res = sql_res?;
     queries::check_query1_against(&sql_res, &ds.unique_tags)?;
-    assert_eq!(script_tags.len(), sql_res.rows.len(), "both find the same tags");
+    assert_eq!(
+        script_tags.len(),
+        sql_res.rows.len(),
+        "both find the same tags"
+    );
 
     println!(
         "  all approaches produce the same {} unique reads (paper: 565,526)",
         sql_res.rows.len()
     );
-    println!("  interpreted script (Perl analogue): {:>10}  (1 core)", fmt_dur(interp_time));
-    println!("  compiled script (best-case script): {:>10}  (1 core, phases: {})",
+    println!(
+        "  interpreted script (Perl analogue): {:>10}  (1 core)",
+        fmt_dur(interp_time)
+    );
+    println!(
+        "  compiled script (best-case script): {:>10}  (1 core, phases: {})",
         fmt_dur(script_time),
         trace
             .phases
@@ -403,7 +439,8 @@ fn binning(factor: usize) -> Result<()> {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    println!("  SQL Query 1                       : {:>10}  (parallel plan, DOP {})",
+    println!(
+        "  SQL Query 1                       : {:>10}  (parallel plan, DOP {})",
         fmt_dur(sql_time),
         db.config().max_dop
     );
@@ -456,12 +493,21 @@ fn consensus(factor: usize) -> Result<()> {
         .iter()
         .map(|a| ds.reads[a.subject as usize].record.seq.len() as u64)
         .sum();
-    println!("  pivot + hash grouping       : {:>10}  ({} pivoted rows held in the hash table)",
-        fmt_dur(pivot_time), pivoted_rows);
-    println!("  pivot + external sort       : {:>10}  ({} spill files, {:.1} MiB written to tempdb)",
-        fmt_dur(sorted_time), spills, spill as f64 / (1024.0 * 1024.0));
-    println!("  sliding-window UDA (ordered): {:>10}  (no intermediate, window = read length)",
-        fmt_dur(sliding_time));
+    println!(
+        "  pivot + hash grouping       : {:>10}  ({} pivoted rows held in the hash table)",
+        fmt_dur(pivot_time),
+        pivoted_rows
+    );
+    println!(
+        "  pivot + external sort       : {:>10}  ({} spill files, {:.1} MiB written to tempdb)",
+        fmt_dur(sorted_time),
+        spills,
+        spill as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "  sliding-window UDA (ordered): {:>10}  (no intermediate, window = read length)",
+        fmt_dur(sliding_time)
+    );
     println!(
         "  consensus sequences: {} chromosomes, e.g. chr{} length {}\n",
         sliding.len(),

@@ -162,30 +162,29 @@ impl Aligner {
         let mut second_score: Option<u32> = None;
         let mut best_dup = false;
 
-        let mut consider = |cand: Candidate| {
-            match &best {
-                None => best = Some(cand),
-                Some(b) => {
-                    let better = (cand.mismatches, cand.quality_score)
-                        < (b.mismatches, b.quality_score);
-                    let equal = (cand.mismatches, cand.quality_score)
-                        == (b.mismatches, b.quality_score);
-                    let same_place =
-                        cand.chrom == b.chrom && cand.pos == b.pos && cand.strand == b.strand;
-                    if same_place {
-                        return;
+        let mut consider = |cand: Candidate| match &best {
+            None => best = Some(cand),
+            Some(b) => {
+                let better =
+                    (cand.mismatches, cand.quality_score) < (b.mismatches, b.quality_score);
+                let equal =
+                    (cand.mismatches, cand.quality_score) == (b.mismatches, b.quality_score);
+                let same_place =
+                    cand.chrom == b.chrom && cand.pos == b.pos && cand.strand == b.strand;
+                if same_place {
+                    return;
+                }
+                if better {
+                    second_score = Some(b.quality_score);
+                    best_dup = false;
+                    best = Some(cand);
+                } else {
+                    if equal {
+                        best_dup = true;
                     }
-                    if better {
-                        second_score = Some(b.quality_score);
-                        best_dup = false;
-                        best = Some(cand);
-                    } else {
-                        if equal {
-                            best_dup = true;
-                        }
-                        second_score =
-                            Some(second_score.map_or(cand.quality_score, |s| s.min(cand.quality_score)));
-                    }
+                    second_score = Some(
+                        second_score.map_or(cand.quality_score, |s| s.min(cand.quality_score)),
+                    );
                 }
             }
         };
@@ -263,7 +262,8 @@ impl Aligner {
                 if !seen.insert((chrom, start as u32)) {
                     continue;
                 }
-                if let Some((mm, score)) = self.extend(bases, quals, &refseq[start..start + bases.len()])
+                if let Some((mm, score)) =
+                    self.extend(bases, quals, &refseq[start..start + bases.len()])
                 {
                     consider(Candidate {
                         chrom,
@@ -349,7 +349,7 @@ mod tests {
                 _ => 'N',
             })
             .collect();
-        let a = aligner.align(&rc, &vec![Phred(30); 36]).unwrap();
+        let a = aligner.align(&rc, &[Phred(30); 36]).unwrap();
         assert_eq!(a.pos as usize, pos);
         assert_eq!(a.strand, Strand::Reverse);
         assert_eq!(a.mismatches, 0);
@@ -365,14 +365,14 @@ mod tests {
         seq[20] = if seq[20] == b'A' { b'C' } else { b'A' };
         seq[30] = if seq[30] == b'G' { b'T' } else { b'G' };
         let s = String::from_utf8(seq.clone()).unwrap();
-        let a = aligner.align(&s, &vec![Phred(30); 36]).unwrap();
+        let a = aligner.align(&s, &[Phred(30); 36]).unwrap();
         assert_eq!(a.pos as usize, pos);
         assert_eq!(a.mismatches, 2);
         assert_eq!(a.quality_score, 60);
         // A third mismatch breaks the budget (if no other placement).
         seq[25] = if seq[25] == b'A' { b'C' } else { b'A' };
         let s = String::from_utf8(seq).unwrap();
-        let a = aligner.align(&s, &vec![Phred(30); 36]);
+        let a = aligner.align(&s, &[Phred(30); 36]);
         if let Some(a) = a {
             assert!(a.mismatches <= 2, "found an alternative placement");
         }
@@ -411,7 +411,10 @@ mod tests {
             }
         }
         assert!(aligned >= 250, "alignment rate too low: {aligned}/300");
-        assert!(confident >= 200, "too few confident placements: {confident}");
+        assert!(
+            confident >= 200,
+            "too few confident placements: {confident}"
+        );
         assert!(
             confident_correct * 100 >= confident * 98,
             "confident accuracy too low: {confident_correct}/{confident}"
@@ -426,7 +429,7 @@ mod tests {
         genome.chromosomes[0].seq[10_000..10_100].copy_from_slice(&dup);
         let aligner = Aligner::new(Arc::new(genome), AlignerConfig::default());
         let seq = String::from_utf8(dup[..36].to_vec()).unwrap();
-        let a = aligner.align(&seq, &vec![Phred(30); 36]).unwrap();
+        let a = aligner.align(&seq, &[Phred(30); 36]).unwrap();
         assert_eq!(a.mapq, 0, "ambiguous placement must have mapq 0");
     }
 
@@ -434,6 +437,6 @@ mod tests {
     fn unalignable_read_returns_none() {
         let (_genome, aligner) = setup();
         // A read of Ns has no valid seed.
-        assert!(aligner.align(&"N".repeat(36), &vec![Phred(2); 36]).is_none());
+        assert!(aligner.align(&"N".repeat(36), &[Phred(2); 36]).is_none());
     }
 }

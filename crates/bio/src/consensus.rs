@@ -52,7 +52,7 @@ pub fn call_base(quality_sums: &[u32; 4], coverage: u32) -> (u8, Phred) {
         return (b'N', Phred(0));
     }
     let margin = quality_sums[best] - second;
-    (BASE_CHARS[best], Phred::new(margin.min(93) as u32 as u8))
+    (BASE_CHARS[best], Phred::new(margin.min(93) as u8))
 }
 
 /// The result for one chromosome.
@@ -259,7 +259,9 @@ mod tests {
         let chrom_len = 500;
         let mut state = 12345u64;
         let mut rand = move |m: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m
         };
         let mut alignments: Vec<(usize, Vec<u8>, Vec<Phred>)> = (0..200)

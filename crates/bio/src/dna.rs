@@ -99,6 +99,9 @@ pub struct PackedSeq {
 }
 
 impl PackedSeq {
+    // Not `std::str::FromStr`: callers shouldn't need a trait import for
+    // the primary constructor.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Result<PackedSeq> {
         let bases = parse_bases(s)?;
         Ok(Self::from_bases(&bases))

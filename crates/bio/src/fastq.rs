@@ -267,7 +267,9 @@ impl<S: ChunkSource> ChunkedFastqParser<S> {
     /// tail bytes.
     fn read_chunk(&mut self) -> Result<usize> {
         let len = self.buffer.len() - self.buffer_offset;
-        let read = self.source.read_chunk(&mut self.buffer[self.buffer_offset..][..len])?;
+        let read = self
+            .source
+            .read_chunk(&mut self.buffer[self.buffer_offset..][..len])?;
         self.chunks_read += 1;
         self.buffer_pos = 0;
         let total = if read > 0 || self.buffer_offset > 0 {
@@ -433,8 +435,14 @@ mod tests {
         let mut text = String::new();
         let mut recs = Vec::new();
         for i in 0..n {
-            let seq = if i % 7 == 0 { "ACGTNACGTNAC" } else { "GATTACAGATTA" };
-            let quals: Vec<Phred> = (0..seq.len()).map(|j| Phred((30 - j as u8).min(40))).collect();
+            let seq = if i % 7 == 0 {
+                "ACGTNACGTNAC"
+            } else {
+                "GATTACAGATTA"
+            };
+            let quals: Vec<Phred> = (0..seq.len())
+                .map(|j| Phred((30 - j as u8).min(40)))
+                .collect();
             let r = FastqRecord {
                 name: format!("IL4_855:1:{}:{}:{}", i / 100 + 1, i, i * 2),
                 seq: seq.to_string(),

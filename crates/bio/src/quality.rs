@@ -83,10 +83,7 @@ impl QualityEncoding {
     pub fn encode(self, quals: &[Phred]) -> String {
         let off = self.offset();
         let cap = self.max_quality();
-        quals
-            .iter()
-            .map(|q| (off + q.0.min(cap)) as char)
-            .collect()
+        quals.iter().map(|q| (off + q.0.min(cap)) as char).collect()
     }
 }
 

@@ -95,7 +95,13 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "IL4:1:1:1:1", "IL4_855:1:1:954", "IL4_855:1:1:954:659:7", "IL4_x:1:1:1:1"] {
+        for bad in [
+            "",
+            "IL4:1:1:1:1",
+            "IL4_855:1:1:954",
+            "IL4_855:1:1:954:659:7",
+            "IL4_x:1:1:1:1",
+        ] {
             assert!(ReadName::parse(bad).is_err(), "{bad}");
         }
     }

@@ -81,7 +81,9 @@ impl ReferenceGenome {
     /// shrink like real karyotypes, with occasional repeat expansions.
     pub fn synthetic(seed: u64, n_chroms: usize, total_bp: usize) -> ReferenceGenome {
         let mut rng = StdRng::seed_from_u64(seed);
-        let weights: Vec<f64> = (0..n_chroms).map(|i| 1.0 / (1.0 + i as f64 * 0.35)).collect();
+        let weights: Vec<f64> = (0..n_chroms)
+            .map(|i| 1.0 / (1.0 + i as f64 * 0.35))
+            .collect();
         let wsum: f64 = weights.iter().sum();
         let mut chromosomes = Vec::with_capacity(n_chroms);
         for (i, w) in weights.iter().enumerate() {
@@ -105,7 +107,9 @@ fn random_sequence(rng: &mut StdRng, len: usize) -> Vec<u8> {
         if rng.gen_bool(0.02) {
             // Repeat expansion: a 2-6mer repeated 5-20 times.
             let unit_len = rng.gen_range(2..=6);
-            let unit: Vec<u8> = (0..unit_len).map(|_| BASES[rng.gen_range(0..4)]).collect();
+            let unit: Vec<u8> = (0..unit_len)
+                .map(|_| BASES[rng.gen_range(0..4usize)])
+                .collect();
             let times = rng.gen_range(5..=20);
             for _ in 0..times {
                 seq.extend_from_slice(&unit);
@@ -114,7 +118,7 @@ fn random_sequence(rng: &mut StdRng, len: usize) -> Vec<u8> {
                 }
             }
         } else {
-            seq.push(BASES[rng.gen_range(0..4)]);
+            seq.push(BASES[rng.gen_range(0..4usize)]);
         }
     }
     seq.truncate(len);

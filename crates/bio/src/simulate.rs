@@ -90,7 +90,7 @@ impl LaneConfig {
         (0..self.read_len)
             .map(|cycle| {
                 let q = self.base_quality as f64 - self.quality_decay * cycle as f64
-                    + rng.gen_range(-2.0..2.0);
+                    + rng.gen_range(-2.0f64..2.0);
                 Phred::new(q.max(2.0) as u8)
             })
             .collect()
@@ -106,9 +106,9 @@ fn corrupt(fragment: &mut [u8], quals: &[Phred], extra_error: f64, rng: &mut Std
                 *base = b'N'; // no-call at very low quality
             } else {
                 // Substitute with a different base.
-                let mut b = BASES[rng.gen_range(0..4)];
+                let mut b = BASES[rng.gen_range(0..4usize)];
                 while b == *base {
-                    b = BASES[rng.gen_range(0..4)];
+                    b = BASES[rng.gen_range(0..4usize)];
                 }
                 *base = b;
             }
@@ -175,7 +175,12 @@ impl ReadSimulator {
             SimStrand::Forward
         };
         let quals = self.config.qualities(&mut self.rng);
-        corrupt(&mut fragment, &quals, self.config.extra_error, &mut self.rng);
+        corrupt(
+            &mut fragment,
+            &quals,
+            self.config.extra_error,
+            &mut self.rng,
+        );
         let name = self.config.name_for(self.counter, &mut self.rng);
         self.counter += 1;
         SimulatedRead {
@@ -238,7 +243,7 @@ impl DgeSimulator {
             let (chrom, start, len) = loop {
                 let ci = rng.gen_range(0..reference.chromosomes.len());
                 let c = &reference.chromosomes[ci];
-                let glen = rng.gen_range(500..2000).min(c.len() / 2);
+                let glen = rng.gen_range(500usize..2000).min(c.len() / 2);
                 if c.len() > glen + tag_len + 10 {
                     let start = rng.gen_range(0..c.len() - glen - tag_len);
                     break (ci, start, glen);
@@ -278,7 +283,9 @@ impl DgeSimulator {
     fn sample_gene(&mut self) -> usize {
         let total = *self.cumulative.last().expect("at least one gene");
         let x = self.rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < x).min(self.genes.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.genes.len() - 1)
     }
 
     /// Emit one tag read.

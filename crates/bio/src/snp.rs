@@ -54,9 +54,9 @@ pub fn plant_snps(
         for pos in 0..chrom.seq.len() {
             if rng.gen_bool(rate.clamp(0.0, 0.2)) {
                 let ref_base = chrom.seq[pos];
-                let mut alt = BASES[rng.gen_range(0..4)];
+                let mut alt = BASES[rng.gen_range(0..4usize)];
                 while alt == ref_base {
-                    alt = BASES[rng.gen_range(0..4)];
+                    alt = BASES[rng.gen_range(0..4usize)];
                 }
                 chrom.seq[pos] = alt;
                 planted.push(PlantedSnp {
@@ -144,10 +144,8 @@ pub fn score_calls(
     truth: &[PlantedSnp],
     covered: &[(usize, usize, usize)],
 ) -> SnpAccuracy {
-    let truth_set: std::collections::HashSet<(usize, usize, u8)> = truth
-        .iter()
-        .map(|s| (s.chrom, s.pos, s.alt_base))
-        .collect();
+    let truth_set: std::collections::HashSet<(usize, usize, u8)> =
+        truth.iter().map(|s| (s.chrom, s.pos, s.alt_base)).collect();
     let in_cover = |chrom: usize, pos: usize| {
         covered
             .iter()
@@ -228,13 +226,40 @@ mod tests {
     #[test]
     fn scoring_counts_tp_fp_fn() {
         let truth = vec![
-            PlantedSnp { chrom: 0, pos: 10, ref_base: b'A', alt_base: b'C' },
-            PlantedSnp { chrom: 0, pos: 20, ref_base: b'G', alt_base: b'T' },
-            PlantedSnp { chrom: 0, pos: 999, ref_base: b'G', alt_base: b'T' }, // uncovered
+            PlantedSnp {
+                chrom: 0,
+                pos: 10,
+                ref_base: b'A',
+                alt_base: b'C',
+            },
+            PlantedSnp {
+                chrom: 0,
+                pos: 20,
+                ref_base: b'G',
+                alt_base: b'T',
+            },
+            PlantedSnp {
+                chrom: 0,
+                pos: 999,
+                ref_base: b'G',
+                alt_base: b'T',
+            }, // uncovered
         ];
         let calls = vec![
-            SnpCall { chrom: 0, pos: 10, ref_base: b'A', alt_base: b'C', quality: Phred(40) }, // TP
-            SnpCall { chrom: 0, pos: 50, ref_base: b'A', alt_base: b'G', quality: Phred(40) }, // FP
+            SnpCall {
+                chrom: 0,
+                pos: 10,
+                ref_base: b'A',
+                alt_base: b'C',
+                quality: Phred(40),
+            }, // TP
+            SnpCall {
+                chrom: 0,
+                pos: 50,
+                ref_base: b'A',
+                alt_base: b'G',
+                quality: Phred(40),
+            }, // FP
         ];
         let acc = score_calls(&calls, &truth, &[(0, 0, 100)]);
         assert_eq!(acc.true_positives, 1);

@@ -334,7 +334,11 @@ mod tests {
         drop(f);
 
         let mut sim = ReadSimulator::new(LaneConfig::default(), 4);
-        let reads: Vec<FastqRecord> = sim.lane(&genome, 150).into_iter().map(|r| r.record).collect();
+        let reads: Vec<FastqRecord> = sim
+            .lane(&genome, 150)
+            .into_iter()
+            .map(|r| r.record)
+            .collect();
         let mut f = File::create(dir.join("lane.fastq")).unwrap();
         write_fastq(&mut f, reads.clone(), QualityEncoding::Sanger).unwrap();
         drop(f);
@@ -366,13 +370,20 @@ mod tests {
         let dir = workdir("bsq");
         let genome = ReferenceGenome::synthetic(5, 1, 5_000);
         let mut sim = ReadSimulator::new(LaneConfig::default(), 9);
-        let reads: Vec<FastqRecord> = sim.lane(&genome, 20).into_iter().map(|r| r.record).collect();
+        let reads: Vec<FastqRecord> = sim
+            .lane(&genome, 20)
+            .into_iter()
+            .map(|r| r.record)
+            .collect();
         let fq = dir.join("r.fastq");
         let mut f = File::create(&fq).unwrap();
         write_fastq(&mut f, reads.clone(), QualityEncoding::Illumina13).unwrap();
         drop(f);
         let bsq = dir.join("r.bsq");
-        assert_eq!(fastq_to_bsq(&fq, &bsq, QualityEncoding::Illumina13).unwrap(), 20);
+        assert_eq!(
+            fastq_to_bsq(&fq, &bsq, QualityEncoding::Illumina13).unwrap(),
+            20
+        );
         let back = read_bsq(&bsq).unwrap();
         assert_eq!(back, reads);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -391,9 +402,7 @@ mod tests {
         let back = read_bfa(&bfa).unwrap();
         assert_eq!(back, genome);
         // Packed reference is smaller than the text FASTA.
-        assert!(
-            std::fs::metadata(&bfa).unwrap().len() < std::fs::metadata(&fa).unwrap().len() / 2
-        );
+        assert!(std::fs::metadata(&bfa).unwrap().len() < std::fs::metadata(&fa).unwrap().len() / 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

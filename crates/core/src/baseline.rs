@@ -51,13 +51,11 @@ pub fn binning_script(fastq: &Path, out: &Path) -> Result<(Vec<(String, u64)>, S
     let t = Instant::now();
     let reader = BufReader::new(File::open(fastq)?);
     let mut seqs: Vec<String> = Vec::new();
-    let mut line_no = 0u64;
-    for line in reader.lines() {
+    for (line_no, line) in reader.lines().enumerate() {
         let line = line?;
         if line_no % 4 == 1 {
             seqs.push(line.to_string());
         }
-        line_no += 1;
     }
     trace.records = seqs.len() as u64;
     trace.phase("read", t);
@@ -90,11 +88,15 @@ pub fn binning_script(fastq: &Path, out: &Path) -> Result<(Vec<(String, u64)>, S
 /// Script flavour of the gene expression analysis (§4.2.2): join the
 /// alignment text with the gene annotation by position, aggregate per
 /// gene. Inputs are the dataset's text artifacts.
+/// One output row of the gene-expression script: gene name, tag count,
+/// distinct-position count.
+pub type GeneExpressionRow = (String, u64, u64);
+
 pub fn gene_expression_script(
     alignments_txt: &Path,
     genes_txt: &Path,
     out: &Path,
-) -> Result<(Vec<(String, u64, u64)>, ScriptTrace)> {
+) -> Result<(Vec<GeneExpressionRow>, ScriptTrace)> {
     let mut trace = ScriptTrace {
         cores_used: 1,
         ..ScriptTrace::default()
@@ -142,10 +144,8 @@ pub fn gene_expression_script(
             e.1 += 1;
         }
     }
-    let mut result: Vec<(String, u64, u64)> = per_gene
-        .into_iter()
-        .map(|(g, (f, c))| (g, f, c))
-        .collect();
+    let mut result: Vec<(String, u64, u64)> =
+        per_gene.into_iter().map(|(g, (f, c))| (g, f, c)).collect();
     result.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     trace.phase("process", t);
 
@@ -254,7 +254,7 @@ type Op = Box<dyn Fn(&mut InterpState, u8)>;
 pub fn interpreted_count(path: &Path) -> Result<u64> {
     let mut ops: Vec<Op> = Vec::new();
     ops.push(Box::new(|st: &mut InterpState, b: u8| {
-        if st.line_start && st.line_index % 4 == 0 && b == b'@' {
+        if st.line_start && st.line_index.is_multiple_of(4) && b == b'@' {
             st.count += 1;
         }
     }));
@@ -311,7 +311,8 @@ pub fn interpreted_binning_script(
         line_index: u64,
         seqs: Vec<String>,
     }
-    let ops: Vec<Box<dyn Fn(&mut St, u8)>> = vec![
+    type StOp = Box<dyn Fn(&mut St, u8)>;
+    let ops: Vec<StOp> = vec![
         Box::new(|st, b| {
             if b != b'\n' {
                 st.line.push(b);
@@ -320,8 +321,7 @@ pub fn interpreted_binning_script(
         Box::new(|st, b| {
             if b == b'\n' {
                 if st.line_index % 4 == 1 {
-                    st.seqs
-                        .push(String::from_utf8_lossy(&st.line).into_owned());
+                    st.seqs.push(String::from_utf8_lossy(&st.line).into_owned());
                 }
                 st.line.clear();
                 st.line_index += 1;
@@ -360,7 +360,7 @@ pub fn interpreted_binning_script(
     let t = Instant::now();
     let has_n: Box<dyn Fn(&str) -> bool> = Box::new(|s| {
         let pred: Box<dyn Fn(char) -> bool> = Box::new(|c| c == 'N');
-        s.chars().any(|c| pred(c))
+        s.chars().any(&*pred)
     });
     let mut counts: HashMap<String, u64> = HashMap::new();
     for s in &st.seqs {
@@ -369,8 +369,8 @@ pub fn interpreted_binning_script(
         }
     }
     let mut ranked: Vec<(String, u64)> = counts.into_iter().collect();
-    let cmp: Box<dyn Fn(&(String, u64), &(String, u64)) -> std::cmp::Ordering> =
-        Box::new(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    type RankCmp = Box<dyn Fn(&(String, u64), &(String, u64)) -> std::cmp::Ordering>;
+    let cmp: RankCmp = Box::new(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     ranked.sort_by(|a, b| cmp(a, b));
     trace.phase("process", t);
 

@@ -182,10 +182,7 @@ impl DgeDataset {
                 writeln!(
                     w,
                     "GENE{:05}\t{}\t{}\t{}",
-                    g.gene_id,
-                    reference.chromosomes[g.chrom].name,
-                    g.start,
-                    g.len
+                    g.gene_id, reference.chromosomes[g.chrom].name, g.start, g.len
                 )?;
             }
             w.flush()?;
@@ -202,10 +199,8 @@ impl DgeDataset {
                 e.1 += 1;
             }
         }
-        let mut gene_expression: Vec<(u32, u64, u64)> = per_gene
-            .into_iter()
-            .map(|(g, (f, c))| (g, f, c))
-            .collect();
+        let mut gene_expression: Vec<(u32, u64, u64)> =
+            per_gene.into_iter().map(|(g, (f, c))| (g, f, c)).collect();
         gene_expression.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let gene_expr_path = dir.join("gene_expression.txt");
         {
@@ -362,7 +357,11 @@ mod tests {
         assert!(total <= 2000);
         // Most frequent tags align to a gene.
         let with_gene = ds.alignments.iter().filter(|a| a.gene_id.is_some()).count();
-        assert!(with_gene * 2 > ds.alignments.len(), "{with_gene}/{}", ds.alignments.len());
+        assert!(
+            with_gene * 2 > ds.alignments.len(),
+            "{with_gene}/{}",
+            ds.alignments.len()
+        );
         // Expression totals match alignment bookkeeping.
         let expr_total: u64 = ds.gene_expression.iter().map(|(_, f, _)| f).sum();
         let align_total: u64 = ds
@@ -373,7 +372,12 @@ mod tests {
             .sum();
         assert_eq!(expr_total, align_total);
         // All four artifacts exist and are non-empty.
-        for p in [&ds.fastq_path, &ds.unique_tags_path, &ds.alignments_path, &ds.gene_expr_path] {
+        for p in [
+            &ds.fastq_path,
+            &ds.unique_tags_path,
+            &ds.alignments_path,
+            &ds.gene_expr_path,
+        ] {
             assert!(std::fs::metadata(p).unwrap().len() > 0);
         }
         std::fs::remove_dir_all(&d).unwrap();

@@ -29,22 +29,25 @@ fn load_metadata(
     reference: &seqdb_bio::reference::ReferenceGenome,
 ) -> Result<()> {
     let cat = db.catalog();
-    cat.table(&format!("Experiment{suffix}"))?.insert(&Row::new(vec![
-        Value::Int(E_ID),
-        Value::text(format!("{experiment_type}-lane-1")),
-        Value::text(experiment_type),
-        Value::text("2008-11-03"),
-    ]))?;
-    cat.table(&format!("SampleGroup{suffix}"))?.insert(&Row::new(vec![
-        Value::Int(SG_ID),
-        Value::Int(E_ID),
-        Value::text("group-1"),
-    ]))?;
-    cat.table(&format!("Sample{suffix}"))?.insert(&Row::new(vec![
-        Value::Int(S_ID),
-        Value::Int(SG_ID),
-        Value::text("sample-1"),
-    ]))?;
+    cat.table(&format!("Experiment{suffix}"))?
+        .insert(&Row::new(vec![
+            Value::Int(E_ID),
+            Value::text(format!("{experiment_type}-lane-1")),
+            Value::text(experiment_type),
+            Value::text("2008-11-03"),
+        ]))?;
+    cat.table(&format!("SampleGroup{suffix}"))?
+        .insert(&Row::new(vec![
+            Value::Int(SG_ID),
+            Value::Int(E_ID),
+            Value::text("group-1"),
+        ]))?;
+    cat.table(&format!("Sample{suffix}"))?
+        .insert(&Row::new(vec![
+            Value::Int(S_ID),
+            Value::Int(SG_ID),
+            Value::text("sample-1"),
+        ]))?;
     cat.table(&format!("Lane{suffix}"))?.insert(&Row::new(vec![
         Value::Int(L_ID),
         Value::Int(S_ID),
@@ -122,7 +125,9 @@ pub fn import_dge_normalized(
             Value::Int(SG_ID),
             Value::Int(S_ID),
             Value::Int(da.subject as i64 + 1), // tag id
-            da.gene_id.map(|g| Value::Int(g as i64)).unwrap_or(Value::Null),
+            da.gene_id
+                .map(|g| Value::Int(g as i64))
+                .unwrap_or(Value::Null),
             Value::Int(da.alignment.chrom as i64),
             Value::Int(da.alignment.pos as i64),
             Value::text(da.alignment.strand.symbol().to_string()),
@@ -262,9 +267,7 @@ pub fn import_reseq_file_image(
         // orientation.
         let oriented = match da.alignment.strand {
             seqdb_bio::align::Strand::Forward => read.seq.clone(),
-            seqdb_bio::align::Strand::Reverse => {
-                seqdb_bio::dna::reverse_complement_str(&read.seq)?
-            }
+            seqdb_bio::align::Strand::Reverse => seqdb_bio::dna::reverse_complement_str(&read.seq)?,
         };
         raw_al.insert(&Row::new(vec![
             Value::text(read.name.clone()),

@@ -77,9 +77,7 @@ pub fn query3_sliding_plan(db: &Arc<Database>, suffix: &str) -> Result<Plan> {
     let ix = alignment
         .index_named(&format!("ix_Alignment{suffix}_pos"))
         .ok_or_else(|| {
-            seqdb_types::DbError::Plan(format!(
-                "missing clustered index ix_Alignment{suffix}_pos"
-            ))
+            seqdb_types::DbError::Plan(format!("missing clustered index ix_Alignment{suffix}_pos"))
         })?;
 
     let rs = &read.schema;
@@ -132,7 +130,12 @@ pub fn query3_sliding_plan(db: &Arc<Database>, suffix: &str) -> Result<Plan> {
         ],
         "consensus",
     );
-    let schema = aggregate_schema(&joint, &group_exprs, &["a_chr_id".to_string()], &[agg.clone()])?;
+    let schema = aggregate_schema(
+        &joint,
+        &group_exprs,
+        &["a_chr_id".to_string()],
+        std::slice::from_ref(&agg),
+    )?;
     Ok(Plan::StreamAggregate {
         input: Box::new(join),
         group_exprs,
@@ -222,7 +225,7 @@ pub fn query3_pivot_sorted_plan(db: &Arc<Database>, suffix: &str) -> Result<Plan
         &apply_schema,
         &g1,
         &["a_chr_id".to_string(), "position".to_string()],
-        &[call.clone()],
+        std::slice::from_ref(&call),
     )?;
     let s1 = Plan::StreamAggregate {
         input: Box::new(sort),
@@ -240,7 +243,12 @@ pub fn query3_pivot_sorted_plan(db: &Arc<Database>, suffix: &str) -> Result<Plan
         vec![Expr::col(1, "position"), Expr::col(2, "b")],
         "consensus",
     );
-    let s2_schema = aggregate_schema(&s1_schema, &g2, &["a_chr_id".to_string()], &[assemble.clone()])?;
+    let s2_schema = aggregate_schema(
+        &s1_schema,
+        &g2,
+        &["a_chr_id".to_string()],
+        std::slice::from_ref(&assemble),
+    )?;
     Ok(Plan::StreamAggregate {
         input: Box::new(s1),
         group_exprs: g2,
@@ -303,10 +311,7 @@ pub fn run_merge_join(db: &Arc<Database>, suffix: &str) -> Result<i64> {
 
 /// Assert a value-level invariant used in tests and the report: Query 1
 /// output matches the dataset's binning ground truth.
-pub fn check_query1_against(
-    result: &QueryResult,
-    expected: &[(String, u64)],
-) -> Result<()> {
+pub fn check_query1_against(result: &QueryResult, expected: &[(String, u64)]) -> Result<()> {
     if result.rows.len() != expected.len() {
         return Err(seqdb_types::DbError::Execution(format!(
             "Query 1 produced {} tags, dataset has {}",

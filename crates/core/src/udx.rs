@@ -372,7 +372,9 @@ pub struct AssembleSequenceState {
 impl AggState for AssembleSequenceState {
     fn update(&mut self, args: &[Value]) -> Result<()> {
         let [pos, base] = args else {
-            return Err(DbError::Execution("AssembleSequence(position, base)".into()));
+            return Err(DbError::Execution(
+                "AssembleSequence(position, base)".into(),
+            ));
         };
         let b = base.as_text()?.as_bytes();
         if b.len() != 1 {
@@ -401,7 +403,7 @@ impl AggState for AssembleSequenceState {
         for &(p, b) in &self.parts {
             out[(p - start) as usize] = b;
         }
-        Ok(Value::text(String::from_utf8_lossy(&out).into_owned()))
+        Ok(Value::text(String::from_utf8_lossy(&out)))
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -501,8 +503,7 @@ impl AggState for AssembleConsensusState {
 
     fn merge(&mut self, _other: Box<dyn AggState>) -> Result<()> {
         Err(DbError::Execution(
-            "AssembleConsensus consumes an ordered stream and cannot merge partial states"
-                .into(),
+            "AssembleConsensus consumes an ordered stream and cannot merge partial states".into(),
         ))
     }
 
@@ -510,7 +511,7 @@ impl AggState for AssembleConsensusState {
         while let Some(sums) = self.window.pop_front() {
             self.out.push(call(&sums));
         }
-        Ok(Value::text(String::from_utf8_lossy(&self.out).into_owned()))
+        Ok(Value::text(String::from_utf8_lossy(&self.out)))
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -685,8 +686,14 @@ mod tests {
             ))
             .unwrap();
         assert_eq!(r.rows.len(), 4);
-        assert_eq!(r.rows[0].values(), &[Value::Int(100), Value::text("A"), Value::Int(30)]);
-        assert_eq!(r.rows[3].values(), &[Value::Int(103), Value::text("T"), Value::Int(30)]);
+        assert_eq!(
+            r.rows[0].values(),
+            &[Value::Int(100), Value::text("A"), Value::Int(30)]
+        );
+        assert_eq!(
+            r.rows[3].values(),
+            &[Value::Int(103), Value::text("T"), Value::Int(30)]
+        );
     }
 
     #[test]

@@ -39,12 +39,7 @@ pub fn load_dge_designs(db: &Arc<Database>, ds: &DgeDataset) -> Result<()> {
     import::import_dge_normalized(db, NORM_ROW, Compression::Row, ds)?;
     import::import_dge_normalized(db, NORM_PAGE, Compression::Page, ds)?;
     import::import_filestream(db, NORM, &ds.fastq_path, 855, 1)?;
-    import::import_reads_packed(
-        db,
-        NORM,
-        Compression::Row,
-        ds.reads.iter().cloned(),
-    )?;
+    import::import_reads_packed(db, NORM, Compression::Row, ds.reads.iter().cloned())?;
     Ok(())
 }
 
@@ -81,21 +76,49 @@ pub fn dge_storage_report(db: &Arc<Database>, ds: &DgeDataset) -> Result<Storage
     r.add_table("short reads", "normalized", db, &format!("Read{NORM}"))?;
     r.add_table("short reads", "norm+row", db, &format!("Read{NORM_ROW}"))?;
     r.add_table("short reads", "norm+page", db, &format!("Read{NORM_PAGE}"))?;
-    r.add_table("short reads", "norm+bitpack", db, &format!("ReadPacked{NORM}"))?;
+    r.add_table(
+        "short reads",
+        "norm+bitpack",
+        db,
+        &format!("ReadPacked{NORM}"),
+    )?;
 
     r.add_file("unique tags", "Files", &ds.unique_tags_path)?;
-    r.add("unique tags", "FileStream", blob_size(db, &ds.unique_tags_path)?);
+    r.add(
+        "unique tags",
+        "FileStream",
+        blob_size(db, &ds.unique_tags_path)?,
+    );
     r.add_table("unique tags", "1:1 import", db, &format!("RawTags{RAW}"))?;
     r.add_table("unique tags", "normalized", db, &format!("Tag{NORM}"))?;
     r.add_table("unique tags", "norm+row", db, &format!("Tag{NORM_ROW}"))?;
     r.add_table("unique tags", "norm+page", db, &format!("Tag{NORM_PAGE}"))?;
 
     r.add_file("alignments", "Files", &ds.alignments_path)?;
-    r.add("alignments", "FileStream", blob_size(db, &ds.alignments_path)?);
-    r.add_table("alignments", "1:1 import", db, &format!("RawAlignments{RAW}"))?;
+    r.add(
+        "alignments",
+        "FileStream",
+        blob_size(db, &ds.alignments_path)?,
+    );
+    r.add_table(
+        "alignments",
+        "1:1 import",
+        db,
+        &format!("RawAlignments{RAW}"),
+    )?;
     r.add_table("alignments", "normalized", db, &format!("Alignment{NORM}"))?;
-    r.add_table("alignments", "norm+row", db, &format!("Alignment{NORM_ROW}"))?;
-    r.add_table("alignments", "norm+page", db, &format!("Alignment{NORM_PAGE}"))?;
+    r.add_table(
+        "alignments",
+        "norm+row",
+        db,
+        &format!("Alignment{NORM_ROW}"),
+    )?;
+    r.add_table(
+        "alignments",
+        "norm+page",
+        db,
+        &format!("Alignment{NORM_PAGE}"),
+    )?;
 
     r.add_file("gene expression", "Files", &ds.gene_expr_path)?;
     r.add(
@@ -114,9 +137,24 @@ pub fn dge_storage_report(db: &Arc<Database>, ds: &DgeDataset) -> Result<Storage
     for sfx in [NORM, NORM_ROW, NORM_PAGE] {
         queries::run_query2(db, sfx)?;
     }
-    r.add_table("gene expression", "normalized", db, &format!("GeneExpression{NORM}"))?;
-    r.add_table("gene expression", "norm+row", db, &format!("GeneExpression{NORM_ROW}"))?;
-    r.add_table("gene expression", "norm+page", db, &format!("GeneExpression{NORM_PAGE}"))?;
+    r.add_table(
+        "gene expression",
+        "normalized",
+        db,
+        &format!("GeneExpression{NORM}"),
+    )?;
+    r.add_table(
+        "gene expression",
+        "norm+row",
+        db,
+        &format!("GeneExpression{NORM_ROW}"),
+    )?;
+    r.add_table(
+        "gene expression",
+        "norm+page",
+        db,
+        &format!("GeneExpression{NORM_PAGE}"),
+    )?;
     Ok(r)
 }
 
@@ -129,14 +167,38 @@ pub fn reseq_storage_report(db: &Arc<Database>, ds: &ResequencingDataset) -> Res
     r.add_table("short reads", "normalized", db, &format!("Read{NORM}"))?;
     r.add_table("short reads", "norm+row", db, &format!("Read{NORM_ROW}"))?;
     r.add_table("short reads", "norm+page", db, &format!("Read{NORM_PAGE}"))?;
-    r.add_table("short reads", "norm+bitpack", db, &format!("ReadPacked{NORM}"))?;
+    r.add_table(
+        "short reads",
+        "norm+bitpack",
+        db,
+        &format!("ReadPacked{NORM}"),
+    )?;
 
     r.add_file("alignments", "Files", &ds.alignments_path)?;
-    r.add("alignments", "FileStream", blob_size(db, &ds.alignments_path)?);
-    r.add_table("alignments", "1:1 import", db, &format!("RawAlignments{RAW}"))?;
+    r.add(
+        "alignments",
+        "FileStream",
+        blob_size(db, &ds.alignments_path)?,
+    );
+    r.add_table(
+        "alignments",
+        "1:1 import",
+        db,
+        &format!("RawAlignments{RAW}"),
+    )?;
     r.add_table("alignments", "normalized", db, &format!("Alignment{NORM}"))?;
-    r.add_table("alignments", "norm+row", db, &format!("Alignment{NORM_ROW}"))?;
-    r.add_table("alignments", "norm+page", db, &format!("Alignment{NORM_PAGE}"))?;
+    r.add_table(
+        "alignments",
+        "norm+row",
+        db,
+        &format!("Alignment{NORM_ROW}"),
+    )?;
+    r.add_table(
+        "alignments",
+        "norm+page",
+        db,
+        &format!("Alignment{NORM_PAGE}"),
+    )?;
     Ok(r)
 }
 
@@ -158,9 +220,7 @@ pub fn run_dge_analysis(db: &Arc<Database>, ds: &DgeDataset) -> Result<(usize, u
 /// Run all three consensus plans (hash-grouped pivot, sort-based pivot,
 /// sliding window) and check they agree. Returns
 /// `(consensus pairs, spill bytes of the sort-based pivot plan)`.
-pub fn run_consensus_both_ways(
-    db: &Arc<Database>,
-) -> Result<(Vec<(i64, String)>, u64)> {
+pub fn run_consensus_both_ways(db: &Arc<Database>) -> Result<(Vec<(i64, String)>, u64)> {
     let pivot = queries::run_query3_pivot(db, NORM)?;
     db.temp().reset_counters();
     let pivot_sorted = queries::run_query3_pivot_sorted(db, NORM)?;
@@ -210,8 +270,7 @@ pub fn discover_snps(
                 oriented_quals = read.quals.clone();
             }
             seqdb_bio::align::Strand::Reverse => {
-                oriented_seq =
-                    seqdb_bio::dna::reverse_complement_str(&read.seq)?.into_bytes();
+                oriented_seq = seqdb_bio::dna::reverse_complement_str(&read.seq)?.into_bytes();
                 oriented_quals = read.quals.iter().rev().copied().collect();
             }
         }

@@ -292,10 +292,7 @@ mod tests {
             ToFloatFn.invoke(&[Value::Int(2)]).unwrap(),
             Value::Float(2.0)
         );
-        assert_eq!(
-            ToTextFn.invoke(&[Value::Int(7)]).unwrap(),
-            Value::text("7")
-        );
+        assert_eq!(ToTextFn.invoke(&[Value::Int(7)]).unwrap(), Value::text("7"));
     }
 
     #[test]

@@ -302,7 +302,12 @@ impl Catalog {
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.tables.read().values().map(|t| t.name.clone()).collect();
+        let mut v: Vec<String> = self
+            .tables
+            .read()
+            .values()
+            .map(|t| t.name.clone())
+            .collect();
         v.sort();
         v
     }
@@ -442,12 +447,13 @@ mod tests {
             .unwrap();
         cat.create_index("t", "ix_seq", vec![1], false).unwrap();
         for i in 0..50i64 {
-            t.insert(&Row::new(vec![Value::Int(i), Value::text(format!("S{}", i % 5))]))
-                .unwrap();
-        }
-        let n = t
-            .delete_where(|r| Ok(r[0].as_int()? % 2 == 0))
+            t.insert(&Row::new(vec![
+                Value::Int(i),
+                Value::text(format!("S{}", i % 5)),
+            ]))
             .unwrap();
+        }
+        let n = t.delete_where(|r| Ok(r[0].as_int()? % 2 == 0)).unwrap();
         assert_eq!(n, 25);
         assert_eq!(t.row_count(), 25);
         // PK index reflects the deletions.

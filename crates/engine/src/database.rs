@@ -7,7 +7,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use seqdb_storage::rowfmt::Compression;
-use seqdb_storage::{BufferPool, FilePager, FileStreamStore, MemPager, TempSpace};
+use seqdb_storage::{BufferPool, FilePager, FileStreamStore, MemPager, TempSpace, WriteAheadLog};
 use seqdb_types::{Result, Row, Schema};
 
 use crate::catalog::{Catalog, Table};
@@ -63,12 +63,17 @@ impl Database {
         Self::assemble(pool, &base).expect("temp-dir backed stores")
     }
 
-    /// Disk-backed database rooted at `dir` (data file, FileStream
-    /// directory and temp space inside it).
+    /// Disk-backed database rooted at `dir` (data file, write-ahead log,
+    /// FileStream directory and temp space inside it). If the previous
+    /// process crashed, the log is replayed into the data file before the
+    /// database comes up.
     pub fn open(dir: &Path) -> Result<Arc<Database>> {
         std::fs::create_dir_all(dir)?;
-        let pager = FilePager::open(&dir.join("seqdb.data"))?;
-        let pool = BufferPool::with_default_capacity(Arc::new(pager));
+        let pager: Arc<dyn seqdb_storage::PageStore> =
+            Arc::new(FilePager::open(&dir.join("seqdb.data"))?);
+        let wal = Arc::new(WriteAheadLog::open_file(&dir.join("seqdb.wal"))?);
+        wal.recover_into(pager.as_ref())?;
+        let pool = BufferPool::with_wal(pager, BufferPool::DEFAULT_CAPACITY, wal);
         Self::assemble(pool, dir)
     }
 
@@ -149,7 +154,8 @@ impl Database {
         compression: Compression,
         primary_key: Option<Vec<usize>>,
     ) -> Result<Arc<Table>> {
-        self.catalog.create_table(name, schema, compression, primary_key)
+        self.catalog
+            .create_table(name, schema, compression, primary_key)
     }
 
     /// Run a SELECT-shaped plan and collect its result.
@@ -185,9 +191,10 @@ impl Database {
         t.insert_many(rows)
     }
 
-    /// Flush all dirty pages (clean-shutdown durability).
+    /// Checkpoint: make all dirty pages durable and truncate the
+    /// write-ahead log. Also what the SQL `CHECKPOINT` statement runs.
     pub fn checkpoint(&self) -> Result<()> {
-        self.pool.flush_all()
+        self.pool.checkpoint()
     }
 }
 
@@ -204,9 +211,7 @@ impl crate::udx::ScalarUdf for FsPathNameFn {
         use seqdb_types::Value;
         match args {
             [Value::Null] => Ok(Value::Null),
-            [Value::Guid(g)] => Ok(Value::text(
-                self.store.path_name(*g)?.to_string_lossy().into_owned(),
-            )),
+            [Value::Guid(g)] => Ok(Value::text(self.store.path_name(*g)?.to_string_lossy())),
             _ => Err(seqdb_types::DbError::Execution(
                 "PathName() expects a FILESTREAM column".into(),
             )),
@@ -277,11 +282,7 @@ mod tests {
                 projection: None,
                 schema: t.schema.clone(),
             }),
-            predicate: Expr::binary(
-                crate::expr::BinOp::GtEq,
-                Expr::col(1, "x"),
-                Expr::lit(49),
-            ),
+            predicate: Expr::binary(crate::expr::BinOp::GtEq, Expr::col(1, "x"), Expr::lit(49)),
         };
         let res = db.run_plan(&plan).unwrap();
         assert_eq!(res.rows.len(), 3); // 49, 64, 81

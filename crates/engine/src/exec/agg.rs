@@ -54,6 +54,9 @@ impl AggSpec {
     }
 }
 
+/// Grouped aggregation state: group key -> one state per aggregate.
+pub type GroupedStates = HashMap<Vec<Value>, Vec<Box<dyn AggState>>>;
+
 /// Evaluate the grouping key of a row.
 pub fn group_key(group_exprs: &[Expr], row: &Row) -> Result<Vec<Value>> {
     group_exprs.iter().map(|e| e.eval(row)).collect()
@@ -66,8 +69,8 @@ pub fn aggregate_into_map(
     input: &mut dyn RowIterator,
     group_exprs: &[Expr],
     aggs: &[AggSpec],
-) -> Result<HashMap<Vec<Value>, Vec<Box<dyn AggState>>>> {
-    let mut groups: HashMap<Vec<Value>, Vec<Box<dyn AggState>>> = HashMap::new();
+) -> Result<GroupedStates> {
+    let mut groups: GroupedStates = HashMap::new();
     while let Some(row) = input.next()? {
         let key = group_key(group_exprs, &row)?;
         let states = groups
@@ -82,10 +85,7 @@ pub fn aggregate_into_map(
 
 /// Merge a partial aggregation map into an accumulator map (the "final"
 /// side of a parallel aggregate).
-pub fn merge_maps(
-    into: &mut HashMap<Vec<Value>, Vec<Box<dyn AggState>>>,
-    from: HashMap<Vec<Value>, Vec<Box<dyn AggState>>>,
-) -> Result<()> {
+pub fn merge_maps(into: &mut GroupedStates, from: GroupedStates) -> Result<()> {
     for (key, states) in from {
         match into.entry(key) {
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -103,9 +103,7 @@ pub fn merge_maps(
 
 /// Turn a finished group map into output rows (group values then
 /// aggregate results).
-pub fn finish_map(
-    groups: HashMap<Vec<Value>, Vec<Box<dyn AggState>>>,
-) -> Result<Vec<Row>> {
+pub fn finish_map(groups: GroupedStates) -> Result<Vec<Row>> {
     let mut out = Vec::with_capacity(groups.len());
     for (key, mut states) in groups {
         let mut vals = key;
@@ -158,11 +156,14 @@ impl RowIterator for HashAggIter {
 /// Streaming aggregate over input already sorted by the group
 /// expressions. Non-blocking: emits each group as soon as the key
 /// changes, holding only one group's state.
+/// One in-flight group of a streaming aggregate.
+type CurrentGroup = (Vec<Value>, Vec<Box<dyn AggState>>);
+
 pub struct StreamAggIter {
     input: BoxedIter,
     group_exprs: Vec<Expr>,
     aggs: Vec<AggSpec>,
-    current: Option<(Vec<Value>, Vec<Box<dyn AggState>>)>,
+    current: Option<CurrentGroup>,
     done: bool,
     saw_rows: bool,
 }
@@ -207,8 +208,7 @@ impl RowIterator for StreamAggIter {
                         Some(_) => {
                             // Group boundary: emit the finished group and
                             // start the new one.
-                            let (okey, ostates) =
-                                self.current.take().expect("checked Some above");
+                            let (okey, ostates) = self.current.take().expect("checked Some above");
                             let mut states: Vec<Box<dyn AggState>> =
                                 self.aggs.iter().map(|a| a.factory.create()).collect();
                             for (spec, state) in self.aggs.iter().zip(states.iter_mut()) {

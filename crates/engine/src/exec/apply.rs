@@ -141,7 +141,9 @@ mod tests {
             }
         }
         fn fill_row(&mut self) -> Result<Row> {
-            Ok(Row::new(vec![Value::Int(self.current.expect("move_next first"))]))
+            Ok(Row::new(vec![Value::Int(
+                self.current.expect("move_next first"),
+            )]))
         }
     }
 
@@ -172,7 +174,9 @@ mod tests {
         let it = TvfScanIter::open(&tvf, &[Value::Int(4)], &ctx).unwrap();
         let rows = collect(Box::new(it)).unwrap();
         assert_eq!(
-            rows.iter().map(|r| r[0].as_int().unwrap()).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| r[0].as_int().unwrap())
+                .collect::<Vec<_>>(),
             vec![0, 1, 2, 3]
         );
     }

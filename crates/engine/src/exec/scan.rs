@@ -298,7 +298,8 @@ mod tests {
             .unwrap();
         for g in 0..5i64 {
             for i in 0..20i64 {
-                t.insert(&Row::new(vec![Value::Int(g), Value::Int(i)])).unwrap();
+                t.insert(&Row::new(vec![Value::Int(g), Value::Int(i)]))
+                    .unwrap();
             }
         }
         let idx = t.index_with_prefix(&[0]).unwrap();

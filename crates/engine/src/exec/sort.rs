@@ -173,8 +173,8 @@ impl MergeRuns {
     fn new(mut runs: Vec<SpillReader>, keys: Vec<SortKey>) -> Result<MergeRuns> {
         let desc = std::sync::Arc::new(keys.iter().map(|k| k.desc).collect::<Vec<_>>());
         let mut heap = BinaryHeap::new();
-        for i in 0..runs.len() {
-            if let Some((key, row)) = read_entry(&mut runs[i])? {
+        for (i, run) in runs.iter_mut().enumerate() {
+            if let Some((key, row)) = read_entry(run)? {
                 heap.push(HeapEntry {
                     key,
                     row,
@@ -213,9 +213,7 @@ fn read_entry(run: &mut SpillReader) -> Result<Option<(Vec<Value>, Row)>> {
     let len = u32::from_le_bytes(lenbuf) as usize;
     let mut payload = vec![0u8; len];
     if !run.read_exact(&mut payload)? {
-        return Err(seqdb_types::DbError::Storage(
-            "truncated sort spill".into(),
-        ));
+        return Err(seqdb_types::DbError::Storage("truncated sort spill".into()));
     }
     let mut pos = 0;
     let key = rowser::read_row(&payload, &mut pos)?.into_values();
@@ -274,8 +272,9 @@ impl RowIterator for TopNIter {
                 let kv = eval_keys(&self.keys, &row)?;
                 // Insertion sort into the bounded buffer; fine for the
                 // small n of TOP queries.
-                let pos = best
-                    .partition_point(|(k, _)| compare_keys(&self.keys, k, &kv) != Ordering::Greater);
+                let pos = best.partition_point(|(k, _)| {
+                    compare_keys(&self.keys, k, &kv) != Ordering::Greater
+                });
                 if pos < self.n {
                     best.insert(pos, (kv, row));
                     best.truncate(self.n);

@@ -56,7 +56,10 @@ impl BinOp {
 #[derive(Clone)]
 pub enum Expr {
     /// Positional column reference, with the display name kept for EXPLAIN.
-    Column { index: usize, name: String },
+    Column {
+        index: usize,
+        name: String,
+    },
     Literal(Value),
     Binary {
         op: BinOp,
@@ -68,7 +71,10 @@ pub enum Expr {
     /// Arithmetic negation.
     Neg(Box<Expr>),
     /// `expr IS NULL` / `expr IS NOT NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// Resolved scalar function call.
     Func {
         udf: Arc<dyn ScalarUdf>,
@@ -190,14 +196,22 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> Result<Value>
     // AND/OR need SQL three-valued logic with short-circuiting.
     if matches!(op, BinOp::And | BinOp::Or) {
         let l = left.eval(row)?;
-        let l_bool = if l.is_null() { None } else { Some(l.as_bool()?) };
+        let l_bool = if l.is_null() {
+            None
+        } else {
+            Some(l.as_bool()?)
+        };
         match (op, l_bool) {
             (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
             (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
             _ => {}
         }
         let r = right.eval(row)?;
-        let r_bool = if r.is_null() { None } else { Some(r.as_bool()?) };
+        let r_bool = if r.is_null() {
+            None
+        } else {
+            Some(r.as_bool()?)
+        };
         return Ok(match (op, l_bool, r_bool) {
             (BinOp::And, Some(true), Some(b)) => Value::Bool(b),
             (BinOp::And, _, Some(false)) => Value::Bool(false),
@@ -220,8 +234,10 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> Result<Value>
             // Comparable only within a type class; mixed numeric is fine.
             let comparable = matches!(
                 (&l, &r),
-                (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
-                    | (Value::Text(_), Value::Text(_))
+                (
+                    Value::Int(_) | Value::Float(_),
+                    Value::Int(_) | Value::Float(_)
+                ) | (Value::Text(_), Value::Text(_))
                     | (Value::Bytes(_), Value::Bytes(_))
                     | (Value::Bool(_), Value::Bool(_))
                     | (Value::Guid(_), Value::Guid(_))
@@ -360,17 +376,23 @@ mod tests {
         let f = Expr::lit(false);
         // FALSE AND NULL = FALSE (short circuit)
         assert_eq!(
-            Expr::binary(BinOp::And, f.clone(), null.clone()).eval(&row()).unwrap(),
+            Expr::binary(BinOp::And, f.clone(), null.clone())
+                .eval(&row())
+                .unwrap(),
             Value::Bool(false)
         );
         // TRUE AND NULL = NULL
         assert_eq!(
-            Expr::binary(BinOp::And, t.clone(), null.clone()).eval(&row()).unwrap(),
+            Expr::binary(BinOp::And, t.clone(), null.clone())
+                .eval(&row())
+                .unwrap(),
             Value::Null
         );
         // NULL OR TRUE = TRUE
         assert_eq!(
-            Expr::binary(BinOp::Or, null.clone(), t).eval(&row()).unwrap(),
+            Expr::binary(BinOp::Or, null.clone(), t)
+                .eval(&row())
+                .unwrap(),
             Value::Bool(true)
         );
         // NULL OR FALSE = NULL

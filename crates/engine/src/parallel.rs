@@ -171,7 +171,7 @@ mod tests {
     use crate::exec::testutil::test_context;
     use crate::exec::{collect, ValuesIter};
     use crate::expr::BinOp;
-    use crate::udx::{Aggregate, AggState, CountAgg, SumAgg};
+    use crate::udx::{AggState, Aggregate, CountAgg, SumAgg};
     use seqdb_storage::rowfmt::Compression;
     use seqdb_types::{Column, DataType, Schema, Value};
 
@@ -219,7 +219,8 @@ mod tests {
         };
 
         for dop in [1, 2, 4] {
-            let mut par = ParallelAggIter::new(t.clone(), None, group.clone(), specs(), dop).unwrap();
+            let mut par =
+                ParallelAggIter::new(t.clone(), None, group.clone(), specs(), dop).unwrap();
             let mut rows = Vec::new();
             while let Some(r) = par.next().unwrap() {
                 rows.push(r);

@@ -44,20 +44,32 @@ pub enum Plan {
         args: Vec<Value>,
     },
     /// Literal rows (`INSERT ... VALUES`, tests).
-    Values { schema: Arc<Schema>, rows: Vec<Row> },
-    Filter { input: Box<Plan>, predicate: Expr },
+    Values {
+        schema: Arc<Schema>,
+        rows: Vec<Row>,
+    },
+    Filter {
+        input: Box<Plan>,
+        predicate: Expr,
+    },
     Project {
         input: Box<Plan>,
         exprs: Vec<Expr>,
         schema: Arc<Schema>,
     },
-    Sort { input: Box<Plan>, keys: Vec<SortKey> },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<SortKey>,
+    },
     TopN {
         input: Box<Plan>,
         keys: Vec<SortKey>,
         n: u64,
     },
-    Limit { input: Box<Plan>, n: u64 },
+    Limit {
+        input: Box<Plan>,
+        n: u64,
+    },
     /// Serial blocking hash aggregate.
     HashAggregate {
         input: Box<Plan>,
@@ -407,7 +419,9 @@ impl Plan {
                 ..
             } => {
                 if *dop_hint > 1 {
-                    out.push_str(&format!("{pad}Parallelism (Gather Streams) [DOP={dop_hint}]\n"));
+                    out.push_str(&format!(
+                        "{pad}Parallelism (Gather Streams) [DOP={dop_hint}]\n"
+                    ));
                     let pad1 = "  ".repeat(depth + 1);
                     out.push_str(&format!(
                         "{pad1}Merge Join (Inner Join) [{} = {}] (parallel, key-range partitioned)\n",

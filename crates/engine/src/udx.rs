@@ -128,7 +128,7 @@ pub struct CountState {
 impl AggState for CountState {
     fn update(&mut self, args: &[Value]) -> Result<()> {
         match args.first() {
-            None => self.n += 1,                   // COUNT(*)
+            None => self.n += 1,                    // COUNT(*)
             Some(v) if !v.is_null() => self.n += 1, // COUNT(expr)
             Some(_) => {}
         }
@@ -356,7 +356,10 @@ mod tests {
 
     #[test]
     fn avg_is_float() {
-        assert_eq!(run(&AvgAgg, &[Value::Int(1), Value::Int(2)]), Value::Float(1.5));
+        assert_eq!(
+            run(&AvgAgg, &[Value::Int(1), Value::Int(2)]),
+            Value::Float(1.5)
+        );
     }
 
     #[test]
@@ -364,7 +367,13 @@ mod tests {
         // Split the input in two partitions, merge partials, compare with
         // the serial result — the invariant behind parallel UDA plans.
         let inputs: Vec<Value> = (0..100).map(Value::Int).collect();
-        for agg in [&SumAgg as &dyn Aggregate, &CountAgg, &MinAgg, &MaxAgg, &AvgAgg] {
+        for agg in [
+            &SumAgg as &dyn Aggregate,
+            &CountAgg,
+            &MinAgg,
+            &MaxAgg,
+            &AvgAgg,
+        ] {
             let serial = run(agg, &inputs);
             let mut left = agg.create();
             let mut right = agg.create();

@@ -26,6 +26,9 @@ pub enum Statement {
     },
     /// `EXPLAIN <select>` — returns the physical plan as text.
     Explain(Box<Statement>),
+    /// `CHECKPOINT` — flush all dirty pages durably and truncate the
+    /// write-ahead log (T-SQL's manual checkpoint).
+    Checkpoint,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -92,7 +95,10 @@ pub struct Select {
 pub enum SelectItem {
     /// `*`
     Wildcard,
-    Expr { expr: AstExpr, alias: Option<String> },
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]

@@ -20,7 +20,7 @@ use seqdb_engine::exec::agg::AggSpec;
 use seqdb_engine::exec::filter::project_schema;
 use seqdb_engine::exec::sort::SortKey;
 use seqdb_engine::plan::aggregate_schema;
-use seqdb_engine::{BinOp, Database, Expr, ExecContext, Plan, QueryResult, TableFunction};
+use seqdb_engine::{BinOp, Database, ExecContext, Expr, Plan, QueryResult, TableFunction};
 use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
 
 use crate::ast::*;
@@ -73,6 +73,10 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
                 rows,
                 affected: 0,
             })
+        }
+        Statement::Checkpoint => {
+            db.checkpoint()?;
+            Ok(QueryResult::empty())
         }
         Statement::CreateTable(ct) => create_table(db, ct),
         Statement::CreateIndex(ci) => create_index(db, ci),
@@ -176,9 +180,7 @@ fn create_table(db: &Arc<Database>, ct: &CreateTable) -> Result<QueryResult> {
         }
         if c.filestream {
             if dtype != DataType::Bytes {
-                return Err(DbError::Schema(
-                    "FILESTREAM requires VARBINARY(MAX)".into(),
-                ));
+                return Err(DbError::Schema("FILESTREAM requires VARBINARY(MAX)".into()));
             }
             col = col.filestream();
         }
@@ -474,10 +476,9 @@ impl Binder<'_> {
         }
 
         let is_agg = |n: &str| self.is_aggregate_name(n);
-        let has_aggregates = s
-            .items
-            .iter()
-            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate(&is_agg)));
+        let has_aggregates = s.items.iter().any(
+            |i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate(&is_agg)),
+        );
 
         if !s.group_by.is_empty() || has_aggregates {
             self.plan_grouped(s, plan, scope)
@@ -503,9 +504,7 @@ impl Binder<'_> {
                 SelectItem::Expr { expr, alias } => match expr {
                     AstExpr::Window { order_by, .. } => {
                         if window.is_some() {
-                            return Err(DbError::Unsupported(
-                                "multiple window functions".into(),
-                            ));
+                            return Err(DbError::Unsupported("multiple window functions".into()));
                         }
                         window = Some((exprs.len(), order_by.clone()));
                         // Placeholder; patched after RowNumber is added.
@@ -514,9 +513,11 @@ impl Binder<'_> {
                     }
                     _ => {
                         exprs.push(self.bind_expr(expr, &scope)?);
-                        aliases.push(alias.clone().or_else(|| {
-                            expr.simple_name().map(|s| s.to_string())
-                        }));
+                        aliases.push(
+                            alias
+                                .clone()
+                                .or_else(|| expr.simple_name().map(|s| s.to_string())),
+                        );
                     }
                 },
             }
@@ -601,9 +602,7 @@ impl Binder<'_> {
 
         for item in &s.items {
             let SelectItem::Expr { expr, alias } = item else {
-                return Err(DbError::Unsupported(
-                    "SELECT * with GROUP BY".into(),
-                ));
+                return Err(DbError::Unsupported("SELECT * with GROUP BY".into()));
             };
             match expr {
                 AstExpr::Window { order_by, .. } => {
@@ -666,13 +665,9 @@ impl Binder<'_> {
         // are not in the select list become hidden aggregates.
         let having_expr = match &s.having {
             None => None,
-            Some(h) => Some(self.bind_having(
-                h,
-                &scope,
-                &group_canon,
-                &mut agg_canon,
-                &mut aggs,
-            )?),
+            Some(h) => {
+                Some(self.bind_having(h, &scope, &group_canon, &mut agg_canon, &mut aggs)?)
+            }
         };
 
         // Choose the aggregation strategy.
@@ -712,10 +707,7 @@ impl Binder<'_> {
             ..
         } = &plan
         {
-            if all_mergeable
-                && cfg.max_dop > 1
-                && table.row_count() >= cfg.parallel_threshold
-            {
+            if all_mergeable && cfg.max_dop > 1 && table.row_count() >= cfg.parallel_threshold {
                 Plan::ParallelAggregate {
                     table: table.clone(),
                     filter: filter.clone(),
@@ -756,19 +748,22 @@ impl Binder<'_> {
         // Resolve ORDER BY over the aggregate output.
         let mut order_keys: Vec<SortKey> = Vec::new();
         for (oi, o) in s.order_by.iter().enumerate() {
-            if let Some(&(_, desc, agg_idx)) = hidden_order
-                .iter()
-                .find(|(h_oi, _, _)| *h_oi == oi)
+            if let Some(&(_, desc, agg_idx)) = hidden_order.iter().find(|(h_oi, _, _)| *h_oi == oi)
             {
                 let e = Expr::col(agg_base + agg_idx, aggs[agg_idx].name.clone());
-                order_keys.push(if desc { SortKey::desc(e) } else { SortKey::asc(e) });
+                order_keys.push(if desc {
+                    SortKey::desc(e)
+                } else {
+                    SortKey::asc(e)
+                });
                 continue;
             }
             let e = self.resolve_in_output(&o.expr, &group_canon, &agg_canon, &out_schema)?;
-            order_keys.push(if o.desc { SortKey::asc(e.clone()) } else { SortKey::asc(e.clone()) });
-            if o.desc {
-                *order_keys.last_mut().unwrap() = SortKey::desc(e);
-            }
+            order_keys.push(if o.desc {
+                SortKey::desc(e)
+            } else {
+                SortKey::asc(e)
+            });
         }
 
         // Window over aggregate output.
@@ -779,7 +774,11 @@ impl Binder<'_> {
                 for o in order {
                     let e =
                         self.resolve_in_output(&o.expr, &group_canon, &agg_canon, &out_schema)?;
-                    keys.push(if o.desc { SortKey::desc(e) } else { SortKey::asc(e) });
+                    keys.push(if o.desc {
+                        SortKey::desc(e)
+                    } else {
+                        SortKey::asc(e)
+                    });
                 }
                 plan = Plan::Sort {
                     input: Box::new(plan),
@@ -869,7 +868,11 @@ impl Binder<'_> {
         }
         match e {
             AstExpr::Func { name, args, star } if self.is_aggregate_name(name) => {
-                let factory = self.db.catalog().aggregate(name).expect("is_aggregate_name");
+                let factory = self
+                    .db
+                    .catalog()
+                    .aggregate(name)
+                    .expect("is_aggregate_name");
                 let bound_args = if *star {
                     Vec::new()
                 } else {
@@ -883,7 +886,13 @@ impl Binder<'_> {
             }
             AstExpr::Binary { op, left, right } => Ok(Expr::Binary {
                 op: map_binop(*op),
-                left: Box::new(self.bind_having(left, input_scope, group_canon, agg_canon, aggs)?),
+                left: Box::new(self.bind_having(
+                    left,
+                    input_scope,
+                    group_canon,
+                    agg_canon,
+                    aggs,
+                )?),
                 right: Box::new(self.bind_having(
                     right,
                     input_scope,
@@ -960,7 +969,11 @@ impl Binder<'_> {
             .iter()
             .map(|o| {
                 let e = self.bind_expr(&o.expr, scope)?;
-                Ok(if o.desc { SortKey::desc(e) } else { SortKey::asc(e) })
+                Ok(if o.desc {
+                    SortKey::desc(e)
+                } else {
+                    SortKey::asc(e)
+                })
             })
             .collect()
     }
@@ -1115,11 +1128,10 @@ impl Binder<'_> {
                 ))
             }
             TableRef::Function { name, args, alias } => {
-                let tvf = self
-                    .db
-                    .catalog()
-                    .table_fn(name)
-                    .ok_or_else(|| DbError::NotFound(format!("table-valued function {name}")))?;
+                let tvf =
+                    self.db.catalog().table_fn(name).ok_or_else(|| {
+                        DbError::NotFound(format!("table-valued function {name}"))
+                    })?;
                 let empty = Scope::empty();
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
@@ -1179,9 +1191,7 @@ impl Binder<'_> {
                     "INT" | "BIGINT" | "SMALLINT" | "TINYINT" => "TO_INT",
                     "FLOAT" | "REAL" | "DOUBLE" => "TO_FLOAT",
                     "VARCHAR" | "NVARCHAR" | "TEXT" | "CHAR" => "TO_VARCHAR",
-                    other => {
-                        return Err(DbError::Unsupported(format!("CAST to {other}")))
-                    }
+                    other => return Err(DbError::Unsupported(format!("CAST to {other}"))),
                 };
                 let udf = self
                     .db
@@ -1445,9 +1455,10 @@ impl seqdb_engine::TvfCursor for OpenRowsetCursor {
             return Ok(false);
         }
         self.emitted = true;
-        self.data = Some(std::fs::read(&self.path).map_err(|e| {
-            DbError::Io(format!("OPENROWSET BULK '{}': {e}", self.path))
-        })?);
+        self.data = Some(
+            std::fs::read(&self.path)
+                .map_err(|e| DbError::Io(format!("OPENROWSET BULK '{}': {e}", self.path)))?,
+        );
         Ok(true)
     }
     fn fill_row(&mut self) -> Result<Row> {

@@ -205,7 +205,13 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::QuotedIdent(sql[start..i].to_string()));
                 i += 1;
             }
-            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)) => {
+            c if c.is_ascii_digit()
+                || (c == '.'
+                    && bytes
+                        .get(i + 1)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)) =>
+            {
                 let start = i;
                 let mut is_float = false;
                 while i < bytes.len()
@@ -282,7 +288,10 @@ mod tests {
     #[test]
     fn operators() {
         let toks = tokenize("a <> b != c <= d >= e < f > g").unwrap();
-        let ops: Vec<&Token> = toks.iter().filter(|t| !matches!(t, Token::Ident(_))).collect();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_)))
+            .collect();
         assert_eq!(
             ops,
             vec![

@@ -85,7 +85,8 @@ mod tests {
     #[test]
     fn where_filters_and_charindex() {
         let db = db();
-        db.execute_sql("CREATE TABLE r (id INT, seq VARCHAR(64))").unwrap();
+        db.execute_sql("CREATE TABLE r (id INT, seq VARCHAR(64))")
+            .unwrap();
         db.execute_sql("INSERT INTO r VALUES (1,'ACGT'),(2,'ACNT'),(3,'GGGG')")
             .unwrap();
         let r = db
@@ -157,7 +158,9 @@ mod tests {
              INSERT INTO t VALUES (5),(3),(9),(1);",
         )
         .unwrap();
-        let r = db.query_sql("SELECT TOP 2 x FROM t ORDER BY x DESC").unwrap();
+        let r = db
+            .query_sql("SELECT TOP 2 x FROM t ORDER BY x DESC")
+            .unwrap();
         let xs: Vec<i64> = r.rows.iter().map(|x| x[0].as_int().unwrap()).collect();
         assert_eq!(xs, vec![9, 5]);
     }
@@ -166,7 +169,9 @@ mod tests {
     fn explain_select_returns_plan_text() {
         let db = db();
         db.execute_sql("CREATE TABLE t (x INT)").unwrap();
-        let plan = db.explain_sql("SELECT x, COUNT(*) FROM t GROUP BY x").unwrap();
+        let plan = db
+            .explain_sql("SELECT x, COUNT(*) FROM t GROUP BY x")
+            .unwrap();
         assert!(plan.contains("Hash Match (Aggregate)"), "{plan}");
         let r = db
             .execute_sql("EXPLAIN SELECT x, COUNT(*) FROM t GROUP BY x")
@@ -199,7 +204,9 @@ mod tests {
         let r = db.execute_sql(&sql).unwrap();
         assert_eq!(r.affected, 1);
         let r = db
-            .query_sql("SELECT sample, lane, reads.PathName(), DATALENGTH(reads) FROM ShortReadFiles")
+            .query_sql(
+                "SELECT sample, lane, reads.PathName(), DATALENGTH(reads) FROM ShortReadFiles",
+            )
             .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(855));
         assert_eq!(r.rows[0][3], Value::Int(16));
@@ -312,7 +319,8 @@ mod tests {
     #[test]
     fn primary_key_violations_surface_through_sql() {
         let db = db();
-        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY)")
+            .unwrap();
         db.execute_sql("INSERT INTO t VALUES (1)").unwrap();
         assert!(db.execute_sql("INSERT INTO t VALUES (1)").is_err());
     }

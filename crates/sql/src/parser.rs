@@ -163,6 +163,9 @@ impl Parser {
             };
             return Ok(Statement::Delete { table, predicate });
         }
+        if self.kw("checkpoint") {
+            return Ok(Statement::Checkpoint);
+        }
         if self.kw("update") {
             let table = self.ident()?;
             self.expect_kw("set")?;
@@ -399,10 +402,8 @@ impl Parser {
             } else {
                 let expr = self.expr()?;
                 let mut alias = None;
-                if self.kw("as") {
-                    alias = Some(self.ident()?);
-                } else if matches!(self.peek(), Some(Token::Ident(s))
-                    if !is_clause_keyword(s))
+                if self.kw("as")
+                    || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s))
                 {
                     alias = Some(self.ident()?);
                 }
@@ -887,6 +888,18 @@ mod tests {
     }
 
     #[test]
+    fn parses_checkpoint() {
+        assert!(matches!(
+            parse("CHECKPOINT").unwrap(),
+            Statement::Checkpoint
+        ));
+        assert!(matches!(
+            parse("checkpoint").unwrap(),
+            Statement::Checkpoint
+        ));
+    }
+
+    #[test]
     fn parses_query2_insert_select_join() {
         let sql = "
             INSERT INTO GeneExpression
@@ -1011,10 +1024,9 @@ mod tests {
 
     #[test]
     fn script_splits_on_semicolons() {
-        let stmts = parse_script(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1040,6 +1052,12 @@ mod tests {
             panic!()
         };
         assert_eq!(*op, AstBinOp::Add);
-        assert!(matches!(**right, AstExpr::Binary { op: AstBinOp::Mul, .. }));
+        assert!(matches!(
+            **right,
+            AstExpr::Binary {
+                op: AstBinOp::Mul,
+                ..
+            }
+        ));
     }
 }

@@ -37,6 +37,10 @@ pub struct BTree {
     len: AtomicU64,
 }
 
+/// Result of a recursive insert: the displaced old value (if the key
+/// existed) and, when the child split, the separator key + new right page.
+type InsertOutcome = (Option<Vec<u8>>, Option<(Vec<u8>, PageId)>);
+
 #[derive(Debug, Clone)]
 enum Node {
     Leaf {
@@ -211,12 +215,7 @@ impl BTree {
         Ok(old)
     }
 
-    fn insert_rec(
-        &self,
-        pid: PageId,
-        key: &[u8],
-        value: &[u8],
-    ) -> Result<(Option<Vec<u8>>, Option<(Vec<u8>, PageId)>)> {
+    fn insert_rec(&self, pid: PageId, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
         let mut node = self.read_node(pid)?;
         match &mut node {
             Node::Leaf { entries, next: _ } => {
@@ -232,7 +231,9 @@ impl BTree {
                     return Ok((old, None));
                 }
                 // Split the leaf.
-                let Node::Leaf { entries, next } = node else { unreachable!() };
+                let Node::Leaf { entries, next } = node else {
+                    unreachable!()
+                };
                 let mid = entries.len() / 2;
                 let right_entries = entries[mid..].to_vec();
                 let left_entries = entries[..mid].to_vec();
@@ -268,7 +269,9 @@ impl BTree {
                     if node_size(&node) <= SPLIT_THRESHOLD {
                         self.write_back(pid, &node)?;
                     } else {
-                        let Node::Internal { keys, children } = node else { unreachable!() };
+                        let Node::Internal { keys, children } = node else {
+                            unreachable!()
+                        };
                         let mid = keys.len() / 2;
                         let promoted = keys[mid].clone();
                         let right_node = Node::Internal {
@@ -348,11 +351,7 @@ impl BTree {
 
     /// Ordered scan over `[start, end)` bounds (inclusive/exclusive per
     /// `Bound`). Materializes entries leaf-by-leaf.
-    pub fn range(
-        &self,
-        start: Bound<&[u8]>,
-        end: Bound<&[u8]>,
-    ) -> Result<BTreeRange<'_>> {
+    pub fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<BTreeRange<'_>> {
         let latch = self.root.read();
         // Find the first relevant leaf.
         let seek_key: &[u8] = match start {
@@ -372,12 +371,8 @@ impl BTree {
                 Node::Leaf { entries, next } => {
                     let from = match start {
                         Bound::Unbounded => 0,
-                        Bound::Included(k) => {
-                            entries.partition_point(|(ek, _)| ek.as_slice() < k)
-                        }
-                        Bound::Excluded(k) => {
-                            entries.partition_point(|(ek, _)| ek.as_slice() <= k)
-                        }
+                        Bound::Included(k) => entries.partition_point(|(ek, _)| ek.as_slice() < k),
+                        Bound::Excluded(k) => entries.partition_point(|(ek, _)| ek.as_slice() <= k),
                     };
                     return Ok(BTreeRange {
                         tree: self,

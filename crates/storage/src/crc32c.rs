@@ -1,0 +1,85 @@
+//! CRC-32C (Castagnoli) — the checksum used for page images and WAL
+//! records.
+//!
+//! The Castagnoli polynomial (0x1EDC6F41) is the one used by iSCSI, ext4
+//! and Btrfs metadata; its error-detection properties for short messages
+//! are better than the IEEE CRC-32. This is a plain table-driven software
+//! implementation (no SSE4.2 intrinsics) — at ~1 GB/s it is far from the
+//! bottleneck of an 8 KiB page write.
+
+/// Reflected Castagnoli polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Continue a CRC-32C computation: `crc` is the checksum of the bytes seen
+/// so far, the result covers those bytes followed by `data`.
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32C check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // RFC 3720 (iSCSI) test vectors.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn append_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32c_append(crc32c(a), b), crc32c(data));
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = vec![0x5Au8; 512];
+        let crc = crc32c(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), crc, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

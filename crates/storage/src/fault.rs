@@ -1,0 +1,465 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! [`FaultInjectingPageStore`] wraps any [`PageStore`] and
+//! [`FaultInjectingWalBackend`] wraps any [`WalBackend`]; both consult a
+//! shared [`FaultClock`] so a single seeded schedule drives faults across
+//! the data file and the log, the way one dying disk would. Three fault
+//! kinds are supported:
+//!
+//! * **injected I/O errors** — every `n`th operation fails with
+//!   [`DbError::Io`];
+//! * **torn writes** — every `n`th page write persists only a
+//!   pseudo-random prefix of the new image *and reports success*, the way
+//!   a sector-granular write interrupted by power loss does (detected
+//!   later by the page checksum);
+//! * **crash cut-off** — after `n` successful syncs the "machine loses
+//!   power": the failing sync persists only a pseudo-random part of the
+//!   unsynced writes (possibly tearing them) and every subsequent
+//!   operation fails.
+//!
+//! To model the volatility of the OS page cache, both wrappers buffer
+//! writes and only push them to the wrapped store on a successful `sync`.
+//! The wrapped store therefore plays the role of the durable medium: a
+//! recovery test crashes the wrappers, throws them away, and reopens the
+//! inner store directly to see exactly what a reboot would see.
+//!
+//! All randomness comes from a splitmix64 stream seeded by
+//! [`FaultPlan::seed`], so a given (plan, workload) pair always yields the
+//! same fault schedule.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use seqdb_types::{DbError, Result};
+
+use crate::page::{PageId, PAGE_SIZE};
+use crate::pager::PageStore;
+use crate::wal::WalBackend;
+
+/// The fault schedule. `None` disables that fault kind.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for the deterministic schedule (torn-write lengths, partial
+    /// crash flushes).
+    pub seed: u64,
+    /// Every `n`th I/O operation (reads, writes, allocations — counted
+    /// across all wrappers sharing the clock) fails with an injected
+    /// error.
+    pub io_error_every: Option<u64>,
+    /// Every `n`th page write is torn: a prefix of the new image lands,
+    /// the rest of the page keeps its old contents, and the write reports
+    /// success.
+    pub torn_write_every: Option<u64>,
+    /// The first `n` syncs succeed; the next one crashes the device.
+    pub crash_after_syncs: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (useful as a base for struct update syntax).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+}
+
+enum SyncOutcome {
+    Ok,
+    /// This sync is the crash point: partially persist, then fail.
+    JustCrashed(DbError),
+    /// The device already crashed earlier.
+    Down(DbError),
+}
+
+/// Shared fault state: operation/sync counters, crash flag and the seeded
+/// random stream.
+pub struct FaultClock {
+    plan: FaultPlan,
+    ops: AtomicU64,
+    writes: AtomicU64,
+    syncs: AtomicU64,
+    crashed: AtomicBool,
+    rng: Mutex<u64>,
+}
+
+impl FaultClock {
+    pub fn new(plan: FaultPlan) -> Arc<FaultClock> {
+        let rng_seed = plan.seed;
+        Arc::new(FaultClock {
+            plan,
+            ops: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            rng: Mutex::new(rng_seed),
+        })
+    }
+
+    /// Has the simulated device lost power?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Total I/O operations observed.
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Total successful syncs observed.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    fn next_rand(&self) -> u64 {
+        let mut state = self.rng.lock();
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn check_op(&self) -> Result<()> {
+        if self.is_crashed() {
+            return Err(DbError::Io("injected crash: device offline".into()));
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(k) = self.plan.io_error_every {
+            if n.is_multiple_of(k) {
+                return Err(DbError::Io(format!("injected I/O error at operation {n}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn is_torn_write(&self) -> bool {
+        let Some(k) = self.plan.torn_write_every else {
+            return false;
+        };
+        let n = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        n.is_multiple_of(k)
+    }
+
+    fn check_sync(&self) -> SyncOutcome {
+        if self.is_crashed() {
+            return SyncOutcome::Down(DbError::Io("injected crash: device offline".into()));
+        }
+        let n = self.syncs.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.plan.crash_after_syncs {
+            if n > limit {
+                self.crashed.store(true, Ordering::Release);
+                return SyncOutcome::JustCrashed(DbError::Io(format!(
+                    "injected crash at sync {n}"
+                )));
+            }
+        }
+        SyncOutcome::Ok
+    }
+}
+
+/// A [`PageStore`] wrapper that injects faults according to a
+/// [`FaultClock`]. Writes are buffered and reach the inner store on sync
+/// (or partially, on a crash).
+pub struct FaultInjectingPageStore {
+    inner: Arc<dyn PageStore>,
+    clock: Arc<FaultClock>,
+    pending: Mutex<HashMap<PageId, Box<[u8]>>>,
+}
+
+impl FaultInjectingPageStore {
+    pub fn new(inner: Arc<dyn PageStore>, clock: Arc<FaultClock>) -> FaultInjectingPageStore {
+        FaultInjectingPageStore {
+            inner,
+            clock,
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn clock(&self) -> &Arc<FaultClock> {
+        &self.clock
+    }
+
+    /// Current contents of page `id` as the device would persist it now
+    /// (pending write if any, else the inner store's copy, else zeroes for
+    /// a never-written page).
+    fn current_image(&self, id: PageId) -> Box<[u8]> {
+        if let Some(img) = self.pending.lock().get(&id) {
+            return img.clone();
+        }
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        if self.inner.read_page(id, &mut buf).is_err() {
+            buf.iter_mut().for_each(|b| *b = 0);
+        }
+        buf
+    }
+
+    /// Take the buffered writes in page-id order. The order matters: the
+    /// crash path consumes seeded randomness per page, and draining a
+    /// `HashMap` directly would make the schedule depend on hasher state.
+    fn drain_pending(&self) -> Vec<(PageId, Box<[u8]>)> {
+        let mut pending: Vec<(PageId, Box<[u8]>)> = self.pending.lock().drain().collect();
+        pending.sort_by_key(|(id, _)| *id);
+        pending
+    }
+
+    /// Overlay a pseudo-random-length prefix of `new` onto the current
+    /// page contents — the effect of a write interrupted partway.
+    fn tear(&self, id: PageId, new: &[u8]) -> Box<[u8]> {
+        let mut torn = self.current_image(id);
+        // Tear at a position that leaves the write genuinely partial.
+        let cut = 1 + (self.clock.next_rand() as usize) % (PAGE_SIZE - 1);
+        torn[..cut].copy_from_slice(&new[..cut]);
+        torn
+    }
+}
+
+impl PageStore for FaultInjectingPageStore {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.clock.check_op()?;
+        if let Some(img) = self.pending.lock().get(&id) {
+            buf.copy_from_slice(img);
+            return Ok(());
+        }
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        self.clock.check_op()?;
+        let image = if self.clock.is_torn_write() {
+            self.tear(id, buf)
+        } else {
+            buf.to_vec().into_boxed_slice()
+        };
+        self.pending.lock().insert(id, image);
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        self.clock.check_op()?;
+        self.inner.allocate()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn sync(&self) -> Result<()> {
+        match self.clock.check_sync() {
+            SyncOutcome::Ok => {
+                for (id, img) in self.drain_pending() {
+                    self.inner.write_page(id, &img)?;
+                }
+                self.inner.sync()
+            }
+            SyncOutcome::JustCrashed(e) => {
+                // Power loss mid-flush: each unsynced write independently
+                // lands whole, lands torn, or is lost.
+                for (id, img) in self.drain_pending() {
+                    match self.clock.next_rand() % 3 {
+                        0 => {} // lost
+                        1 => {
+                            let torn = self.tear(id, &img);
+                            let _ = self.inner.write_page(id, &torn);
+                        }
+                        _ => {
+                            let _ = self.inner.write_page(id, &img);
+                        }
+                    }
+                }
+                Err(e)
+            }
+            SyncOutcome::Down(e) => Err(e),
+        }
+    }
+}
+
+/// A [`WalBackend`] wrapper sharing the same [`FaultClock`]. Appends are
+/// buffered; a crash during sync persists only a prefix of the unsynced
+/// tail, which is how torn WAL records come to exist.
+pub struct FaultInjectingWalBackend {
+    inner: Arc<dyn WalBackend>,
+    clock: Arc<FaultClock>,
+    pending: Mutex<Vec<u8>>,
+}
+
+impl FaultInjectingWalBackend {
+    pub fn new(inner: Arc<dyn WalBackend>, clock: Arc<FaultClock>) -> FaultInjectingWalBackend {
+        FaultInjectingWalBackend {
+            inner,
+            clock,
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl WalBackend for FaultInjectingWalBackend {
+    fn read_all(&self) -> Result<Vec<u8>> {
+        self.clock.check_op()?;
+        let mut data = self.inner.read_all()?;
+        data.extend_from_slice(&self.pending.lock());
+        Ok(data)
+    }
+
+    fn append(&self, buf: &[u8]) -> Result<()> {
+        self.clock.check_op()?;
+        self.pending.lock().extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        match self.clock.check_sync() {
+            SyncOutcome::Ok => {
+                let pending = std::mem::take(&mut *self.pending.lock());
+                if !pending.is_empty() {
+                    self.inner.append(&pending)?;
+                }
+                self.inner.sync()
+            }
+            SyncOutcome::JustCrashed(e) => {
+                let pending = std::mem::take(&mut *self.pending.lock());
+                if !pending.is_empty() {
+                    let cut = (self.clock.next_rand() as usize) % (pending.len() + 1);
+                    let _ = self.inner.append(&pending[..cut]);
+                }
+                Err(e)
+            }
+            SyncOutcome::Down(e) => Err(e),
+        }
+    }
+
+    fn truncate(&self) -> Result<()> {
+        self.clock.check_op()?;
+        self.pending.lock().clear();
+        self.inner.truncate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn plan_store(plan: FaultPlan) -> FaultInjectingPageStore {
+        let inner = Arc::new(MemPager::new());
+        FaultInjectingPageStore::new(inner, FaultClock::new(plan))
+    }
+
+    #[test]
+    fn no_faults_behaves_like_inner_store() {
+        let store = plan_store(FaultPlan::none());
+        let id = store.allocate().unwrap();
+        let img = vec![7u8; PAGE_SIZE];
+        store.write_page(id, &img).unwrap();
+        store.sync().unwrap();
+        let mut back = vec![0u8; PAGE_SIZE];
+        store.read_page(id, &mut back).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn io_errors_follow_the_schedule() {
+        let store = plan_store(FaultPlan {
+            io_error_every: Some(3),
+            ..FaultPlan::none()
+        });
+        let id = store.allocate().unwrap(); // op 1
+        let img = vec![1u8; PAGE_SIZE];
+        store.write_page(id, &img).unwrap(); // op 2
+        let err = store.write_page(id, &img).unwrap_err(); // op 3 fails
+        assert!(matches!(err, DbError::Io(_)), "{err}");
+        store.write_page(id, &img).unwrap(); // op 4
+    }
+
+    #[test]
+    fn crash_cuts_off_all_later_operations() {
+        let store = plan_store(FaultPlan {
+            crash_after_syncs: Some(1),
+            ..FaultPlan::none()
+        });
+        let id = store.allocate().unwrap();
+        store.write_page(id, &vec![2u8; PAGE_SIZE]).unwrap();
+        store.sync().unwrap(); // sync 1: ok
+        let err = store.sync().unwrap_err(); // sync 2: crash
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        assert!(store.clock().is_crashed());
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(store.read_page(id, &mut buf).is_err());
+        assert!(store.write_page(id, &buf).is_err());
+        assert!(store.sync().is_err());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        // Run the same workload against two identically-seeded harnesses
+        // and require bit-identical surviving state.
+        let run = |seed: u64| -> Vec<Vec<u8>> {
+            let inner = Arc::new(MemPager::new());
+            let store = FaultInjectingPageStore::new(
+                inner.clone(),
+                FaultClock::new(FaultPlan {
+                    seed,
+                    torn_write_every: Some(3),
+                    crash_after_syncs: Some(2),
+                    ..FaultPlan::none()
+                }),
+            );
+            for round in 0u8..12 {
+                let Ok(id) = store.allocate() else { break };
+                let _ = store.write_page(id, &vec![round; PAGE_SIZE]);
+                if round % 4 == 3 && store.sync().is_err() {
+                    break;
+                }
+            }
+            // What the durable medium holds after the crash:
+            (0..inner.num_pages())
+                .map(|id| {
+                    let mut buf = vec![0u8; PAGE_SIZE];
+                    inner.read_page(id, &mut buf).unwrap();
+                    buf
+                })
+                .collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn torn_write_reports_success_but_corrupts() {
+        let store = plan_store(FaultPlan {
+            seed: 7,
+            torn_write_every: Some(1), // every write tears
+            ..FaultPlan::none()
+        });
+        let id = store.allocate().unwrap();
+        let img = vec![0xABu8; PAGE_SIZE];
+        store.write_page(id, &img).unwrap(); // "succeeds"
+        store.sync().unwrap();
+        let mut back = vec![0u8; PAGE_SIZE];
+        store.read_page(id, &mut back).unwrap();
+        assert_ne!(back, img, "write should have been torn");
+        assert_eq!(back[0], 0xAB, "some prefix must have landed");
+    }
+
+    #[test]
+    fn wal_backend_loses_unsynced_tail_on_crash() {
+        let inner = Arc::new(crate::wal::MemWalBackend::new());
+        let clock = FaultClock::new(FaultPlan {
+            seed: 5,
+            crash_after_syncs: Some(1),
+            ..FaultPlan::none()
+        });
+        let wal = FaultInjectingWalBackend::new(inner.clone(), clock);
+        wal.append(b"synced").unwrap();
+        wal.sync().unwrap();
+        wal.append(b"doomed-doomed-doomed").unwrap();
+        assert!(wal.sync().is_err());
+        let durable = inner.read_all().unwrap();
+        assert!(durable.starts_with(b"synced"));
+        assert!(
+            durable.len() <= b"synced".len() + 20,
+            "only a prefix of the unsynced tail may persist"
+        );
+        assert!(wal.append(b"x").is_err(), "device is down");
+    }
+}

@@ -20,6 +20,12 @@
 //! There is deliberately **no storage transformation**: a FileStream BLOB
 //! occupies exactly its original size on disk, which is what makes the
 //! FileStream columns of Tables 1 and 2 show zero overhead.
+//!
+//! Inserts are crash-safe: payloads are written to a `.tmp` file, synced,
+//! and atomically renamed to their final `.blob` name (followed by a
+//! directory sync), so a blob either exists completely or not at all.
+//! [`FileStreamStore::open`] removes `.tmp` orphans left by a crash and
+//! resumes the GUID sequence past the existing blobs.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -39,13 +45,29 @@ pub struct FileStreamStore {
 }
 
 impl FileStreamStore {
-    /// Create (or reopen) a store rooted at `dir`.
+    /// Create (or reopen) a store rooted at `dir`. Reopening removes any
+    /// `.tmp` files orphaned by a crash mid-insert and resumes the GUID
+    /// sequence past the blobs already present so it cannot restart from 1
+    /// and collide with them.
     pub fn open(dir: impl Into<PathBuf>) -> Result<FileStreamStore> {
         let root = dir.into();
         fs::create_dir_all(&root)?;
+        let mut blobs = 0u64;
+        for entry in fs::read_dir(&root)? {
+            let path = entry?.path();
+            match path.extension().and_then(|e| e.to_str()) {
+                // An orphaned temp file is an insert that never completed;
+                // its GUID was never returned to anyone, so drop it.
+                Some("tmp") => {
+                    let _ = fs::remove_file(&path);
+                }
+                Some("blob") => blobs += 1,
+                _ => {}
+            }
+        }
         Ok(FileStreamStore {
             root,
-            guid_seq: AtomicU64::new(1),
+            guid_seq: AtomicU64::new(blobs + 1),
         })
     }
 
@@ -54,15 +76,22 @@ impl FileStreamStore {
         &self.root
     }
 
-    /// Generate a fresh GUID (`NEWID()`): time-seeded, process-unique.
+    /// Generate a fresh GUID (`NEWID()`): time-seeded, process-unique,
+    /// and guaranteed not to collide with any blob already on disk.
     pub fn new_guid(&self) -> u128 {
-        let seq = self.guid_seq.fetch_add(1, Ordering::Relaxed) as u128;
-        let now = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos())
-            .unwrap_or(0);
-        // Version-4-style layout: high bits from the clock, low from seq.
-        (now << 32) ^ (seq << 1) ^ 0x4000_0000_0000_0000_0000_0000_0000_0001
+        loop {
+            let seq = self.guid_seq.fetch_add(1, Ordering::Relaxed) as u128;
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0);
+            // Version-4-style layout: high bits from the clock, low from seq.
+            let guid = (now << 32) ^ (seq << 1) ^ 0x4000_0000_0000_0000_0000_0000_0000_0001;
+            // A clobbered blob is silent data loss; re-roll on collision.
+            if !self.path(guid).exists() {
+                return guid;
+            }
+        }
     }
 
     fn path(&self, guid: u128) -> PathBuf {
@@ -72,10 +101,10 @@ impl FileStreamStore {
     /// Store a BLOB from memory; returns its GUID.
     pub fn insert(&self, data: &[u8]) -> Result<u128> {
         let guid = self.new_guid();
-        let path = self.path(guid);
-        let mut f = File::create(&path)?;
-        f.write_all(data)?;
-        f.sync_data()?;
+        self.write_atomic(guid, |f| {
+            f.write_all(data)?;
+            Ok(())
+        })?;
         Ok(guid)
     }
 
@@ -83,9 +112,33 @@ impl FileStreamStore {
     /// path): streams it into the store without loading it into memory.
     pub fn insert_from_file(&self, source: &Path) -> Result<u128> {
         let guid = self.new_guid();
-        let path = self.path(guid);
-        fs::copy(source, &path)?;
+        let mut src = File::open(source)?;
+        self.write_atomic(guid, |f| {
+            std::io::copy(&mut src, f)?;
+            Ok(())
+        })?;
         Ok(guid)
+    }
+
+    /// Crash-safe blob creation: fill a `.tmp` file, sync it, atomically
+    /// rename it to its final name and sync the directory. A crash at any
+    /// point leaves either no blob or the complete blob, never a torn one.
+    fn write_atomic(&self, guid: u128, fill: impl FnOnce(&mut File) -> Result<()>) -> Result<()> {
+        let tmp = self.root.join(format!("{}.tmp", Value::guid_string(guid)));
+        let path = self.path(guid);
+        let mut f = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+        let written = fill(&mut f).and_then(|()| {
+            f.sync_data()?;
+            Ok(())
+        });
+        drop(f);
+        if let Err(e) = written {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        fs::rename(&tmp, &path)?;
+        sync_dir(&self.root)?;
+        Ok(())
     }
 
     /// `column.PathName()`: the filesystem path of a BLOB.
@@ -242,6 +295,15 @@ impl FileStreamReader {
     }
 }
 
+/// Sync a directory so a just-completed rename inside it is durable.
+fn sync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
 fn read_fully(file: &mut File, buf: &mut [u8]) -> Result<usize> {
     let mut n = 0;
     while n < buf.len() {
@@ -345,6 +407,64 @@ mod tests {
         let guid = s.insert(b"x").unwrap();
         s.delete(guid).unwrap();
         assert!(matches!(s.len(guid), Err(DbError::NotFound(_))));
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn reopen_resumes_guid_sequence_and_keeps_blobs() {
+        let s = store("reopen");
+        let root = s.root().to_path_buf();
+        let mut guids = Vec::new();
+        for i in 0..8u8 {
+            guids.push(s.insert(&[i; 32]).unwrap());
+        }
+        drop(s);
+        // A second process opens the same directory. Its fresh GUIDs must
+        // not clobber any existing blob.
+        let s = FileStreamStore::open(&root).unwrap();
+        let mut new_guids = Vec::new();
+        for i in 8..16u8 {
+            new_guids.push(s.insert(&[i; 32]).unwrap());
+        }
+        for (i, g) in guids.iter().enumerate() {
+            assert!(!new_guids.contains(g), "guid reused after reopen");
+            let mut r = s.open_reader(*g, false).unwrap();
+            assert_eq!(r.read_all().unwrap(), vec![i as u8; 32]);
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_removes_orphaned_temp_files() {
+        let s = store("orphans");
+        let root = s.root().to_path_buf();
+        let keep = s.insert(b"committed blob").unwrap();
+        // Simulate a crash mid-insert: a .tmp file with no final rename.
+        fs::write(root.join("deadbeef.tmp"), b"half-written").unwrap();
+        drop(s);
+        let s = FileStreamStore::open(&root).unwrap();
+        assert!(!root.join("deadbeef.tmp").exists(), "orphan not cleaned");
+        assert_eq!(s.len(keep).unwrap(), 14, "real blob untouched");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn insert_leaves_no_temp_files_behind() {
+        let s = store("no-temps");
+        for i in 0..4u8 {
+            s.insert(&[i; 100]).unwrap();
+        }
+        let temps = fs::read_dir(s.root())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .count();
+        assert_eq!(temps, 0);
         fs::remove_dir_all(s.root()).unwrap();
     }
 

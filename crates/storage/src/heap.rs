@@ -151,7 +151,8 @@ impl HeapFile {
                         *page = rebuilt;
                         frame.mark_dirty();
                         // Retry the insert against the compressed page.
-                        let encoded = encode_row(&self.schema, row, self.compression, Some(&new_ctx));
+                        let encoded =
+                            encode_row(&self.schema, row, self.compression, Some(&new_ctx));
                         if let Some(slot) = page.insert(&encoded) {
                             self.row_count.fetch_add(1, Ordering::Relaxed);
                             return Ok(RecordId { page: tail, slot });
@@ -188,10 +189,7 @@ impl HeapFile {
         new_frame.mark_dirty();
         state.pages.push(new_id);
         self.row_count.fetch_add(1, Ordering::Relaxed);
-        Ok(RecordId {
-            page: new_id,
-            slot,
-        })
+        Ok(RecordId { page: new_id, slot })
     }
 
     /// Fetch one row by record id.

@@ -43,7 +43,11 @@ fn encode_one(out: &mut Vec<u8>, v: &Value) {
             out.push(T_FLOAT);
             let bits = f.to_bits();
             // IEEE-754 totally-ordered encoding: negative floats reverse.
-            let sortable = if bits & (1 << 63) != 0 { !bits } else { bits | (1 << 63) };
+            let sortable = if bits & (1 << 63) != 0 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            };
             out.extend_from_slice(&sortable.to_be_bytes());
         }
         Value::Text(s) => {
@@ -100,7 +104,11 @@ pub fn decode_key(buf: &[u8]) -> Result<Vec<Value>> {
                 let raw = buf.get(pos..pos + 8).ok_or_else(err)?;
                 pos += 8;
                 let sortable = u64::from_be_bytes(raw.try_into().unwrap());
-                let bits = if sortable & (1 << 63) != 0 { sortable ^ (1 << 63) } else { !sortable };
+                let bits = if sortable & (1 << 63) != 0 {
+                    sortable ^ (1 << 63)
+                } else {
+                    !sortable
+                };
                 Value::Float(f64::from_bits(bits))
             }
             T_TEXT => {
@@ -193,10 +201,7 @@ mod tests {
         let a = encode_key(&[Value::bytes(b"a\x00b"), Value::Int(1)]);
         let b = encode_key(&[Value::bytes(b"a"), Value::Int(1)]);
         assert_ne!(a, b);
-        assert_eq!(
-            decode_key(&a).unwrap()[0],
-            Value::bytes(b"a\x00b")
-        );
+        assert_eq!(decode_key(&a).unwrap()[0], Value::bytes(b"a\x00b"));
     }
 
     proptest! {

@@ -17,8 +17,10 @@
 //!   which makes the "huge intermediate result on the temporary tablespace"
 //!   of §5.3.3 measurable.
 
-pub mod buffer;
 pub mod btree;
+pub mod buffer;
+pub mod crc32c;
+pub mod fault;
 pub mod filestream;
 pub mod heap;
 pub mod keycode;
@@ -28,9 +30,11 @@ pub mod pager;
 pub mod rowfmt;
 pub mod tempspace;
 pub mod varint;
+pub mod wal;
 
-pub use buffer::BufferPool;
 pub use btree::BTree;
+pub use buffer::BufferPool;
+pub use fault::{FaultClock, FaultInjectingPageStore, FaultPlan};
 pub use filestream::{FileStreamReader, FileStreamStore};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
@@ -38,3 +42,4 @@ pub use pagec::PageContext;
 pub use pager::{FilePager, MemPager, PageStore};
 pub use rowfmt::Compression;
 pub use tempspace::TempSpace;
+pub use wal::WriteAheadLog;

@@ -4,18 +4,25 @@
 //!
 //! ```text
 //! +--------------------+---------------------+----------------->      <-----------+
-//! | header (24 bytes)  | CI area (ci_len)    | record data ...   ...  | slot array |
+//! | header (32 bytes)  | CI area (ci_len)    | record data ...   ...  | slot array |
 //! +--------------------+---------------------+----------------->      <-----------+
 //! ```
 //!
 //! The header stores a sibling pointer (`next_page`) used both for heap
-//! page chains and B+-tree leaf chains. The *CI area* holds the serialized
-//! page-compression context ([`crate::pagec::PageContext`]) on compressed
-//! pages. Records grow upward from the end of the CI area; the slot array
-//! (4 bytes per slot: `u16 offset`, `u16 len`) grows downward from the end
-//! of the page. A slot with `len == 0` is a deleted record.
+//! page chains and B+-tree leaf chains, and a CRC-32C checksum over the
+//! whole page image (computed with the checksum field itself zeroed).
+//! The checksum is refreshed by [`Page::to_bytes`]/[`Page::seal_buf`] when
+//! a page is written back and verified by [`Page::from_bytes`] when it is
+//! read, so torn writes and bit-rot surface as [`DbError::Corruption`]
+//! instead of silently wrong query results. The *CI area* holds the
+//! serialized page-compression context ([`crate::pagec::PageContext`]) on
+//! compressed pages. Records grow upward from the end of the CI area; the
+//! slot array (4 bytes per slot: `u16 offset`, `u16 len`) grows downward
+//! from the end of the page. A slot with `len == 0` is a deleted record.
 
 use seqdb_types::{DbError, Result};
+
+use crate::crc32c::{crc32c, crc32c_append};
 
 /// Size of every page, matching SQL Server's 8 KiB pages.
 pub const PAGE_SIZE: usize = 8192;
@@ -27,7 +34,7 @@ pub type PageId = u64;
 pub const NO_PAGE: PageId = u64::MAX;
 
 const MAGIC: u32 = 0x5351_4442; // "SQDB"
-const HEADER_LEN: usize = 24;
+const HEADER_LEN: usize = 32;
 const SLOT_LEN: usize = 4;
 
 // Header field offsets.
@@ -39,6 +46,8 @@ const OFF_FREE_START: usize = 8;
 const OFF_CI_LEN: usize = 10;
 const OFF_NEXT: usize = 12;
 const OFF_AUX: usize = 20; // u32 auxiliary field (B+-tree rightmost child low bits etc.)
+const OFF_CHECKSUM: usize = 24; // u32 CRC-32C over the page, checksum field zeroed
+                                // bytes 28..32 are reserved (always zero)
 
 /// Kind of page; stored in the header so a pager can be inspected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,24 +95,70 @@ impl Page {
         page.set_free_start(HEADER_LEN as u16);
         page.set_ci_len(0);
         page.set_next_page(NO_PAGE);
+        page.seal();
         page
     }
 
-    /// Wrap a raw buffer read from disk, validating the magic number.
+    /// Wrap a raw buffer read from disk, verifying the checksum, magic
+    /// number and page type. Any content-level failure — including a stale
+    /// checksum from a torn write — is reported as [`DbError::Corruption`].
     pub fn from_bytes(buf: Box<[u8]>) -> Result<Page> {
+        Page::verify_buf(&buf)?;
+        let page = Page { buf };
+        if page.read_u32(OFF_MAGIC) != MAGIC {
+            return Err(DbError::Corruption("bad page magic".into()));
+        }
+        PageType::from_u8(page.buf[OFF_TYPE])
+            .ok_or_else(|| DbError::Corruption("unknown page type".into()))?;
+        Ok(page)
+    }
+
+    /// CRC-32C of a page image with the checksum field treated as zero.
+    fn checksum_of(buf: &[u8]) -> u32 {
+        let crc = crc32c(&buf[..OFF_CHECKSUM]);
+        let crc = crc32c_append(crc, &[0u8; 4]);
+        crc32c_append(crc, &buf[OFF_CHECKSUM + 4..])
+    }
+
+    /// Recompute and store this page's checksum. Mutating accessors do NOT
+    /// maintain the checksum; it is sealed once, when the image is about to
+    /// leave memory (writeback, WAL append).
+    pub fn seal(&mut self) {
+        let crc = Page::checksum_of(&self.buf);
+        self.write_u32(OFF_CHECKSUM, crc);
+    }
+
+    /// Seal a raw page image in place (used on copied buffers so writeback
+    /// does not need a write lock on the source page).
+    pub fn seal_buf(buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let crc = Page::checksum_of(buf);
+        buf[OFF_CHECKSUM..OFF_CHECKSUM + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Verify the checksum of a raw page image.
+    pub fn verify_buf(buf: &[u8]) -> Result<()> {
         if buf.len() != PAGE_SIZE {
             return Err(DbError::Storage(format!(
                 "page buffer has {} bytes, expected {PAGE_SIZE}",
                 buf.len()
             )));
         }
-        let page = Page { buf };
-        if page.read_u32(OFF_MAGIC) != MAGIC {
-            return Err(DbError::Storage("bad page magic".into()));
+        let stored = u32::from_le_bytes(buf[OFF_CHECKSUM..OFF_CHECKSUM + 4].try_into().unwrap());
+        let computed = Page::checksum_of(buf);
+        if stored != computed {
+            return Err(DbError::Corruption(format!(
+                "page checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
         }
-        PageType::from_u8(page.buf[OFF_TYPE])
-            .ok_or_else(|| DbError::Storage("unknown page type".into()))?;
-        Ok(page)
+        Ok(())
+    }
+
+    /// A sealed on-disk image of this page (checksum freshly computed).
+    pub fn to_bytes(&self) -> Box<[u8]> {
+        let mut buf = self.buf.clone();
+        Page::seal_buf(&mut buf);
+        buf
     }
 
     pub fn bytes(&self) -> &[u8] {
@@ -338,7 +393,7 @@ mod tests {
         while p.insert(&rec).is_some() {
             n += 1;
         }
-        // 8192 - 24 header over 104 bytes/record ≈ 78 records
+        // 8192 - 32 header over 104 bytes/record ≈ 78 records
         assert!((70..=80).contains(&n), "fit {n} records");
         assert!(p.free_space() < 104);
     }
@@ -364,6 +419,49 @@ mod tests {
         let p = Page::new(PageType::BTreeLeaf);
         let back = Page::from_bytes(p.buf.clone()).unwrap();
         assert_eq!(back.page_type(), PageType::BTreeLeaf);
+    }
+
+    #[test]
+    fn to_bytes_seals_and_roundtrips_after_mutation() {
+        let mut p = Page::new(PageType::Heap);
+        p.insert(b"mutated after construction").unwrap();
+        p.set_next_page(9);
+        // The in-memory checksum is stale now; to_bytes must reseal.
+        let image = p.to_bytes();
+        let back = Page::from_bytes(image).unwrap();
+        assert_eq!(back.get(0), Some(&b"mutated after construction"[..]));
+        assert_eq!(back.next_page(), 9);
+    }
+
+    #[test]
+    fn corrupted_image_is_rejected_as_corruption() {
+        let mut p = Page::new(PageType::Heap);
+        p.insert(b"payload").unwrap();
+        let good = p.to_bytes();
+        assert!(Page::verify_buf(&good).is_ok());
+        // Flip one bit in the record area.
+        let mut bad = good.clone();
+        bad[100] ^= 0x01;
+        assert!(matches!(Page::from_bytes(bad), Err(DbError::Corruption(_))));
+        // A torn write that zeroes the tail is also caught.
+        let mut torn = good.clone();
+        for b in &mut torn[PAGE_SIZE / 2..] {
+            *b = 0;
+        }
+        assert!(matches!(
+            Page::verify_buf(&torn),
+            Err(DbError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn seal_buf_matches_seal() {
+        let mut p = Page::new(PageType::BTreeInternal);
+        p.insert(b"key").unwrap();
+        let mut via_buf = p.bytes().to_vec();
+        Page::seal_buf(&mut via_buf);
+        p.seal();
+        assert_eq!(p.bytes(), &via_buf[..]);
     }
 
     proptest! {

@@ -228,7 +228,10 @@ mod tests {
         let rows = repetitive_rows();
         let ctx = PageContext::build(&s, &rows);
         assert!(ctx.prefix(1).starts_with(b"CATGGAATTCTCGGG_"));
-        assert!(ctx.dict_len() >= 4, "four repeated tags should be dict entries");
+        assert!(
+            ctx.dict_len() >= 4,
+            "four repeated tags should be dict entries"
+        );
         assert!(!ctx.is_trivial());
     }
 
@@ -261,10 +264,14 @@ mod tests {
         let bases = [b'A', b'C', b'G', b'T'];
         let rows: Vec<Row> = (0..100u64)
             .map(|i| {
-                let mut x = i.wrapping_mul(6364136223846793005).wrapping_add(144115188075855872);
+                let mut x = i
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(144115188075855872);
                 let seq: String = (0..36)
                     .map(|_| {
-                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         bases[(x >> 33) as usize % 4] as char
                     })
                     .collect();
@@ -282,7 +289,10 @@ mod tests {
             assert_eq!(&dec, r);
         }
         let ratio = compressed as f64 / plain as f64;
-        assert!(ratio > 0.85, "unique reads should not compress well: {ratio}");
+        assert!(
+            ratio > 0.85,
+            "unique reads should not compress well: {ratio}"
+        );
     }
 
     #[test]

@@ -224,8 +224,10 @@ fn encode_value_page(out: &mut Vec<u8>, v: &Value, col: usize, ctx: &PageContext
             return None;
         }
         let suffix = &payload[use_len..];
-        let cost =
-            1 + varint::len_u64(use_len as u64) + varint::len_u64(suffix.len() as u64) + suffix.len();
+        let cost = 1
+            + varint::len_u64(use_len as u64)
+            + varint::len_u64(suffix.len() as u64)
+            + suffix.len();
         Some((use_len, cost))
     });
 
@@ -452,7 +454,10 @@ mod tests {
 
     #[test]
     fn row_compression_is_smaller_for_small_ints() {
-        let s = Schema::new(vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]);
+        let s = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]);
         let r = Row::new(vec![Value::Int(3), Value::Int(-7)]);
         let none = encode_row(&s, &r, Compression::None, None);
         let rowc = encode_row(&s, &r, Compression::Row, None);

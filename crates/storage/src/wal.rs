@@ -1,0 +1,486 @@
+//! Physical write-ahead log.
+//!
+//! Durability protocol (WAL-before-data):
+//!
+//! 1. Before a dirty page is written in place, its full sealed image is
+//!    appended to the log and the log is synced. A torn in-place write can
+//!    then always be repaired from the log on the next open.
+//! 2. A checkpoint ([`crate::BufferPool::checkpoint`]) batches the images
+//!    of every dirty page, appends a commit marker, syncs the log once,
+//!    writes the pages in place, syncs the data store and finally
+//!    truncates the log.
+//! 3. On open, [`WriteAheadLog::recover_into`] replays the longest valid
+//!    prefix of the log into the data store (later images of the same page
+//!    override earlier ones), syncs it and truncates the log. A torn or
+//!    corrupt record ends the prefix — everything before it was synced
+//!    before anything after it was written, so the prefix is exactly the
+//!    durable part of the log. Within the prefix, only images covered by a
+//!    commit marker are applied: a batch of images with no trailing commit
+//!    is an interrupted checkpoint whose in-place writes never started, and
+//!    applying half of it could tear multi-page structures apart.
+//!
+//! Record framing: `[u32 len][u32 crc32c(payload)][payload]`, everything
+//! little-endian. Payloads:
+//!
+//! * kind `1` — page image: `[1][page_id u64][image; PAGE_SIZE]`
+//! * kind `2` — commit marker: `[2][seq u64]`
+//!
+//! Page images are sealed (page checksum valid) when logged, so a replayed
+//! image always passes verification on the next read.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use seqdb_types::{DbError, Result};
+
+use crate::crc32c::crc32c;
+use crate::page::{PageId, PAGE_SIZE};
+use crate::pager::PageStore;
+
+const KIND_PAGE_IMAGE: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+
+/// Frame header: u32 length + u32 payload checksum.
+const FRAME_LEN: usize = 8;
+/// Largest legal payload (a page-image record).
+const MAX_PAYLOAD: usize = 1 + 8 + PAGE_SIZE;
+
+/// Byte-level log storage. Abstracted so the fault-injection harness can
+/// interpose on the log the same way [`crate::fault`] interposes on the
+/// page store.
+pub trait WalBackend: Send + Sync {
+    /// The entire current log contents.
+    fn read_all(&self) -> Result<Vec<u8>>;
+    /// Append bytes at the end of the log.
+    fn append(&self, buf: &[u8]) -> Result<()>;
+    /// Make appended bytes durable.
+    fn sync(&self) -> Result<()>;
+    /// Discard the log contents (after a checkpoint or recovery).
+    fn truncate(&self) -> Result<()>;
+}
+
+/// Shared backends can be handed to a [`WriteAheadLog`] directly. This is
+/// how crash tests reopen the same in-memory "disk" after a simulated
+/// power loss.
+impl<T: WalBackend + ?Sized> WalBackend for std::sync::Arc<T> {
+    fn read_all(&self) -> Result<Vec<u8>> {
+        (**self).read_all()
+    }
+
+    fn append(&self, buf: &[u8]) -> Result<()> {
+        (**self).append(buf)
+    }
+
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+
+    fn truncate(&self) -> Result<()> {
+        (**self).truncate()
+    }
+}
+
+/// File-backed log storage. The file is opened in append mode; framing and
+/// ordering are enforced by [`WriteAheadLog`].
+pub struct FileWalBackend {
+    file: File,
+    path: PathBuf,
+}
+
+impl FileWalBackend {
+    pub fn open(path: &Path) -> Result<FileWalBackend> {
+        let file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(FileWalBackend {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+}
+
+impl WalBackend for FileWalBackend {
+    fn read_all(&self) -> Result<Vec<u8>> {
+        Ok(std::fs::read(&self.path)?)
+    }
+
+    fn append(&self, buf: &[u8]) -> Result<()> {
+        (&self.file).write_all(buf)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn truncate(&self) -> Result<()> {
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// In-memory log storage for tests and `Database::in_memory()`.
+#[derive(Default)]
+pub struct MemWalBackend {
+    data: Mutex<Vec<u8>>,
+}
+
+impl MemWalBackend {
+    pub fn new() -> MemWalBackend {
+        MemWalBackend::default()
+    }
+}
+
+impl WalBackend for MemWalBackend {
+    fn read_all(&self) -> Result<Vec<u8>> {
+        Ok(self.data.lock().clone())
+    }
+
+    fn append(&self, buf: &[u8]) -> Result<()> {
+        self.data.lock().extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&self) -> Result<()> {
+        self.data.lock().clear();
+        Ok(())
+    }
+}
+
+/// What [`WriteAheadLog::replay`] found in the log.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Committed page images in log order (a page may appear several
+    /// times; the last image wins). Images not followed by a commit
+    /// marker are excluded — see the module docs.
+    pub images: Vec<(PageId, Box<[u8]>)>,
+    /// Number of commit markers in the valid prefix.
+    pub commits: u64,
+    /// Highest commit sequence number seen, if any.
+    pub last_seq: Option<u64>,
+    /// Valid page images after the last commit marker, discarded as an
+    /// interrupted batch.
+    pub discarded: usize,
+    /// `true` if the log ended in a torn or corrupt record (expected after
+    /// a crash mid-append; everything before it is still applied).
+    pub torn_tail: bool,
+}
+
+/// The write-ahead log. Appends are serialized by an internal mutex; the
+/// caller (the buffer pool) decides when to sync and truncate.
+pub struct WriteAheadLog {
+    backend: Box<dyn WalBackend>,
+    state: Mutex<WalState>,
+}
+
+struct WalState {
+    next_seq: u64,
+}
+
+impl WriteAheadLog {
+    pub fn new(backend: Box<dyn WalBackend>) -> WriteAheadLog {
+        WriteAheadLog {
+            backend,
+            state: Mutex::new(WalState { next_seq: 1 }),
+        }
+    }
+
+    /// Open a file-backed log at `path`.
+    pub fn open_file(path: &Path) -> Result<WriteAheadLog> {
+        Ok(WriteAheadLog::new(Box::new(FileWalBackend::open(path)?)))
+    }
+
+    /// Append a page-image record. The image must be a sealed page buffer.
+    pub fn log_page(&self, id: PageId, image: &[u8]) -> Result<()> {
+        debug_assert_eq!(image.len(), PAGE_SIZE);
+        let mut payload = Vec::with_capacity(MAX_PAYLOAD);
+        payload.push(KIND_PAGE_IMAGE);
+        payload.extend_from_slice(&id.to_le_bytes());
+        payload.extend_from_slice(image);
+        let _state = self.state.lock();
+        self.backend.append(&frame(&payload))
+    }
+
+    /// Append a commit marker and return its sequence number.
+    pub fn commit(&self) -> Result<u64> {
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        let mut payload = Vec::with_capacity(9);
+        payload.push(KIND_COMMIT);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        self.backend.append(&frame(&payload))?;
+        state.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Make all appended records durable.
+    pub fn sync(&self) -> Result<()> {
+        self.backend.sync()
+    }
+
+    /// Discard the log (call only after the data store is synced).
+    pub fn truncate(&self) -> Result<()> {
+        self.backend.truncate()
+    }
+
+    /// Parse the log and return the longest valid record prefix.
+    pub fn replay(&self) -> Result<ReplayOutcome> {
+        let data = self.backend.read_all()?;
+        let mut out = ReplayOutcome {
+            images: Vec::new(),
+            commits: 0,
+            last_seq: None,
+            discarded: 0,
+            torn_tail: false,
+        };
+        // Images accumulate here and graduate to `out.images` when a
+        // commit marker covers them.
+        let mut batch: Vec<(PageId, Box<[u8]>)> = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let Some((payload, next)) = parse_frame(&data[pos..]) else {
+                out.torn_tail = true;
+                break;
+            };
+            match payload[0] {
+                KIND_PAGE_IMAGE if payload.len() == 1 + 8 + PAGE_SIZE => {
+                    let id = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                    batch.push((id, payload[9..].to_vec().into_boxed_slice()));
+                }
+                KIND_COMMIT if payload.len() == 9 => {
+                    let seq = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                    out.images.append(&mut batch);
+                    out.commits += 1;
+                    out.last_seq = Some(out.last_seq.map_or(seq, |s| s.max(seq)));
+                }
+                _ => {
+                    // A record whose checksum matches but whose payload is
+                    // nonsense means the log was written by something else.
+                    return Err(DbError::Corruption(format!(
+                        "unrecognized WAL record kind {} at byte {pos}",
+                        payload[0]
+                    )));
+                }
+            }
+            pos += next;
+        }
+        out.discarded = batch.len();
+        if let Some(seq) = out.last_seq {
+            self.state.lock().next_seq = seq + 1;
+        }
+        Ok(out)
+    }
+
+    /// Replay the log into `store`: rewrite every logged page (last image
+    /// of each page wins), sync the store and truncate the log. Returns
+    /// the number of distinct pages restored.
+    pub fn recover_into(&self, store: &dyn PageStore) -> Result<usize> {
+        let outcome = self.replay()?;
+        if outcome.images.is_empty() {
+            if !outcome.torn_tail && outcome.commits == 0 && outcome.discarded == 0 {
+                return Ok(0); // empty log: nothing to do, skip the syncs
+            }
+            self.backend.truncate()?;
+            return Ok(0);
+        }
+        let mut last: std::collections::HashMap<PageId, &[u8]> = std::collections::HashMap::new();
+        for (id, image) in &outcome.images {
+            last.insert(*id, image.as_ref());
+        }
+        // Replayed pages may lie beyond the store's current end if the
+        // crash happened before the file grew; extend as needed.
+        let max_id = last.keys().copied().max().unwrap();
+        while store.num_pages() <= max_id {
+            store.allocate()?;
+        }
+        for (id, image) in &last {
+            store.write_page(*id, image)?;
+        }
+        store.sync()?;
+        self.backend.truncate()?;
+        Ok(last.len())
+    }
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(FRAME_LEN + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32c(payload).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec
+}
+
+/// Parse one frame at the start of `data`. Returns the payload slice and
+/// the total frame length, or `None` if the frame is torn or corrupt.
+fn parse_frame(data: &[u8]) -> Option<(&[u8], usize)> {
+    if data.len() < FRAME_LEN {
+        return None;
+    }
+    let len = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+    if len == 0 || len > MAX_PAYLOAD || data.len() < FRAME_LEN + len {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    let payload = &data[FRAME_LEN..FRAME_LEN + len];
+    if crc32c(payload) != stored_crc {
+        return None;
+    }
+    Some((payload, FRAME_LEN + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{Page, PageType};
+    use crate::pager::MemPager;
+
+    fn image(marker: &[u8]) -> Box<[u8]> {
+        let mut p = Page::new(PageType::Heap);
+        p.insert(marker).unwrap();
+        p.to_bytes()
+    }
+
+    #[test]
+    fn log_and_replay_roundtrip() {
+        let wal = WriteAheadLog::new(Box::new(MemWalBackend::new()));
+        wal.log_page(0, &image(b"zero")).unwrap();
+        wal.log_page(1, &image(b"one")).unwrap();
+        wal.log_page(0, &image(b"zero-v2")).unwrap();
+        let seq = wal.commit().unwrap();
+        assert_eq!(seq, 1);
+        wal.sync().unwrap();
+
+        let out = wal.replay().unwrap();
+        assert_eq!(out.images.len(), 3);
+        assert_eq!(out.commits, 1);
+        assert_eq!(out.last_seq, Some(1));
+        assert!(!out.torn_tail);
+        // Sequence numbers continue past what replay saw.
+        assert_eq!(wal.commit().unwrap(), 2);
+    }
+
+    #[test]
+    fn recover_applies_last_image_and_truncates() {
+        let store = MemPager::new();
+        let id = store.allocate().unwrap();
+        let wal = WriteAheadLog::new(Box::new(MemWalBackend::new()));
+        wal.log_page(id, &image(b"old")).unwrap();
+        wal.log_page(id, &image(b"new")).unwrap();
+        wal.commit().unwrap();
+
+        let restored = wal.recover_into(&store).unwrap();
+        assert_eq!(restored, 1);
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        store.read_page(id, &mut buf).unwrap();
+        let page = Page::from_bytes(buf).unwrap();
+        assert_eq!(page.get(0), Some(&b"new"[..]));
+        // Log is empty afterwards.
+        let out = wal.replay().unwrap();
+        assert!(out.images.is_empty() && out.commits == 0);
+    }
+
+    #[test]
+    fn recover_extends_store_for_unallocated_pages() {
+        let store = MemPager::new();
+        let wal = WriteAheadLog::new(Box::new(MemWalBackend::new()));
+        wal.log_page(3, &image(b"far")).unwrap();
+        wal.commit().unwrap();
+        assert_eq!(wal.recover_into(&store).unwrap(), 1);
+        assert_eq!(store.num_pages(), 4);
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        store.read_page(3, &mut buf).unwrap();
+        assert_eq!(Page::from_bytes(buf).unwrap().get(0), Some(&b"far"[..]));
+    }
+
+    #[test]
+    fn torn_tail_stops_replay_but_keeps_prefix() {
+        let backend = MemWalBackend::new();
+        {
+            let wal = WriteAheadLog::new(Box::new(MemWalBackend::new()));
+            // Build a valid log in a scratch WAL, then copy a torn version.
+            wal.log_page(0, &image(b"a")).unwrap();
+            wal.commit().unwrap();
+            wal.log_page(1, &image(b"b")).unwrap();
+            let bytes = wal.backend.read_all().unwrap();
+            // Cut the final record short by 100 bytes.
+            backend.append(&bytes[..bytes.len() - 100]).unwrap();
+        }
+        let wal = WriteAheadLog::new(Box::new(backend));
+        let out = wal.replay().unwrap();
+        assert!(out.torn_tail);
+        assert_eq!(out.images.len(), 1);
+        assert_eq!(out.commits, 1);
+    }
+
+    #[test]
+    fn corrupt_record_body_stops_replay() {
+        let backend = MemWalBackend::new();
+        {
+            let scratch = WriteAheadLog::new(Box::new(MemWalBackend::new()));
+            scratch.log_page(0, &image(b"a")).unwrap();
+            scratch.commit().unwrap();
+            scratch.log_page(1, &image(b"b")).unwrap();
+            scratch.commit().unwrap();
+            let mut bytes = scratch.backend.read_all().unwrap();
+            // Flip a byte inside the second page image's payload.
+            let flip = bytes.len() / 2 + 200;
+            bytes[flip] ^= 0xFF;
+            backend.append(&bytes).unwrap();
+        }
+        let wal = WriteAheadLog::new(Box::new(backend));
+        let out = wal.replay().unwrap();
+        assert!(out.torn_tail);
+        assert_eq!(out.images.len(), 1);
+        assert_eq!(out.commits, 1);
+    }
+
+    #[test]
+    fn uncommitted_tail_images_are_discarded() {
+        let wal = WriteAheadLog::new(Box::new(MemWalBackend::new()));
+        wal.log_page(0, &image(b"committed")).unwrap();
+        wal.commit().unwrap();
+        wal.log_page(1, &image(b"interrupted checkpoint")).unwrap();
+        let out = wal.replay().unwrap();
+        assert_eq!(out.images.len(), 1);
+        assert_eq!(out.images[0].0, 0);
+        assert_eq!(out.discarded, 1);
+        assert!(!out.torn_tail);
+    }
+
+    #[test]
+    fn file_backend_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("seqdb-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = WriteAheadLog::open_file(&path).unwrap();
+            wal.log_page(0, &image(b"persisted")).unwrap();
+            wal.commit().unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let wal = WriteAheadLog::open_file(&path).unwrap();
+            let out = wal.replay().unwrap();
+            assert_eq!(out.images.len(), 1);
+            assert_eq!(out.commits, 1);
+            wal.truncate().unwrap();
+        }
+        {
+            let wal = WriteAheadLog::open_file(&path).unwrap();
+            assert!(wal.replay().unwrap().images.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -26,6 +26,11 @@ pub enum DbError {
     /// Storage-layer invariant violation (page overflow, corrupt record,
     /// missing blob, ...).
     Storage(String),
+    /// On-disk data failed an integrity check (page checksum mismatch, bad
+    /// magic, torn WAL record, ...). Distinct from [`DbError::Storage`] so
+    /// recovery code can treat "the bytes are wrong" differently from "the
+    /// operation is wrong".
+    Corruption(String),
     /// Primary-key or not-null constraint violation.
     Constraint(String),
     /// A named object (table, index, blob, function) does not exist.
@@ -52,6 +57,7 @@ impl fmt::Display for DbError {
             DbError::Plan(m) => write!(f, "plan error: {m}"),
             DbError::Execution(m) => write!(f, "execution error: {m}"),
             DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Corruption(m) => write!(f, "corruption detected: {m}"),
             DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
             DbError::NotFound(m) => write!(f, "not found: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
@@ -78,6 +84,13 @@ mod tests {
         assert_eq!(e.to_string(), "parse error: unexpected token");
         let e = DbError::Constraint("duplicate key".into());
         assert!(e.to_string().contains("constraint violation"));
+    }
+
+    #[test]
+    fn corruption_is_distinct_from_storage() {
+        let e = DbError::Corruption("page 7 checksum mismatch".into());
+        assert!(e.to_string().contains("corruption detected"));
+        assert_ne!(e, DbError::Storage("page 7 checksum mismatch".into()));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Demonstrates the crash-safety of the storage layer: WAL recovery and
+//! page-checksum corruption detection, end to end.
+//!
+//! ```text
+//! cargo run --example crash_recovery -- /tmp/crashdb setup    # aborts on purpose
+//! cargo run --example crash_recovery -- /tmp/crashdb verify   # recovers + scans
+//! cargo run --example crash_recovery -- /tmp/crashdb corrupt  # flips a byte
+//! cargo run --example crash_recovery -- /tmp/crashdb verify   # detects corruption
+//! ```
+//!
+//! `setup` inserts rows through SQL, issues `CHECKPOINT`, inserts more
+//! rows that are never checkpointed, then calls `abort()` — no flush, no
+//! destructors, like a power cut. `verify` replays the WAL into the data
+//! file exactly as `Database::open` does and scans the heap: every
+//! checkpointed row must be there, every page must pass its checksum.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use seqdb::engine::Database;
+use seqdb::sql::DatabaseSqlExt;
+use seqdb::storage::{BufferPool, Compression, FilePager, HeapFile, WriteAheadLog};
+use seqdb::types::{Column, DataType, Schema};
+
+const CHECKPOINTED_ROWS: i64 = 500;
+
+fn row_schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        Column::new("id", DataType::Int).not_null(),
+        Column::new("seq", DataType::Text),
+    ]))
+}
+
+fn setup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    let db = Database::open(dir).expect("open database");
+    db.execute_sql("CREATE TABLE reads (id INT, seq VARCHAR(32)) WITH (DATA_COMPRESSION = ROW)")
+        .expect("create table");
+    for i in 0..CHECKPOINTED_ROWS {
+        db.execute_sql(&format!("INSERT INTO reads VALUES ({i}, 'ACGTACGTACGT')"))
+            .expect("insert");
+    }
+    db.execute_sql("CHECKPOINT").expect("checkpoint");
+    // The table's first heap page is the recovery handle (the catalog is
+    // in-memory for now, so a real deployment would persist this too).
+    let first = db
+        .catalog()
+        .table("reads")
+        .expect("table")
+        .heap
+        .first_page();
+    std::fs::write(dir.join("manifest.txt"), first.to_string()).expect("manifest");
+    // More rows, never checkpointed: they are allowed to vanish.
+    for i in CHECKPOINTED_ROWS..CHECKPOINTED_ROWS + 100 {
+        db.execute_sql(&format!("INSERT INTO reads VALUES ({i}, 'TTTTTTTTTTTT')"))
+            .expect("insert");
+    }
+    println!(
+        "inserted {} rows, checkpointed the first {CHECKPOINTED_ROWS}, aborting without flush",
+        CHECKPOINTED_ROWS + 100
+    );
+    std::process::abort();
+}
+
+fn verify(dir: &Path) {
+    let manifest = std::fs::read_to_string(dir.join("manifest.txt")).unwrap_or_else(|e| {
+        eprintln!("no manifest at {}: {e} (run setup first)", dir.display());
+        std::process::exit(2);
+    });
+    let first: u64 = manifest.trim().parse().expect("page id");
+    // The same recovery protocol Database::open runs.
+    let pager = Arc::new(FilePager::open(&dir.join("seqdb.data")).expect("data file"));
+    let wal = Arc::new(WriteAheadLog::open_file(&dir.join("seqdb.wal")).expect("wal file"));
+    match wal.recover_into(pager.as_ref()) {
+        Ok(n) => println!("wal replay applied {n} page images"),
+        Err(e) => {
+            println!("wal replay failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let pool = BufferPool::with_wal(pager, BufferPool::DEFAULT_CAPACITY, wal);
+    let heap = match HeapFile::open(pool, row_schema(), Compression::Row, first) {
+        Ok(h) => h,
+        Err(e) => {
+            println!("heap open failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut rows = 0i64;
+    for r in heap.scan() {
+        match r {
+            Ok(_) => rows += 1,
+            Err(e) => {
+                println!("scan failed after {rows} rows: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("recovered heap holds {rows} rows (checkpointed: {CHECKPOINTED_ROWS})");
+    if rows < CHECKPOINTED_ROWS {
+        println!("DURABILITY VIOLATION: checkpointed rows are missing");
+        std::process::exit(1);
+    }
+    println!("ok: every checkpointed row survived the crash");
+}
+
+fn corrupt(dir: &Path) {
+    // Flip one byte in the middle of the first data page's record area.
+    let path = dir.join("seqdb.data");
+    let mut bytes = std::fs::read(&path).expect("data file");
+    let target = 4096;
+    bytes[target] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("write back");
+    println!("flipped one byte at offset {target} of {}", path.display());
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (dir, cmd) = match (args.next(), args.next()) {
+        (Some(d), Some(c)) => (d, c),
+        _ => {
+            eprintln!("usage: crash_recovery <dir> setup|verify|corrupt");
+            std::process::exit(2);
+        }
+    };
+    let dir = Path::new(&dir);
+    match cmd.as_str() {
+        "setup" => setup(dir),
+        "verify" => verify(dir),
+        "corrupt" => corrupt(dir),
+        other => {
+            eprintln!("unknown command {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -56,7 +56,10 @@ fn main() -> seqdb::types::Result<()> {
 
     // Storage shapes of Table 1.
     let report = workflow::dge_storage_report(&db, &ds)?;
-    println!("storage efficiency (Table 1):\n{}", report.render(&workflow::DESIGNS));
+    println!(
+        "storage efficiency (Table 1):\n{}",
+        report.render(&workflow::DESIGNS)
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())

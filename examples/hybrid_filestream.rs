@@ -13,8 +13,8 @@
 
 use seqdb::bio::fastq::write_fastq_record;
 use seqdb::bio::quality::{Phred, QualityEncoding};
-use seqdb::bio::simulate::{LaneConfig, ReadSimulator};
 use seqdb::bio::reference::ReferenceGenome;
+use seqdb::bio::simulate::{LaneConfig, ReadSimulator};
 use seqdb::core::udx;
 use seqdb::engine::Database;
 use seqdb::sql::DatabaseSqlExt;
@@ -81,7 +81,10 @@ fn main() -> seqdb::types::Result<()> {
          GROUP BY short_read_seq
          ORDER BY COUNT(*) DESC",
     )?;
-    println!("top reads straight off the FileStream:\n{}", binned.to_table());
+    println!(
+        "top reads straight off the FileStream:\n{}",
+        binned.to_table()
+    );
 
     // External-tool access: the MAQ-like pipeline reads the same blob
     // through a plain file handle obtained from the store.

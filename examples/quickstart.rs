@@ -44,9 +44,7 @@ fn main() -> seqdb::types::Result<()> {
     println!("{}", result.to_table());
 
     // Look at the physical plan the engine chose.
-    let plan = db.explain_sql(
-        "SELECT lane, COUNT(*) FROM Read GROUP BY lane ORDER BY lane",
-    )?;
+    let plan = db.explain_sql("SELECT lane, COUNT(*) FROM Read GROUP BY lane ORDER BY lane")?;
     println!("plan:\n{plan}");
     Ok(())
 }

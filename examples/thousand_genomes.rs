@@ -51,8 +51,14 @@ fn main() -> seqdb::types::Result<()> {
 
     // Consensus, three ways.
     let (consensus, spill) = workflow::run_consensus_both_ways(&db)?;
-    println!("\nconsensus plans agree on {} chromosomes;", consensus.len());
-    println!("the sort-based pivot plan wrote {:.1} MiB of intermediate to tempdb,", spill as f64 / (1024.0 * 1024.0));
+    println!(
+        "\nconsensus plans agree on {} chromosomes;",
+        consensus.len()
+    );
+    println!(
+        "the sort-based pivot plan wrote {:.1} MiB of intermediate to tempdb,",
+        spill as f64 / (1024.0 * 1024.0)
+    );
     println!("the sliding-window UDA streamed it with a read-sized window.\n");
     for (chr, seq) in consensus.iter().take(2) {
         println!(

@@ -49,7 +49,12 @@ fn dge_scenario_end_to_end() {
 
     // The storage report covers every design for every artifact.
     let report = workflow::dge_storage_report(&db, &ds).unwrap();
-    for artifact in ["short reads", "unique tags", "alignments", "gene expression"] {
+    for artifact in [
+        "short reads",
+        "unique tags",
+        "alignments",
+        "gene expression",
+    ] {
         for design in workflow::DESIGNS {
             // The bit-packed design only applies to sequence payloads.
             if design == "norm+bitpack" && artifact != "short reads" {

@@ -18,13 +18,17 @@ fn joins_three_ways_agree() {
     )
     .unwrap();
     for i in 0..500i64 {
-        db.execute_sql(&format!("INSERT INTO l VALUES ({i}, {})", i * 2)).unwrap();
+        db.execute_sql(&format!("INSERT INTO l VALUES ({i}, {})", i * 2))
+            .unwrap();
         if i % 3 == 0 {
-            db.execute_sql(&format!("INSERT INTO r VALUES ({i}, {})", i * 5)).unwrap();
+            db.execute_sql(&format!("INSERT INTO r VALUES ({i}, {})", i * 5))
+                .unwrap();
         }
     }
     // Merge join (both indexed) — verify the planner picked it.
-    let plan = db.explain_sql("SELECT v, w FROM l JOIN r ON l.k = r.k").unwrap();
+    let plan = db
+        .explain_sql("SELECT v, w FROM l JOIN r ON l.k = r.k")
+        .unwrap();
     assert!(plan.contains("Merge Join"), "{plan}");
     let res = db
         .query_sql("SELECT COUNT(*), SUM(v), SUM(w) FROM l JOIN r ON l.k = r.k")
@@ -117,7 +121,9 @@ fn null_semantics_through_sql() {
     let r = db.query_sql("SELECT COUNT(*) FROM n WHERE x > 0").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(2));
     // IS NULL / IS NOT NULL.
-    let r = db.query_sql("SELECT COUNT(*) FROM n WHERE x IS NULL").unwrap();
+    let r = db
+        .query_sql("SELECT COUNT(*) FROM n WHERE x IS NULL")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(1));
     // Aggregates skip NULLs; COUNT(*) does not.
     let r = db
@@ -139,11 +145,14 @@ fn top_without_order_limits_and_with_order_ranks() {
     let db = db();
     db.execute_sql("CREATE TABLE t (x INT)").unwrap();
     for i in 0..100 {
-        db.execute_sql(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        db.execute_sql(&format!("INSERT INTO t VALUES ({i})"))
+            .unwrap();
     }
     let r = db.query_sql("SELECT TOP 7 x FROM t").unwrap();
     assert_eq!(r.rows.len(), 7);
-    let r = db.query_sql("SELECT TOP 3 x FROM t ORDER BY x DESC").unwrap();
+    let r = db
+        .query_sql("SELECT TOP 3 x FROM t ORDER BY x DESC")
+        .unwrap();
     let xs: Vec<i64> = r.rows.iter().map(|x| x[0].as_int().unwrap()).collect();
     assert_eq!(xs, vec![99, 98, 97]);
 }
@@ -153,18 +162,25 @@ fn create_index_accelerates_ordered_scans() {
     let db = db();
     db.execute_sql("CREATE TABLE t (a INT, b INT)").unwrap();
     for i in 0..200 {
-        db.execute_sql(&format!("INSERT INTO t VALUES ({}, {i})", 200 - i)).unwrap();
+        db.execute_sql(&format!("INSERT INTO t VALUES ({}, {i})", 200 - i))
+            .unwrap();
     }
     db.execute_sql("CREATE INDEX ix_a ON t (a)").unwrap();
     // The index exists and is used for a merge join against itself via
     // another indexed table.
-    db.execute_sql("CREATE TABLE u (a INT PRIMARY KEY)").unwrap();
+    db.execute_sql("CREATE TABLE u (a INT PRIMARY KEY)")
+        .unwrap();
     for i in 1..=200 {
-        db.execute_sql(&format!("INSERT INTO u VALUES ({i})")).unwrap();
+        db.execute_sql(&format!("INSERT INTO u VALUES ({i})"))
+            .unwrap();
     }
-    let plan = db.explain_sql("SELECT b FROM t JOIN u ON t.a = u.a").unwrap();
+    let plan = db
+        .explain_sql("SELECT b FROM t JOIN u ON t.a = u.a")
+        .unwrap();
     assert!(plan.contains("Merge Join"), "{plan}");
-    let r = db.query_sql("SELECT COUNT(*) FROM t JOIN u ON t.a = u.a").unwrap();
+    let r = db
+        .query_sql("SELECT COUNT(*) FROM t JOIN u ON t.a = u.a")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(200));
 }
 
@@ -229,7 +245,9 @@ fn error_paths_are_descriptive() {
     assert!(matches!(e, DbError::Constraint(_)), "{e}");
     let e = db.execute_sql("INSERT INTO t VALUES ('text')").unwrap_err();
     assert!(matches!(e, DbError::Schema(_)), "{e}");
-    let e = db.query_sql("SELECT x FROM t GROUP BY x ORDER BY y").unwrap_err();
+    let e = db
+        .query_sql("SELECT x FROM t GROUP BY x ORDER BY y")
+        .unwrap_err();
     assert!(e.to_string().contains("y"), "{e}");
     let e = db.query_sql("SELECT MAX(x), x FROM t").unwrap_err();
     assert!(matches!(e, DbError::Plan(_)), "{e}");

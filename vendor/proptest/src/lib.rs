@@ -1,0 +1,154 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of proptest that seqdb's tests use:
+//!
+//! * the [`proptest!`] macro with both binding styles (`x in strategy`
+//!   and `x: Type`), plus `#![proptest_config(...)]`;
+//! * [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`] and
+//!   [`prop_oneof!`];
+//! * strategies: integer/float ranges, `any::<T>()`, tuples, `Just`,
+//!   [`collection::vec`], `prop_map`, boxed unions, and a small
+//!   regex-subset string strategy (`"[ACGTN]{0,100}"`, `"\\PC{0,40}"`).
+//!
+//! Cases are generated deterministically from the test name and case
+//! index, so failures reproduce across runs. There is **no shrinking**:
+//! a failing case reports its inputs verbatim. Edge values (0, ±1,
+//! MIN/MAX) are over-weighted for integer strategies, which recovers
+//! most of the bug-finding power shrinking would otherwise provide.
+
+// Vendored stand-in crate: lint to upstream's idiom, not ours.
+#![allow(clippy::all)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    pub use crate::strategy::{any, Arbitrary};
+}
+
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+pub mod string {
+    pub use crate::strategy::RegexStrategy;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `proptest! { ... }`: run each contained `#[test]` fn over many
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    // `arg in strategy` bindings.
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(stringify!($name), &$cfg, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&format!(
+                        concat!(stringify!($arg), " = {:?}\n"), &$arg));)+
+                    s
+                };
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (__inputs, __result)
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    // `arg: Type` bindings (sugar for `arg in any::<Type>()`).
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident : $ty:ty),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! {
+            ($cfg)
+            $(#[$meta])*
+            fn $name($($arg in $crate::strategy::any::<$ty>()),+) $body
+            $($rest)*
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Choose uniformly between several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,495 @@
+//! Value-generation strategies (no shrinking).
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies ([`crate::prop_oneof!`]).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V: Debug> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<u8>()`, ...).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Over-weight edge values: shrinkless generation leans on
+                // edges to catch boundary bugs.
+                match rng.next() % 8 {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => rng.next() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next() as u128) << 64) | rng.next() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII, sometimes interesting unicode.
+        match rng.next() % 4 {
+            0 => char::from_u32(0x20 + (rng.next() % 95) as u32).unwrap(),
+            1 => 'λ',
+            2 => char::from_u32(0x00A1 + (rng.next() % 0x100) as u32).unwrap_or('¿'),
+            _ => char::from_u32((rng.next() % 0xD800) as u32).unwrap_or('x'),
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.next() % 8 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => f64::MAX,
+            5 => f64::MIN_POSITIVE,
+            _ => rng.unit_f64() * 2e6 - 1e6,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                // Hit the bounds disproportionately often.
+                match rng.next() % 16 {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => (self.start as i128 + rng.below(span) as i128) as $t,
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                match rng.next() % 16 {
+                    0 => lo,
+                    1 => hi,
+                    _ if span == 0 => rng.next() as $t,
+                    _ => (lo as i128 + rng.below(span) as i128) as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+/// Length bounds accepted by [`vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    pub min: usize,
+    /// Exclusive.
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// `proptest::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = match rng.next() % 8 {
+            0 => self.size.min,
+            1 => self.size.max - 1,
+            _ => self.size.min + rng.below(span.max(1)) as usize,
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies over a supported regex
+/// subset: `[chars]{m,n}`, `\PC{m,n}` (printable char), plain literals,
+/// and concatenations thereof. Unsupported syntax panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexStrategy::parse(self).generate(rng)
+    }
+}
+
+/// Parsed form of the supported regex subset.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    parts: Vec<RegexPart>,
+}
+
+#[derive(Debug, Clone)]
+enum RegexPart {
+    /// A literal character.
+    Lit(char),
+    /// A repeated alphabet: `{min..max}` (max inclusive) draws from `chars`.
+    Repeat {
+        chars: CharSet,
+        min: usize,
+        max: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Explicit characters from a `[...]` class.
+    Explicit(Vec<char>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+}
+
+impl CharSet {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Explicit(cs) => cs[rng.below(cs.len() as u64) as usize],
+            CharSet::Printable => match rng.next() % 8 {
+                // Mostly ASCII printable, sometimes multi-byte unicode to
+                // stress encodings.
+                0 => ['é', 'λ', 'Ж', '→', '🧬', 'ß', '中'][rng.below(7) as usize],
+                _ => char::from_u32(0x20 + (rng.next() % 95) as u32).unwrap(),
+            },
+        }
+    }
+}
+
+impl RegexStrategy {
+    /// Parse the supported subset; panics on anything else so misuse is
+    /// loud instead of silently generating wrong data.
+    pub fn parse(pattern: &str) -> RegexStrategy {
+        let mut parts = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => {
+                    let mut cs = Vec::new();
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some('\\') => cs.push(chars.next().expect("escape in class")),
+                            Some(a) => {
+                                // Support `a-z` ranges inside classes.
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    let b = *chars.peek().expect("range end");
+                                    if b == ']' {
+                                        cs.push(a);
+                                        cs.push('-');
+                                    } else {
+                                        chars.next();
+                                        cs.extend((a..=b).filter(|ch| ch.is_ascii()));
+                                    }
+                                } else {
+                                    cs.push(a);
+                                }
+                            }
+                            None => panic!("unterminated [class] in pattern {pattern:?}"),
+                        }
+                    }
+                    assert!(!cs.is_empty(), "empty [class] in pattern {pattern:?}");
+                    CharSet::Explicit(cs)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        let kind = chars.next();
+                        assert_eq!(
+                            kind,
+                            Some('C'),
+                            "only \\PC is supported, pattern {pattern:?}"
+                        );
+                        CharSet::Printable
+                    }
+                    Some(lit) => {
+                        parts.push(RegexPart::Lit(lit));
+                        continue;
+                    }
+                    None => panic!("dangling backslash in pattern {pattern:?}"),
+                },
+                lit => {
+                    // A literal, possibly followed by a repetition.
+                    if chars.peek() == Some(&'{') {
+                        CharSet::Explicit(vec![lit])
+                    } else {
+                        parts.push(RegexPart::Lit(lit));
+                        continue;
+                    }
+                }
+            };
+            // Optional `{m,n}` / `{n}` repetition after a set.
+            if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                let (min, max) = match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("repeat min"),
+                        b.trim().parse().expect("repeat max"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "bad repetition in pattern {pattern:?}");
+                parts.push(RegexPart::Repeat {
+                    chars: set,
+                    min,
+                    max,
+                });
+            } else {
+                match set {
+                    CharSet::Explicit(cs) if cs.len() == 1 => parts.push(RegexPart::Lit(cs[0])),
+                    set => parts.push(RegexPart::Repeat {
+                        chars: set,
+                        min: 1,
+                        max: 1,
+                    }),
+                }
+            }
+        }
+        RegexStrategy { parts }
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for part in &self.parts {
+            match part {
+                RegexPart::Lit(c) => out.push(*c),
+                RegexPart::Repeat { chars, min, max } => {
+                    let span = (max - min + 1) as u64;
+                    let n = match rng.next() % 8 {
+                        0 => *min,
+                        1 => *max,
+                        _ => min + rng.below(span) as usize,
+                    };
+                    for _ in 0..n {
+                        out.push(chars.pick(rng));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -338,6 +338,7 @@ fn fig8(factor: usize) -> Result<()> {
             vec![Expr::col(seq_col, "short_read_seq")],
             vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
             dop,
+            seqdb_engine::QueryGovernor::unlimited(),
         )?;
         let t = Instant::now();
         let mut groups = 0u64;

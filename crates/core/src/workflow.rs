@@ -364,6 +364,33 @@ mod tests {
     }
 
     #[test]
+    fn workflow_queries_run_under_the_governor() {
+        let dir = tmp("governed");
+        let ds = DgeDataset::generate(&dir, &scale()).unwrap();
+        let db = Database::in_memory();
+        load_dge_designs(&db, &ds).unwrap();
+
+        // An impossible deadline fails the analysis query with a typed
+        // timeout instead of running away.
+        db.set_query_timeout_ms(Some(0));
+        let err = queries::run_query1(&db, NORM).unwrap_err();
+        assert!(matches!(err, DbError::Timeout(_)), "{err}");
+
+        // A tight memory budget degrades the GROUP BY to spilling but
+        // still produces the exact result.
+        db.set_query_timeout_ms(None);
+        db.set_query_memory_limit_kb(Some(8));
+        db.temp().reset_counters();
+        let q1 = queries::run_query1(&db, NORM).unwrap();
+        queries::check_query1_against(&q1, &ds.unique_tags).unwrap();
+        assert!(
+            db.temp().spill_count() > 0,
+            "an 8 KiB budget must force the aggregate to spill"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn snp_discovery_recovers_planted_variants() {
         let dir = tmp("snp");
         // Higher coverage so most planted SNPs are recallable: 8000

@@ -12,6 +12,7 @@ use seqdb_types::{Result, Row, Schema};
 
 use crate::catalog::{Catalog, Table};
 use crate::exec::ExecContext;
+use crate::governor::QueryGovernor;
 use crate::plan::{Plan, QueryResult};
 
 /// Tunables, adjustable at run time (the analogue of `sp_configure`).
@@ -24,6 +25,13 @@ pub struct DbConfig {
     pub parallel_threshold: u64,
     /// Memory budget for blocking operators before spilling.
     pub sort_budget: usize,
+    /// Per-query wall-clock timeout (`SET QUERY_TIMEOUT_MS`); `None` = no
+    /// timeout.
+    pub query_timeout_ms: Option<u64>,
+    /// Per-query memory budget in KiB (`SET QUERY_MEMORY_LIMIT_KB`);
+    /// `None` = unlimited. Spill-capable operators degrade to tempspace
+    /// when the budget runs out; the rest fail with `ResourceExhausted`.
+    pub query_mem_limit_kb: Option<u64>,
 }
 
 impl Default for DbConfig {
@@ -34,6 +42,8 @@ impl Default for DbConfig {
                 .unwrap_or(1),
             parallel_threshold: 10_000,
             sort_budget: ExecContext::DEFAULT_SORT_BUDGET,
+            query_timeout_ms: None,
+            query_mem_limit_kb: None,
         }
     }
 }
@@ -134,15 +144,35 @@ impl Database {
         self.config.write().max_dop = dop.max(1);
     }
 
+    /// Wall-clock timeout applied to every subsequent query; `None`
+    /// disables. Same knob as `SET QUERY_TIMEOUT_MS`.
+    pub fn set_query_timeout_ms(&self, ms: Option<u64>) {
+        self.config.write().query_timeout_ms = ms;
+    }
+
+    /// Memory budget (KiB) applied to every subsequent query; `None`
+    /// disables. Same knob as `SET QUERY_MEMORY_LIMIT_KB`.
+    pub fn set_query_memory_limit_kb(&self, kb: Option<u64>) {
+        self.config.write().query_mem_limit_kb = kb;
+    }
+
     /// Build an execution context snapshotting current configuration.
+    /// Each call creates a fresh [`QueryGovernor`], so every query (and
+    /// every `core::workflow` pipeline step, which all come through here)
+    /// runs under its own timeout/budget.
     pub fn exec_context(&self) -> ExecContext {
         let cfg = self.config.read();
+        let gov = QueryGovernor::new(
+            cfg.query_timeout_ms.map(std::time::Duration::from_millis),
+            cfg.query_mem_limit_kb.map(|kb| kb as usize * 1024),
+        );
         ExecContext {
             catalog: self.catalog.clone(),
             filestream: self.filestream.clone(),
             temp: self.temp.clone(),
             dop: cfg.max_dop,
             sort_budget: cfg.sort_budget,
+            gov,
         }
     }
 

@@ -10,12 +10,27 @@
 //! soon as its last row has been consumed.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use seqdb_types::{Result, Row, Value};
+use seqdb_storage::tempspace::{SpillReader, SpillWriter};
+use seqdb_types::{DbError, Result, Row, Value};
 
-use crate::exec::{BoxedIter, RowIterator};
+use crate::exec::rowser;
+use crate::exec::{BoxedIter, ExecContext, RowIterator};
 use crate::expr::Expr;
-use crate::udx::{AggState, Aggregate};
+use crate::governor::{MemCharge, QueryGovernor};
+use crate::udx::{protect, AggState, Aggregate};
+
+/// Estimated heap overhead per aggregate state (box + accumulator).
+const STATE_OVERHEAD: usize = 64;
+/// Estimated hash-map entry overhead per group.
+const GROUP_OVERHEAD: usize = 48;
+/// Fan-out of one hash-agg spill pass.
+const SPILL_PARTITIONS: usize = 4;
+/// Recursion bound for repartitioning; beyond this the budget is simply
+/// too small for the data and the query fails with `ResourceExhausted`.
+const MAX_SPILL_DEPTH: u32 = 6;
 
 /// One aggregate call in a GROUP BY query.
 #[derive(Clone)]
@@ -40,18 +55,38 @@ impl AggSpec {
         }
     }
 
+    /// Fresh accumulator, with the UDA's `Init` under panic protection.
+    fn create_state(&self) -> Result<Box<dyn AggState>> {
+        protect(self.factory.name(), || Ok(self.factory.create()))
+    }
+
     fn update(&self, state: &mut Box<dyn AggState>, row: &Row) -> Result<()> {
         if self.args.is_empty() {
-            state.update(&[])
+            protect(self.factory.name(), || state.update(&[]))
         } else {
             let vals: Vec<Value> = self
                 .args
                 .iter()
                 .map(|e| e.eval(row))
                 .collect::<Result<_>>()?;
-            state.update(&vals)
+            protect(self.factory.name(), || state.update(&vals))
         }
     }
+}
+
+/// Fresh states for every aggregate in the list.
+fn create_states(aggs: &[AggSpec]) -> Result<Vec<Box<dyn AggState>>> {
+    aggs.iter().map(|a| a.create_state()).collect()
+}
+
+/// Rough bytes held by a group key.
+fn key_bytes(key: &[Value]) -> usize {
+    key.iter().map(|v| v.size_bytes()).sum()
+}
+
+/// Memory cost charged for admitting one new group.
+fn group_cost(key: &[Value], naggs: usize) -> usize {
+    key_bytes(key) + naggs * STATE_OVERHEAD + GROUP_OVERHEAD
 }
 
 /// Grouped aggregation state: group key -> one state per aggregate.
@@ -63,19 +98,27 @@ pub fn group_key(group_exprs: &[Expr], row: &Row) -> Result<Vec<Value>> {
 }
 
 /// Build and run a hash-aggregation over an entire input, returning the
-/// grouped states. Shared by the serial operator and the parallel
-/// partial/final plan in [`crate::parallel`].
+/// grouped states. Shared by the parallel partial plan in
+/// [`crate::parallel`] and the recursion base of the governed serial
+/// operator. New groups are charged against `charge`; with no spill path
+/// here, exhaustion fails with [`DbError::ResourceExhausted`]. The caller
+/// keeps `charge` alive for as long as the returned map exists.
 pub fn aggregate_into_map(
     input: &mut dyn RowIterator,
     group_exprs: &[Expr],
     aggs: &[AggSpec],
+    charge: &mut MemCharge,
 ) -> Result<GroupedStates> {
     let mut groups: GroupedStates = HashMap::new();
     while let Some(row) = input.next()? {
         let key = group_key(group_exprs, &row)?;
-        let states = groups
-            .entry(key)
-            .or_insert_with(|| aggs.iter().map(|a| a.factory.create()).collect());
+        let states = match groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                charge.grow(group_cost(e.key(), aggs.len()))?;
+                e.insert(create_states(aggs)?)
+            }
+        };
         for (spec, state) in aggs.iter().zip(states.iter_mut()) {
             spec.update(state, &row)?;
         }
@@ -84,16 +127,17 @@ pub fn aggregate_into_map(
 }
 
 /// Merge a partial aggregation map into an accumulator map (the "final"
-/// side of a parallel aggregate).
-pub fn merge_maps(into: &mut GroupedStates, from: GroupedStates) -> Result<()> {
+/// side of a parallel aggregate). UDA `Merge` runs under panic
+/// protection; `aggs` supplies the function names for error reporting.
+pub fn merge_maps(into: &mut GroupedStates, from: GroupedStates, aggs: &[AggSpec]) -> Result<()> {
     for (key, states) in from {
         match into.entry(key) {
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(states);
             }
             std::collections::hash_map::Entry::Occupied(mut e) => {
-                for (acc, part) in e.get_mut().iter_mut().zip(states) {
-                    acc.merge(part)?;
+                for ((acc, part), spec) in e.get_mut().iter_mut().zip(states).zip(aggs) {
+                    protect(spec.factory.name(), || acc.merge(part))?;
                 }
             }
         }
@@ -102,33 +146,164 @@ pub fn merge_maps(into: &mut GroupedStates, from: GroupedStates) -> Result<()> {
 }
 
 /// Turn a finished group map into output rows (group values then
-/// aggregate results).
-pub fn finish_map(groups: GroupedStates) -> Result<Vec<Row>> {
+/// aggregate results). UDA `Terminate` runs under panic protection.
+pub fn finish_map(groups: GroupedStates, aggs: &[AggSpec]) -> Result<Vec<Row>> {
     let mut out = Vec::with_capacity(groups.len());
-    for (key, mut states) in groups {
+    for (key, states) in groups {
         let mut vals = key;
-        for s in &mut states {
-            vals.push(s.finish()?);
+        for (mut s, spec) in states.into_iter().zip(aggs) {
+            vals.push(protect(spec.factory.name(), || s.finish())?);
         }
         out.push(Row::new(vals));
     }
     Ok(out)
 }
 
+/// Hash a group key for spill partitioning. `depth` salts the hash so
+/// each repartition pass splits differently from the one that overflowed.
+fn partition_of(key: &[Value], depth: u32) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    depth.hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() as usize) % SPILL_PARTITIONS
+}
+
+/// Append one rowser-framed row to a spill partition (same u32-length
+/// framing as the external sort's runs).
+fn write_spill_row(w: &mut SpillWriter, row: &Row) -> Result<()> {
+    let mut scratch = Vec::new();
+    rowser::write_row(&mut scratch, row);
+    let mut framed = Vec::with_capacity(scratch.len() + 4);
+    framed.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&scratch);
+    w.write_all(&framed)
+}
+
+/// Iterate rows back out of a finished spill partition.
+struct SpillRowIter {
+    reader: SpillReader,
+}
+
+impl RowIterator for SpillRowIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        let mut lenbuf = [0u8; 4];
+        if !self.reader.read_exact(&mut lenbuf)? {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(lenbuf) as usize;
+        let mut payload = vec![0u8; len];
+        if !self.reader.read_exact(&mut payload)? {
+            return Err(DbError::Storage("truncated aggregate spill".into()));
+        }
+        let mut pos = 0;
+        Ok(Some(rowser::read_row(&payload, &mut pos)?))
+    }
+}
+
+/// Governed hash aggregation with graceful degradation: when the memory
+/// budget runs out, rows for groups already in memory keep aggregating in
+/// place, while rows for *new* groups are spilled to hash partitions in
+/// `storage::tempspace` (raw input rows — `Box<dyn AggState>` has no
+/// serialized form). After the input drains, in-memory groups are
+/// emitted, their memory released, and each partition is aggregated
+/// recursively with a re-salted hash. This is the hybrid-hash analogue
+/// of SQL Server's Hash Match spilling to tempdb.
+pub fn aggregate_governed(
+    input: &mut dyn RowIterator,
+    group_exprs: &[Expr],
+    aggs: &[AggSpec],
+    ctx: &ExecContext,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    aggregate_level(input, group_exprs, aggs, ctx, 0, &mut out)?;
+    Ok(out)
+}
+
+fn aggregate_level(
+    input: &mut dyn RowIterator,
+    group_exprs: &[Expr],
+    aggs: &[AggSpec],
+    ctx: &ExecContext,
+    depth: u32,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    let mut ticker = crate::governor::Ticker::new();
+    let mut charge = MemCharge::new(ctx.gov.clone());
+    let mut groups: GroupedStates = HashMap::new();
+    // Once the budget rejects one group, *all* further new groups go to
+    // the spill. Without this the budget could free up mid-stream and
+    // admit a key whose earlier rows were already spilled, emitting that
+    // group twice.
+    let mut spilling = false;
+    let mut partitions: Vec<Option<SpillWriter>> = (0..SPILL_PARTITIONS).map(|_| None).collect();
+
+    while let Some(row) = input.next()? {
+        ticker.tick(&ctx.gov)?;
+        let key = group_key(group_exprs, &row)?;
+        if let Some(states) = groups.get_mut(&key) {
+            for (spec, state) in aggs.iter().zip(states.iter_mut()) {
+                spec.update(state, &row)?;
+            }
+            continue;
+        }
+        if !spilling && charge.try_grow(group_cost(&key, aggs.len())) {
+            let states = groups.entry(key).or_insert(create_states(aggs)?);
+            for (spec, state) in aggs.iter().zip(states.iter_mut()) {
+                spec.update(state, &row)?;
+            }
+        } else {
+            if depth >= MAX_SPILL_DEPTH {
+                return Err(DbError::ResourceExhausted(format!(
+                    "hash aggregate exceeded its memory budget even after \
+                     {MAX_SPILL_DEPTH} repartition passes"
+                )));
+            }
+            spilling = true;
+            let p = partition_of(&key, depth);
+            if partitions[p].is_none() {
+                partitions[p] = Some(ctx.temp.create_spill()?);
+            }
+            if let Some(writer) = partitions[p].as_mut() {
+                write_spill_row(writer, &row)?;
+            }
+        }
+    }
+
+    out.extend(finish_map(std::mem::take(&mut groups), aggs)?);
+    charge.release_all();
+
+    for writer in partitions.drain(..).flatten() {
+        let mut part = SpillRowIter {
+            reader: writer.finish()?,
+        };
+        aggregate_level(&mut part, group_exprs, aggs, ctx, depth + 1, out)?;
+    }
+    Ok(())
+}
+
 /// Blocking hash aggregate. Output order is unspecified (like SQL).
+/// Governed: over-budget runs degrade by spilling to tempspace (see
+/// [`aggregate_governed`]).
 pub struct HashAggIter {
     input: Option<BoxedIter>,
     group_exprs: Vec<Expr>,
     aggs: Vec<AggSpec>,
+    ctx: ExecContext,
     output: std::vec::IntoIter<Row>,
 }
 
 impl HashAggIter {
-    pub fn new(input: BoxedIter, group_exprs: Vec<Expr>, aggs: Vec<AggSpec>) -> HashAggIter {
+    pub fn new(
+        input: BoxedIter,
+        group_exprs: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+        ctx: ExecContext,
+    ) -> HashAggIter {
         HashAggIter {
             input: Some(input),
             group_exprs,
             aggs,
+            ctx,
             output: Vec::new().into_iter(),
         }
     }
@@ -137,16 +312,18 @@ impl HashAggIter {
 impl RowIterator for HashAggIter {
     fn next(&mut self) -> Result<Option<Row>> {
         if let Some(mut input) = self.input.take() {
-            let groups = aggregate_into_map(input.as_mut(), &self.group_exprs, &self.aggs)?;
-            if groups.is_empty() && self.group_exprs.is_empty() {
+            let rows =
+                aggregate_governed(input.as_mut(), &self.group_exprs, &self.aggs, &self.ctx)?;
+            if rows.is_empty() && self.group_exprs.is_empty() {
                 // Global aggregate over empty input still yields one row.
                 let mut vals = Vec::new();
                 for a in &self.aggs {
-                    vals.push(a.factory.create().finish()?);
+                    let mut s = a.create_state()?;
+                    vals.push(protect(a.factory.name(), || s.finish())?);
                 }
                 self.output = vec![Row::new(vals)].into_iter();
             } else {
-                self.output = finish_map(groups)?.into_iter();
+                self.output = rows.into_iter();
             }
         }
         Ok(self.output.next())
@@ -164,26 +341,43 @@ pub struct StreamAggIter {
     group_exprs: Vec<Expr>,
     aggs: Vec<AggSpec>,
     current: Option<CurrentGroup>,
+    /// Accounts the single in-flight group; re-charged at each boundary.
+    charge: MemCharge,
     done: bool,
     saw_rows: bool,
 }
 
 impl StreamAggIter {
-    pub fn new(input: BoxedIter, group_exprs: Vec<Expr>, aggs: Vec<AggSpec>) -> StreamAggIter {
+    pub fn new(
+        input: BoxedIter,
+        group_exprs: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+        gov: Arc<QueryGovernor>,
+    ) -> StreamAggIter {
         StreamAggIter {
             input,
             group_exprs,
             aggs,
             current: None,
+            charge: MemCharge::new(gov),
             done: false,
             saw_rows: false,
         }
     }
 
-    fn emit(&mut self, key: Vec<Value>, mut states: Vec<Box<dyn AggState>>) -> Result<Row> {
+    /// Start a new in-flight group, accounting its state against the
+    /// budget (one group at a time — this is what keeps the stream
+    /// aggregate non-blocking and near-constant-space).
+    fn open_group(&mut self, key: &[Value]) -> Result<Vec<Box<dyn AggState>>> {
+        self.charge.release_all();
+        self.charge.grow(group_cost(key, self.aggs.len()))?;
+        create_states(&self.aggs)
+    }
+
+    fn emit(&mut self, key: Vec<Value>, states: Vec<Box<dyn AggState>>) -> Result<Row> {
         let mut vals = key;
-        for s in &mut states {
-            vals.push(s.finish()?);
+        for (mut s, spec) in states.into_iter().zip(&self.aggs) {
+            vals.push(protect(spec.factory.name(), || s.finish())?);
         }
         Ok(Row::new(vals))
     }
@@ -199,43 +393,38 @@ impl RowIterator for StreamAggIter {
                 Some(row) => {
                     self.saw_rows = true;
                     let key = group_key(&self.group_exprs, &row)?;
-                    match &mut self.current {
-                        Some((ckey, states)) if *ckey == key => {
+                    let same_group = matches!(&self.current, Some((ckey, _)) if *ckey == key);
+                    if same_group {
+                        if let Some((_, states)) = &mut self.current {
                             for (spec, state) in self.aggs.iter().zip(states.iter_mut()) {
                                 spec.update(state, &row)?;
                             }
                         }
-                        Some(_) => {
-                            // Group boundary: emit the finished group and
-                            // start the new one.
-                            let (okey, ostates) = self.current.take().expect("checked Some above");
-                            let mut states: Vec<Box<dyn AggState>> =
-                                self.aggs.iter().map(|a| a.factory.create()).collect();
-                            for (spec, state) in self.aggs.iter().zip(states.iter_mut()) {
-                                spec.update(state, &row)?;
-                            }
-                            self.current = Some((key, states));
+                    } else {
+                        // Group boundary (or very first group): start the
+                        // new group, then emit the finished one if any.
+                        let prev = self.current.take();
+                        let mut states = self.open_group(&key)?;
+                        for (spec, state) in self.aggs.iter().zip(states.iter_mut()) {
+                            spec.update(state, &row)?;
+                        }
+                        self.current = Some((key, states));
+                        if let Some((okey, ostates)) = prev {
                             return Ok(Some(self.emit(okey, ostates)?));
-                        }
-                        None => {
-                            let mut states: Vec<Box<dyn AggState>> =
-                                self.aggs.iter().map(|a| a.factory.create()).collect();
-                            for (spec, state) in self.aggs.iter().zip(states.iter_mut()) {
-                                spec.update(state, &row)?;
-                            }
-                            self.current = Some((key, states));
                         }
                     }
                 }
                 None => {
                     self.done = true;
+                    self.charge.release_all();
                     if let Some((key, states)) = self.current.take() {
                         return Ok(Some(self.emit(key, states)?));
                     }
                     if !self.saw_rows && self.group_exprs.is_empty() {
                         let mut vals = Vec::new();
                         for a in &self.aggs {
-                            vals.push(a.factory.create().finish()?);
+                            let mut s = a.create_state()?;
+                            vals.push(protect(a.factory.name(), || s.finish())?);
                         }
                         return Ok(Some(Row::new(vals)));
                     }
@@ -249,7 +438,7 @@ impl RowIterator for StreamAggIter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::testutil::int_rows;
+    use crate::exec::testutil::{int_rows, test_context};
     use crate::exec::{collect, ValuesIter};
     use crate::udx::{CountAgg, SumAgg};
     use std::sync::Arc;
@@ -286,6 +475,7 @@ mod tests {
             Box::new(ValuesIter::new(rows())),
             vec![Expr::col(0, "g")],
             specs(),
+            test_context(),
         );
         let got = normalize(collect(Box::new(it)).unwrap());
         assert_eq!(got, vec![(1, 2, 40), (2, 2, 10), (3, 1, 1)]);
@@ -299,6 +489,7 @@ mod tests {
             Box::new(ValuesIter::new(sorted)),
             vec![Expr::col(0, "g")],
             specs(),
+            QueryGovernor::unlimited(),
         );
         let got = normalize(collect(Box::new(it)).unwrap());
         assert_eq!(got, vec![(1, 2, 40), (2, 2, 10), (3, 1, 1)]);
@@ -306,7 +497,12 @@ mod tests {
 
     #[test]
     fn global_aggregate_without_group_by() {
-        let it = HashAggIter::new(Box::new(ValuesIter::new(rows())), vec![], specs());
+        let it = HashAggIter::new(
+            Box::new(ValuesIter::new(rows())),
+            vec![],
+            specs(),
+            test_context(),
+        );
         let out = collect(Box::new(it)).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0][0], Value::Int(5));
@@ -318,9 +514,21 @@ mod tests {
         for blocking in [true, false] {
             let input = Box::new(ValuesIter::new(vec![]));
             let out = if blocking {
-                collect(Box::new(HashAggIter::new(input, vec![], specs()))).unwrap()
+                collect(Box::new(HashAggIter::new(
+                    input,
+                    vec![],
+                    specs(),
+                    test_context(),
+                )))
+                .unwrap()
             } else {
-                collect(Box::new(StreamAggIter::new(input, vec![], specs()))).unwrap()
+                collect(Box::new(StreamAggIter::new(
+                    input,
+                    vec![],
+                    specs(),
+                    QueryGovernor::unlimited(),
+                )))
+                .unwrap()
             };
             assert_eq!(out.len(), 1);
             assert_eq!(out[0][0], Value::Int(0));
@@ -334,6 +542,7 @@ mod tests {
             Box::new(ValuesIter::new(vec![])),
             vec![Expr::col(0, "g")],
             specs(),
+            test_context(),
         );
         assert!(collect(Box::new(it)).unwrap().is_empty());
     }
@@ -341,22 +550,67 @@ mod tests {
     #[test]
     fn partial_final_split_equals_single_pass() {
         // The invariant the parallel aggregate relies on.
+        let gov = QueryGovernor::unlimited();
+        let mut charge = MemCharge::new(gov.clone());
         let all = rows();
         let serial = {
             let mut it = ValuesIter::new(all.clone());
-            aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs()).unwrap()
+            aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs(), &mut charge).unwrap()
         };
         let mut merged = {
             let mut it = ValuesIter::new(all[..2].to_vec());
-            aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs()).unwrap()
+            aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs(), &mut charge).unwrap()
         };
         let part2 = {
             let mut it = ValuesIter::new(all[2..].to_vec());
-            aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs()).unwrap()
+            aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs(), &mut charge).unwrap()
         };
-        merge_maps(&mut merged, part2).unwrap();
-        let a = normalize(finish_map(serial).unwrap());
-        let b = normalize(finish_map(merged).unwrap());
+        merge_maps(&mut merged, part2, &specs()).unwrap();
+        let a = normalize(finish_map(serial, &specs()).unwrap());
+        let b = normalize(finish_map(merged, &specs()).unwrap());
         assert_eq!(a, b);
+        drop(charge);
+        assert_eq!(gov.mem_used(), 0);
+    }
+
+    #[test]
+    fn tight_budget_spills_and_still_aggregates_exactly() {
+        // Many distinct groups under a budget that fits only a handful:
+        // the hybrid path must spill, recurse, and still produce exactly
+        // one correct row per group.
+        let mut ctx = test_context();
+        ctx.gov = QueryGovernor::new(None, Some(2 * 1024));
+        let input: Vec<Row> = (0..2000i64)
+            .map(|i| Row::new(vec![Value::Int(i % 500), Value::Int(1)]))
+            .collect();
+        let it = HashAggIter::new(
+            Box::new(ValuesIter::new(input)),
+            vec![Expr::col(0, "g")],
+            specs(),
+            ctx.clone(),
+        );
+        let got = normalize(collect(Box::new(it)).unwrap());
+        assert_eq!(got.len(), 500, "each group must appear exactly once");
+        for (g, cnt, total) in got {
+            assert!((0..500).contains(&g));
+            assert_eq!(cnt, 4);
+            assert_eq!(total, 4);
+        }
+        assert_eq!(ctx.gov.mem_used(), 0, "all charges released");
+    }
+
+    #[test]
+    fn ungoverned_aggregate_into_map_errors_when_exhausted() {
+        let gov = QueryGovernor::new(None, Some(256));
+        let mut charge = MemCharge::new(gov);
+        let input: Vec<Row> = (0..100i64)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(1)]))
+            .collect();
+        let mut it = ValuesIter::new(input);
+        let err = match aggregate_into_map(&mut it, &[Expr::col(0, "g")], &specs(), &mut charge) {
+            Ok(_) => panic!("expected exhaustion"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, DbError::ResourceExhausted(_)), "{err}");
     }
 }

@@ -11,11 +11,12 @@ use seqdb_types::{DbError, Result, Row, Value};
 
 use crate::exec::{BoxedIter, ExecContext, RowIterator};
 use crate::expr::Expr;
-use crate::udx::{TableFunction, TvfCursor};
+use crate::udx::{protect, TableFunction, TvfCursor};
 
 /// `FROM tvf(constant args)`: a leaf scan over a table function.
 pub struct TvfScanIter {
     cursor: Box<dyn TvfCursor>,
+    name: String,
     /// Expected output arity, validated per row: a UDF that returns the
     /// wrong shape should fail loudly, not corrupt downstream operators.
     arity: usize,
@@ -24,7 +25,8 @@ pub struct TvfScanIter {
 impl TvfScanIter {
     pub fn open(tvf: &Arc<dyn TableFunction>, args: &[Value], ctx: &ExecContext) -> Result<Self> {
         Ok(TvfScanIter {
-            cursor: tvf.open(args, ctx)?,
+            cursor: protect(tvf.name(), || tvf.open(args, ctx))?,
+            name: tvf.name().to_string(),
             arity: tvf.schema().len(),
         })
     }
@@ -32,10 +34,12 @@ impl TvfScanIter {
 
 impl RowIterator for TvfScanIter {
     fn next(&mut self) -> Result<Option<Row>> {
-        if !self.cursor.move_next()? {
+        // Both cursor entry points run user code; a panic in either fails
+        // only this query (DbError::UdxPanic).
+        if !protect(&self.name, || self.cursor.move_next())? {
             return Ok(None);
         }
-        let row = self.cursor.fill_row()?;
+        let row = protect(&self.name, || self.cursor.fill_row())?;
         if row.len() != self.arity {
             return Err(DbError::Execution(format!(
                 "table function produced {} columns, declared {}",
@@ -83,8 +87,9 @@ impl RowIterator for CrossApplyIter {
     fn next(&mut self) -> Result<Option<Row>> {
         loop {
             if let Some(cursor) = &mut self.current_cursor {
-                if cursor.move_next()? {
-                    let inner = cursor.fill_row()?;
+                let name = self.tvf.name();
+                if protect(name, || cursor.move_next())? {
+                    let inner = protect(name, || cursor.fill_row())?;
                     if inner.len() != self.arity {
                         return Err(DbError::Execution(format!(
                             "table function produced {} columns, declared {}",
@@ -106,7 +111,8 @@ impl RowIterator for CrossApplyIter {
                         .iter()
                         .map(|e| e.eval(&outer))
                         .collect::<Result<_>>()?;
-                    self.current_cursor = Some(self.tvf.open(&args, &self.ctx)?);
+                    let tvf = &self.tvf;
+                    self.current_cursor = Some(protect(tvf.name(), || tvf.open(&args, &self.ctx))?);
                     self.current_outer = Some(outer);
                 }
             }

@@ -8,11 +8,13 @@
 //! index scans with compatible key prefixes.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 use seqdb_types::{Result, Row, Value};
 
 use crate::exec::{BoxedIter, RowIterator};
 use crate::expr::Expr;
+use crate::governor::{MemCharge, QueryGovernor};
 
 fn eval_all(exprs: &[Expr], row: &Row) -> Result<Vec<Value>> {
     exprs.iter().map(|e| e.eval(row)).collect()
@@ -35,12 +37,19 @@ fn key_joinable(k: &[Value]) -> bool {
 
 /// Inner equi hash join. Builds on the left input, probes with the right,
 /// emits `left ++ right` rows.
+///
+/// The build table is charged byte-for-byte against the query's memory
+/// budget. There is no spill path for joins (the planner picks a merge
+/// join for large inputs), so exhaustion fails the query with
+/// `ResourceExhausted` — never the process. The charge is released when
+/// the iterator drops.
 pub struct HashJoinIter {
     build: Option<BoxedIter>,
     probe: BoxedIter,
     left_keys: Vec<Expr>,
     right_keys: Vec<Expr>,
     table: std::collections::HashMap<Vec<Value>, Vec<Row>>,
+    charge: MemCharge,
     /// Matches pending for the current probe row.
     pending: std::vec::IntoIter<Row>,
     current_probe: Option<Row>,
@@ -52,6 +61,7 @@ impl HashJoinIter {
         probe: BoxedIter,
         left_keys: Vec<Expr>,
         right_keys: Vec<Expr>,
+        gov: Arc<QueryGovernor>,
     ) -> HashJoinIter {
         HashJoinIter {
             build: Some(build),
@@ -59,6 +69,7 @@ impl HashJoinIter {
             left_keys,
             right_keys,
             table: std::collections::HashMap::new(),
+            charge: MemCharge::new(gov),
             pending: Vec::new().into_iter(),
             current_probe: None,
         }
@@ -71,6 +82,7 @@ impl RowIterator for HashJoinIter {
             while let Some(row) = build.next()? {
                 let key = eval_all(&self.left_keys, &row)?;
                 if key_joinable(&key) {
+                    self.charge.grow(row.size_bytes())?;
                     self.table.entry(key).or_default().push(row);
                 }
             }
@@ -239,6 +251,7 @@ mod tests {
                 Box::new(ValuesIter::new(right)),
                 lk,
                 rk,
+                QueryGovernor::unlimited(),
             )),
             _ => Box::new(MergeJoinIter::new(
                 Box::new(ValuesIter::new(left)),
@@ -299,6 +312,29 @@ mod tests {
         assert!(join_all("merge", vec![], right_rows()).is_empty());
         assert!(join_all("merge", left_rows(), vec![]).is_empty());
         assert!(join_all("hash", vec![], vec![]).is_empty());
+    }
+
+    #[test]
+    fn hash_join_build_side_respects_memory_budget() {
+        let gov = QueryGovernor::new(None, Some(128));
+        let left: Vec<Row> = (0..100i64)
+            .map(|i| int_rows(&[&[i, i]]).remove(0))
+            .collect();
+        let right = int_rows(&[&[1, 1]]);
+        let it = HashJoinIter::new(
+            Box::new(ValuesIter::new(left)),
+            Box::new(ValuesIter::new(right)),
+            vec![Expr::col(0, "k")],
+            vec![Expr::col(0, "k")],
+            gov.clone(),
+        );
+        let err = collect(Box::new(it)).unwrap_err();
+        assert!(
+            matches!(err, seqdb_types::DbError::ResourceExhausted(_)),
+            "{err}"
+        );
+        // Dropping the failed iterator released every charged byte.
+        assert_eq!(gov.mem_used(), 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use seqdb_types::{Result, Row};
 use seqdb_storage::{FileStreamStore, TempSpace};
 
 use crate::catalog::Catalog;
+use crate::governor::QueryGovernor;
 
 /// Everything an operator needs at run time.
 #[derive(Clone)]
@@ -32,6 +33,10 @@ pub struct ExecContext {
     pub dop: usize,
     /// Memory budget (bytes) for blocking operators before they spill.
     pub sort_budget: usize,
+    /// Per-query resource governor: cancellation, timeout, memory budget.
+    /// Fresh for every query; clone the `Arc` to cancel from another
+    /// thread.
+    pub gov: Arc<QueryGovernor>,
 }
 
 impl ExecContext {
@@ -101,6 +106,7 @@ pub(crate) mod testutil {
             temp: TempSpace::system().unwrap(),
             dop: 2,
             sort_budget: ExecContext::DEFAULT_SORT_BUDGET,
+            gov: QueryGovernor::unlimited(),
         }
     }
 

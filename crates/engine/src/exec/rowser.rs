@@ -66,7 +66,9 @@ pub fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
         T_FLOAT => {
             let raw = buf.get(*pos..*pos + 8).ok_or_else(err)?;
             *pos += 8;
-            Value::Float(f64::from_le_bytes(raw.try_into().unwrap()))
+            Value::Float(f64::from_le_bytes(
+                raw.try_into().expect("slice is exactly 8 bytes"),
+            ))
         }
         T_TEXT => {
             let n = varint::read_u64(buf, pos).ok_or_else(err)? as usize;
@@ -88,7 +90,9 @@ pub fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
         T_GUID => {
             let raw = buf.get(*pos..*pos + 16).ok_or_else(err)?;
             *pos += 16;
-            Value::Guid(u128::from_be_bytes(raw.try_into().unwrap()))
+            Value::Guid(u128::from_be_bytes(
+                raw.try_into().expect("slice is exactly 16 bytes"),
+            ))
         }
         _ => return Err(err()),
     })

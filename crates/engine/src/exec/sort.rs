@@ -15,6 +15,7 @@ use seqdb_types::{Result, Row, Value};
 use crate::exec::rowser;
 use crate::exec::{BoxedIter, ExecContext, RowIterator};
 use crate::expr::Expr;
+use crate::governor::MemCharge;
 
 /// One ORDER BY key: an expression and a direction.
 #[derive(Clone, Debug)]
@@ -60,8 +61,9 @@ enum SortState {
         keys: Vec<SortKey>,
         ctx: ExecContext,
     },
-    /// Everything fit in memory.
-    InMemory(std::vec::IntoIter<Row>),
+    /// Everything fit in memory; the charge covers the buffered rows and
+    /// releases when the sort is dropped or exhausted.
+    InMemory(std::vec::IntoIter<Row>, MemCharge),
     /// Merging spilled runs.
     Merging(MergeRuns),
     Done,
@@ -78,24 +80,32 @@ impl SortIter {
         let mut runs: Vec<SpillReader> = Vec::new();
         let mut buffer: Vec<(Vec<Value>, Row)> = Vec::new();
         let mut buffered_bytes = 0usize;
+        let mut charge = MemCharge::new(ctx.gov.clone());
 
         while let Some(row) = input.next()? {
-            buffered_bytes += row.size_bytes();
+            let sz = row.size_bytes();
+            buffered_bytes += sz;
+            // Buffered bytes count against the query's budget; when the
+            // governor declines, degrade by spilling this buffer instead
+            // of failing — the sort's graceful degradation path.
+            let over_budget = !charge.try_grow(sz) || buffered_bytes > ctx.sort_budget;
             let kv = eval_keys(keys, &row)?;
             buffer.push((kv, row));
-            if buffered_bytes > ctx.sort_budget {
+            if over_budget {
                 runs.push(spill_run(ctx, keys, &mut buffer)?);
                 buffered_bytes = 0;
+                charge.release_all();
             }
         }
 
         if runs.is_empty() {
             buffer.sort_by(|a, b| compare_keys(keys, &a.0, &b.0));
             let rows: Vec<Row> = buffer.into_iter().map(|(_, r)| r).collect();
-            return Ok(SortState::InMemory(rows.into_iter()));
+            return Ok(SortState::InMemory(rows.into_iter(), charge));
         }
         if !buffer.is_empty() {
             runs.push(spill_run(ctx, keys, &mut buffer)?);
+            charge.release_all();
         }
         MergeRuns::new(runs, keys.to_vec()).map(SortState::Merging)
     }
@@ -236,7 +246,7 @@ impl RowIterator for SortIter {
                     };
                     self.state = Self::execute(&mut input, &keys, &ctx)?;
                 }
-                SortState::InMemory(rows) => return Ok(rows.next()),
+                SortState::InMemory(rows, _charge) => return Ok(rows.next()),
                 SortState::Merging(m) => return m.next_row(),
                 SortState::Done => return Ok(None),
             }
@@ -348,6 +358,30 @@ mod tests {
         }
         assert!(ctx.temp.spill_count() > 1, "sort must have spilled runs");
         assert!(ctx.temp.bytes_written() > 0);
+    }
+
+    #[test]
+    fn governor_budget_degrades_sort_to_spill() {
+        use crate::governor::QueryGovernor;
+        // The configured sort_budget is huge, but the per-query governor
+        // budget is tiny: the sort must degrade by spilling rather than
+        // fail with ResourceExhausted.
+        let mut ctx = test_context();
+        ctx.gov = QueryGovernor::new(None, Some(4096));
+        ctx.temp.reset_counters();
+        let rows = shuffled(5000);
+        let it = SortIter::new(
+            Box::new(ValuesIter::new(rows)),
+            vec![SortKey::asc(Expr::col(0, "id"))],
+            ctx.clone(),
+        );
+        let sorted = collect(Box::new(it)).unwrap();
+        assert_eq!(sorted.len(), 5000);
+        for (i, r) in sorted.iter().enumerate() {
+            assert_eq!(r[0], Value::Int(i as i64));
+        }
+        assert!(ctx.temp.spill_count() > 1, "sort must have spilled runs");
+        assert_eq!(ctx.gov.mem_used(), 0, "all sort charges released");
     }
 
     #[test]

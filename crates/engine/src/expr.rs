@@ -132,7 +132,9 @@ impl Expr {
             }
             Expr::Func { udf, args } => {
                 let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
-                udf.invoke(&vals)
+                // User code runs inside the engine; a panicking UDF must
+                // fail its query, not the process (paper §2.3.1).
+                crate::udx::protect(udf.name(), || udf.invoke(&vals))
             }
         }
     }

@@ -1,0 +1,353 @@
+//! Per-query resource governor: cancellation, wall-clock timeouts, and a
+//! byte-accounted memory budget.
+//!
+//! This is the engine-side analogue of SQL Server's CLR hosting layer
+//! (paper §2.3): user code and memory-hungry operators run *inside* the
+//! server, so a misbehaving query must be containable without killing the
+//! process. Every query gets one [`QueryGovernor`] (created by
+//! `Database::exec_context`); operators check it cooperatively between
+//! rows and charge it for buffered bytes. Operators that can degrade
+//! (sort, hash aggregate) spill to `storage::tempspace` when the budget
+//! runs out; the rest fail the query with
+//! [`DbError::ResourceExhausted`].
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use seqdb_types::{DbError, Result, Row};
+
+use crate::exec::{BoxedIter, RowIterator};
+
+/// Query lifecycle states stored in [`QueryGovernor::state`].
+const RUNNING: u8 = 0;
+const CANCELLED: u8 = 1;
+const TIMED_OUT: u8 = 2;
+
+/// How many cooperative checks between (comparatively expensive)
+/// deadline reads. The cancel flag itself is checked on every call.
+const DEADLINE_STRIDE: u32 = 64;
+
+/// Shared, thread-safe per-query limits. Cloned (via `Arc`) into every
+/// operator of a plan, including parallel workers.
+pub struct QueryGovernor {
+    state: AtomicU8,
+    deadline: Option<Instant>,
+    timeout: Option<Duration>,
+    /// Memory budget in bytes; `usize::MAX` means unlimited.
+    mem_limit: usize,
+    mem_used: AtomicUsize,
+}
+
+impl QueryGovernor {
+    /// A governor with no limits — cancellation still works.
+    pub fn unlimited() -> Arc<QueryGovernor> {
+        QueryGovernor::new(None, None)
+    }
+
+    pub fn new(timeout: Option<Duration>, mem_limit: Option<usize>) -> Arc<QueryGovernor> {
+        Arc::new(QueryGovernor {
+            state: AtomicU8::new(RUNNING),
+            deadline: timeout.map(|t| Instant::now() + t),
+            timeout,
+            mem_limit: mem_limit.unwrap_or(usize::MAX),
+            mem_used: AtomicUsize::new(0),
+        })
+    }
+
+    /// Request cancellation. The query fails with [`DbError::Cancelled`]
+    /// at its next cooperative check. Idempotent; a timeout that already
+    /// fired wins.
+    pub fn cancel(&self) {
+        let _ =
+            self.state
+                .compare_exchange(RUNNING, CANCELLED, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    pub fn is_aborted(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != RUNNING
+    }
+
+    /// Cheap cooperative check: cancel flag only. Called once per row per
+    /// governed operator.
+    pub fn check(&self) -> Result<()> {
+        match self.state.load(Ordering::Relaxed) {
+            RUNNING => Ok(()),
+            CANCELLED => Err(DbError::Cancelled("query cancelled".into())),
+            _ => Err(self.timeout_error()),
+        }
+    }
+
+    /// Full cooperative check: cancel flag plus wall-clock deadline.
+    /// Called every [`DEADLINE_STRIDE`] rows to amortize `Instant::now`.
+    pub fn check_deadline(&self) -> Result<()> {
+        self.check()?;
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                let _ = self.state.compare_exchange(
+                    RUNNING,
+                    TIMED_OUT,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return Err(self.timeout_error());
+            }
+        }
+        Ok(())
+    }
+
+    fn timeout_error(&self) -> DbError {
+        let ms = self.timeout.map(|t| t.as_millis()).unwrap_or(0);
+        DbError::Timeout(format!("query exceeded its {ms}ms timeout"))
+    }
+
+    /// Try to charge `bytes` against the budget. Returns `false` (charging
+    /// nothing) if the budget would be exceeded — callers that can spill
+    /// use this and degrade instead of failing.
+    pub fn try_reserve(&self, bytes: usize) -> bool {
+        let prev = self.mem_used.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > self.mem_limit {
+            self.mem_used.fetch_sub(bytes, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Charge `bytes` or fail with [`DbError::ResourceExhausted`] — for
+    /// operators with no spill path (hash join build, stream-agg state).
+    pub fn reserve(&self, bytes: usize) -> Result<()> {
+        if self.try_reserve(bytes) {
+            Ok(())
+        } else {
+            Err(DbError::ResourceExhausted(format!(
+                "query memory budget of {} bytes exceeded ({} in use, {} requested)",
+                self.mem_limit,
+                self.mem_used.load(Ordering::Relaxed),
+                bytes
+            )))
+        }
+    }
+
+    pub fn release(&self, bytes: usize) {
+        self.mem_used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently charged across the whole query (all operators and
+    /// workers share one meter).
+    pub fn mem_used(&self) -> usize {
+        self.mem_used.load(Ordering::Relaxed)
+    }
+
+    pub fn mem_limit(&self) -> Option<usize> {
+        (self.mem_limit != usize::MAX).then_some(self.mem_limit)
+    }
+}
+
+/// RAII accounting handle: grows against a governor and releases every
+/// charged byte on drop, so early returns and cancelled queries cannot
+/// leak budget.
+pub struct MemCharge {
+    gov: Arc<QueryGovernor>,
+    bytes: usize,
+}
+
+impl MemCharge {
+    pub fn new(gov: Arc<QueryGovernor>) -> MemCharge {
+        MemCharge { gov, bytes: 0 }
+    }
+
+    /// Charge more bytes, failing with `ResourceExhausted` if over budget.
+    pub fn grow(&mut self, bytes: usize) -> Result<()> {
+        self.gov.reserve(bytes)?;
+        self.bytes += bytes;
+        Ok(())
+    }
+
+    /// Charge more bytes if the budget allows; `false` leaves the charge
+    /// unchanged (the caller spills instead).
+    pub fn try_grow(&mut self, bytes: usize) -> bool {
+        if self.gov.try_reserve(bytes) {
+            self.bytes += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release everything charged so far (e.g. after spilling a buffer).
+    pub fn release_all(&mut self) {
+        self.gov.release(self.bytes);
+        self.bytes = 0;
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for MemCharge {
+    fn drop(&mut self) {
+        self.release_all();
+    }
+}
+
+/// Stride counter for cooperative checks: cancel flag every call, the
+/// deadline every [`DEADLINE_STRIDE`] calls (the first call included, so
+/// an already-expired query fails before producing a row).
+pub struct Ticker {
+    n: u32,
+}
+
+impl Ticker {
+    pub fn new() -> Ticker {
+        Ticker { n: 0 }
+    }
+
+    pub fn tick(&mut self, gov: &QueryGovernor) -> Result<()> {
+        let full = self.n.is_multiple_of(DEADLINE_STRIDE);
+        self.n = self.n.wrapping_add(1);
+        if full {
+            gov.check_deadline()
+        } else {
+            gov.check()
+        }
+    }
+}
+
+impl Default for Ticker {
+    fn default() -> Self {
+        Ticker::new()
+    }
+}
+
+/// Wraps any operator with cooperative cancellation/timeout checks.
+/// `Plan::open` wraps every node it builds, so blocking operators that
+/// drain a child (sort, hash agg, hash join build) hit a check on every
+/// input row even though their own `next()` is called rarely.
+pub struct GovernedIter {
+    inner: BoxedIter,
+    gov: Arc<QueryGovernor>,
+    ticker: Ticker,
+}
+
+impl GovernedIter {
+    pub fn new(inner: BoxedIter, gov: Arc<QueryGovernor>) -> GovernedIter {
+        GovernedIter {
+            inner,
+            gov,
+            ticker: Ticker::new(),
+        }
+    }
+}
+
+impl RowIterator for GovernedIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        self.ticker.tick(&self.gov)?;
+        self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{collect, ValuesIter};
+    use seqdb_types::Value;
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| Row::new(vec![Value::Int(i)])).collect()
+    }
+
+    #[test]
+    fn unlimited_governor_passes_everything() {
+        let gov = QueryGovernor::unlimited();
+        assert!(gov.check().is_ok());
+        assert!(gov.check_deadline().is_ok());
+        assert!(gov.try_reserve(usize::MAX / 2));
+        gov.release(usize::MAX / 2);
+    }
+
+    #[test]
+    fn cancel_fails_next_check() {
+        let gov = QueryGovernor::unlimited();
+        gov.cancel();
+        assert!(matches!(gov.check(), Err(DbError::Cancelled(_))));
+        let it = GovernedIter::new(Box::new(ValuesIter::new(rows(10))), gov);
+        assert!(matches!(collect(Box::new(it)), Err(DbError::Cancelled(_))));
+    }
+
+    #[test]
+    fn expired_deadline_times_out_before_first_row() {
+        let gov = QueryGovernor::new(Some(Duration::ZERO), None);
+        std::thread::sleep(Duration::from_millis(2));
+        let it = GovernedIter::new(Box::new(ValuesIter::new(rows(10))), gov.clone());
+        assert!(matches!(collect(Box::new(it)), Err(DbError::Timeout(_))));
+        // Once timed out, plain checks report Timeout, not Cancelled.
+        assert!(matches!(gov.check(), Err(DbError::Timeout(_))));
+    }
+
+    #[test]
+    fn timeout_fires_mid_stream_within_the_stride() {
+        let gov = QueryGovernor::new(Some(Duration::from_millis(10)), None);
+        let mut it = GovernedIter::new(Box::new(ValuesIter::new(rows(1_000_000))), gov);
+        let mut n = 0u64;
+        let err = loop {
+            match it.next() {
+                Ok(Some(_)) => n += 1,
+                Ok(None) => panic!("expected timeout, drained {n} rows"),
+                Err(e) => break e,
+            }
+            if n.is_multiple_of(512) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+        assert!(matches!(err, DbError::Timeout(_)), "{err}");
+    }
+
+    #[test]
+    fn reserve_accounts_and_releases() {
+        let gov = QueryGovernor::new(None, Some(1000));
+        assert!(gov.reserve(600).is_ok());
+        assert!(matches!(
+            gov.reserve(600),
+            Err(DbError::ResourceExhausted(_))
+        ));
+        // A failed reserve charges nothing.
+        assert_eq!(gov.mem_used(), 600);
+        assert!(gov.try_reserve(400));
+        assert!(!gov.try_reserve(1));
+        gov.release(1000);
+        assert_eq!(gov.mem_used(), 0);
+    }
+
+    #[test]
+    fn mem_charge_releases_on_drop() {
+        let gov = QueryGovernor::new(None, Some(1000));
+        {
+            let mut charge = MemCharge::new(gov.clone());
+            charge.grow(700).unwrap();
+            assert_eq!(gov.mem_used(), 700);
+            assert!(!charge.try_grow(500));
+            assert_eq!(charge.bytes(), 700);
+        }
+        assert_eq!(gov.mem_used(), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_limit() {
+        let gov = QueryGovernor::new(None, Some(10_000));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let gov = gov.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if gov.try_reserve(7) {
+                            gov.release(7);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(gov.mem_used(), 0);
+    }
+}

@@ -19,11 +19,17 @@
 //! depends on this one); programs can also build [`plan::Plan`]s
 //! directly.
 
+// A hosted engine must not die on a recoverable error: every fallible
+// path propagates `DbError` instead of unwrapping. Tests may unwrap.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod builtins;
 pub mod catalog;
 pub mod database;
 pub mod exec;
 pub mod expr;
+pub mod governor;
 pub mod parallel;
 pub mod plan;
 pub mod udx;
@@ -32,5 +38,6 @@ pub use catalog::{Catalog, Table, TableIndex};
 pub use database::{Database, DbConfig};
 pub use exec::{BoxedIter, ExecContext, RowIterator};
 pub use expr::{BinOp, Expr};
+pub use governor::{GovernedIter, MemCharge, QueryGovernor};
 pub use plan::{Plan, QueryResult};
 pub use udx::{AggState, Aggregate, ScalarUdf, TableFunction, TvfCursor};

@@ -28,6 +28,8 @@ use crate::exec::agg::{aggregate_into_map, finish_map, merge_maps, AggSpec};
 use crate::exec::scan::HeapScanIter;
 use crate::exec::RowIterator;
 use crate::expr::Expr;
+use crate::governor::{MemCharge, QueryGovernor, Ticker};
+use crate::udx::{panic_payload, protect};
 
 /// What one worker did during a parallel operator's execution.
 #[derive(Debug, Clone)]
@@ -45,6 +47,7 @@ pub struct ParallelAggIter {
     group_exprs: Vec<Expr>,
     aggs: Vec<AggSpec>,
     dop: usize,
+    gov: Arc<QueryGovernor>,
     output: Option<std::vec::IntoIter<Row>>,
     stats: Vec<WorkerStats>,
 }
@@ -56,6 +59,7 @@ impl ParallelAggIter {
         group_exprs: Vec<Expr>,
         aggs: Vec<AggSpec>,
         dop: usize,
+        gov: Arc<QueryGovernor>,
     ) -> Result<ParallelAggIter> {
         if dop == 0 {
             return Err(DbError::Plan("degree of parallelism must be >= 1".into()));
@@ -74,6 +78,7 @@ impl ParallelAggIter {
             group_exprs,
             aggs,
             dop,
+            gov,
             output: None,
             stats: Vec::new(),
         })
@@ -86,52 +91,95 @@ impl ParallelAggIter {
 
     fn execute(&mut self) -> Result<()> {
         let dop = self.dop;
+        let gov = &self.gov;
         let mut partials = Vec::with_capacity(dop);
+        // MemCharges travel with the partial maps they account for and
+        // are dropped (releasing the budget) at the end of execute().
+        let mut charges: Vec<MemCharge> = Vec::with_capacity(dop);
+        let mut errors: Vec<DbError> = Vec::new();
 
-        std::thread::scope(|scope| -> Result<()> {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(dop);
             for w in 0..dop {
                 let table = self.table.clone();
                 let filter = self.filter.clone();
                 let group_exprs = self.group_exprs.clone();
                 let aggs = self.aggs.clone();
+                let gov = gov.clone();
                 handles.push(scope.spawn(move || {
                     let start = Instant::now();
                     let mut scan = CountingIter {
                         inner: HeapScanIter::partitioned(table, filter, None, w, dop),
                         rows: 0,
+                        gov: gov.clone(),
+                        ticker: Ticker::new(),
                     };
-                    let map = aggregate_into_map(&mut scan, &group_exprs, &aggs)?;
+                    // Workers share the query's governor: their partial
+                    // maps charge one common budget, and they stop at the
+                    // next row once a sibling cancels it.
+                    let mut charge = MemCharge::new(gov.clone());
+                    let result = aggregate_into_map(&mut scan, &group_exprs, &aggs, &mut charge);
+                    if result.is_err() {
+                        // Fail fast: siblings notice at their next
+                        // cooperative check instead of scanning on.
+                        gov.cancel();
+                    }
+                    let map = result?;
                     let stats = WorkerStats {
                         worker: w,
                         rows_scanned: scan.rows,
                         groups_produced: map.len() as u64,
                         busy: start.elapsed(),
                     };
-                    Ok::<_, DbError>((map, stats))
+                    Ok::<_, DbError>((map, stats, charge))
                 }));
             }
+            // Join every worker before reporting anything: no handle is
+            // left detached, and no `unwrap()` turns a worker panic into
+            // a coordinator panic.
             for h in handles {
-                let (map, stats) = h
-                    .join()
-                    .map_err(|_| DbError::Execution("parallel worker panicked".into()))??;
-                self.stats.push(stats);
-                partials.push(map);
+                match h.join() {
+                    Ok(Ok((map, stats, charge))) => {
+                        self.stats.push(stats);
+                        partials.push(map);
+                        charges.push(charge);
+                    }
+                    Ok(Err(e)) => errors.push(e),
+                    Err(p) => {
+                        gov.cancel();
+                        errors.push(DbError::Execution(format!(
+                            "parallel worker panicked: {}",
+                            panic_payload(p)
+                        )));
+                    }
+                }
             }
-            Ok(())
-        })?;
+        });
+
+        if !errors.is_empty() {
+            // Prefer the root cause over the Cancelled errors of siblings
+            // that were told to stop because of it.
+            let root = errors
+                .iter()
+                .find(|e| !matches!(e, DbError::Cancelled(_)))
+                .unwrap_or(&errors[0]);
+            return Err(root.clone());
+        }
 
         // Final aggregation: merge partial states.
         let mut final_map = partials.pop().unwrap_or_default();
         for p in partials {
-            merge_maps(&mut final_map, p)?;
+            merge_maps(&mut final_map, p, &self.aggs)?;
         }
-        let mut rows = finish_map(final_map)?;
+        let mut rows = finish_map(final_map, &self.aggs)?;
         if rows.is_empty() && self.group_exprs.is_empty() {
             // Global aggregate over an empty table still yields one row.
             let mut vals = Vec::new();
             for a in &self.aggs {
-                vals.push(a.factory.create().finish()?);
+                vals.push(protect(a.factory.name(), || {
+                    let mut s = a.factory.create();
+                    s.finish()
+                })?);
             }
             rows.push(Row::new(vals));
         }
@@ -144,10 +192,15 @@ impl ParallelAggIter {
 struct CountingIter {
     inner: HeapScanIter,
     rows: u64,
+    gov: Arc<QueryGovernor>,
+    ticker: Ticker,
 }
 
 impl RowIterator for CountingIter {
     fn next(&mut self) -> Result<Option<Row>> {
+        // Workers run outside the plan's GovernedIter wrappers, so the
+        // cooperative check lives here.
+        self.ticker.tick(&self.gov)?;
         let r = self.inner.next()?;
         if r.is_some() {
             self.rows += 1;
@@ -212,15 +265,22 @@ mod tests {
         // Serial reference.
         let serial = {
             let scan = Box::new(HeapScanIter::new(t.clone(), None, None));
-            let it = crate::exec::agg::HashAggIter::new(scan, group.clone(), specs());
+            let it = crate::exec::agg::HashAggIter::new(scan, group.clone(), specs(), _ctx.clone());
             let mut rows = collect(Box::new(it)).unwrap();
             rows.sort_by_key(|r| r[0].as_int().unwrap());
             rows
         };
 
         for dop in [1, 2, 4] {
-            let mut par =
-                ParallelAggIter::new(t.clone(), None, group.clone(), specs(), dop).unwrap();
+            let mut par = ParallelAggIter::new(
+                t.clone(),
+                None,
+                group.clone(),
+                specs(),
+                dop,
+                QueryGovernor::unlimited(),
+            )
+            .unwrap();
             let mut rows = Vec::new();
             while let Some(r) = par.next().unwrap() {
                 rows.push(r);
@@ -244,6 +304,7 @@ mod tests {
             vec![],
             vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
             3,
+            QueryGovernor::unlimited(),
         )
         .unwrap();
         let row = par.next().unwrap().unwrap();
@@ -260,6 +321,7 @@ mod tests {
             vec![],
             vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
             2,
+            QueryGovernor::unlimited(),
         )
         .unwrap();
         assert_eq!(par.next().unwrap().unwrap()[0], Value::Int(0));
@@ -286,8 +348,96 @@ mod tests {
             vec![],
             vec![AggSpec::new(Arc::new(NoMerge), vec![], "x")],
             2,
+            QueryGovernor::unlimited(),
         );
         assert!(matches!(res, Err(DbError::Plan(_))));
+    }
+
+    /// A UDA that panics after a few rows, exercising the worker
+    /// error-propagation path.
+    struct PanicAgg;
+    struct PanicState {
+        n: i64,
+    }
+    impl Aggregate for PanicAgg {
+        fn name(&self) -> &str {
+            "PANIC_AGG"
+        }
+        fn create(&self) -> Box<dyn AggState> {
+            Box::new(PanicState { n: 0 })
+        }
+    }
+    impl AggState for PanicState {
+        fn update(&mut self, _args: &[Value]) -> Result<()> {
+            self.n += 1;
+            if self.n > 3 {
+                panic!("synthetic UDA failure");
+            }
+            Ok(())
+        }
+        fn merge(&mut self, _other: Box<dyn AggState>) -> Result<()> {
+            Ok(())
+        }
+        fn finish(&mut self) -> Result<Value> {
+            Ok(Value::Int(self.n))
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn panicking_worker_fails_only_its_query() {
+        let (_ctx, t) = setup(5000);
+        let gov = QueryGovernor::unlimited();
+        let mut par = ParallelAggIter::new(
+            t.clone(),
+            None,
+            vec![],
+            vec![AggSpec::new(Arc::new(PanicAgg), vec![], "x")],
+            4,
+            gov,
+        )
+        .unwrap();
+        let err = par.next().unwrap_err();
+        // The panic is caught at the UDA boundary inside the worker and
+        // surfaces as a typed UdxPanic naming the aggregate.
+        match &err {
+            DbError::UdxPanic { name, payload } => {
+                assert_eq!(name, "PANIC_AGG");
+                assert!(payload.contains("synthetic UDA failure"));
+            }
+            other => panic!("expected UdxPanic, got {other:?}"),
+        }
+        // The same table still serves healthy queries afterwards.
+        let mut ok = ParallelAggIter::new(
+            t,
+            None,
+            vec![],
+            vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
+            4,
+            QueryGovernor::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(ok.next().unwrap().unwrap()[0], Value::Int(5000));
+    }
+
+    #[test]
+    fn worker_memory_exhaustion_fails_query_not_process() {
+        let (_ctx, t) = setup(5000);
+        let gov = QueryGovernor::new(None, Some(512));
+        let mut par = ParallelAggIter::new(
+            t,
+            None,
+            vec![Expr::col(0, "id")], // one group per row: must blow the budget
+            specs(),
+            4,
+            gov.clone(),
+        )
+        .unwrap();
+        let err = par.next().unwrap_err();
+        assert!(matches!(err, DbError::ResourceExhausted(_)), "{err}");
+        assert_eq!(gov.mem_used(), 0, "worker charges released on failure");
     }
 
     #[test]
@@ -297,6 +447,8 @@ mod tests {
         let mut c = CountingIter {
             inner: HeapScanIter::new(t, None, None),
             rows: 0,
+            gov: QueryGovernor::unlimited(),
+            ticker: Ticker::new(),
         };
         while c.next().unwrap().is_some() {}
         assert_eq!(c.rows, 100);

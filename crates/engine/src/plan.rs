@@ -16,6 +16,7 @@ use crate::exec::sort::{SortIter, SortKey, TopNIter};
 use crate::exec::window::RowNumberIter;
 use crate::exec::{BoxedIter, ExecContext, ValuesIter};
 use crate::expr::Expr;
+use crate::governor::GovernedIter;
 use crate::parallel::ParallelAggIter;
 use crate::udx::TableFunction;
 
@@ -147,9 +148,12 @@ impl Plan {
         }
     }
 
-    /// Open the plan into an executable iterator pipeline.
+    /// Open the plan into an executable iterator pipeline. Every node is
+    /// wrapped in a [`GovernedIter`], so cancellation/timeout checks run
+    /// between rows at every operator boundary — including inside
+    /// blocking operators, which drain their (wrapped) children.
     pub fn open(&self, ctx: &ExecContext) -> Result<BoxedIter> {
-        Ok(match self {
+        let node: BoxedIter = match self {
             Plan::TableScan {
                 table,
                 filter,
@@ -198,6 +202,7 @@ impl Plan {
                 input.open(ctx)?,
                 group_exprs.clone(),
                 aggs.clone(),
+                ctx.clone(),
             )),
             Plan::StreamAggregate {
                 input,
@@ -208,6 +213,7 @@ impl Plan {
                 input.open(ctx)?,
                 group_exprs.clone(),
                 aggs.clone(),
+                ctx.gov.clone(),
             )),
             Plan::ParallelAggregate {
                 table,
@@ -222,6 +228,7 @@ impl Plan {
                 group_exprs.clone(),
                 aggs.clone(),
                 (*dop).max(1).min(effective_dop(ctx)),
+                ctx.gov.clone(),
             )?),
             Plan::HashJoin {
                 build,
@@ -234,6 +241,7 @@ impl Plan {
                 probe.open(ctx)?,
                 build_keys.clone(),
                 probe_keys.clone(),
+                ctx.gov.clone(),
             )),
             Plan::MergeJoin {
                 left,
@@ -258,7 +266,8 @@ impl Plan {
             Plan::RowNumber { input, prepend, .. } => {
                 Box::new(RowNumberIter::new(input.open(ctx)?, *prepend))
             }
-        })
+        };
+        Ok(Box::new(GovernedIter::new(node, ctx.gov.clone())))
     }
 
     /// Execute to completion and collect the rows.

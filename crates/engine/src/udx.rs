@@ -93,6 +93,44 @@ pub fn downcast_state<T: 'static>(other: Box<dyn AggState>, name: &str) -> Resul
 }
 
 // ---------------------------------------------------------------------
+// Panic isolation. SQL Server's CLR host guarantees that a misbehaving
+// user function aborts its own query, never the server (paper §2.3.1).
+// seqdb gets the same property by running every UDX entry point —
+// scalar invoke, TVF open/move_next/fill_row, UDA create/update/merge/
+// finish — under `catch_unwind`, surfacing the panic as a typed
+// [`DbError::UdxPanic`] that fails only the invoking query.
+// ---------------------------------------------------------------------
+
+/// Stringify a caught panic payload (payloads are `Box<dyn Any>`; the
+/// common cases are `&str` and `String`).
+pub fn panic_payload(p: Box<dyn Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one user-function entry point under `catch_unwind`, converting a
+/// panic into [`DbError::UdxPanic`] carrying the function's name.
+///
+/// `AssertUnwindSafe` is sound here because the engine never reuses a
+/// UDX cursor or aggregate state after it has panicked: the error aborts
+/// the query and the operator tree (with any half-mutated state) is
+/// dropped.
+pub fn protect<T>(name: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(p) => Err(DbError::UdxPanic {
+            name: name.to_string(),
+            payload: panic_payload(p),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
 // Built-in aggregates (SUM, COUNT, MIN, MAX, AVG), implemented against
 // the same contract as user-defined ones so the planner cannot tell the
 // difference — exactly the paper's point about UDAs being first-class.
@@ -392,5 +430,21 @@ mod tests {
     fn mismatched_merge_is_an_error() {
         let mut s = SumAgg.create();
         assert!(s.merge(CountAgg.create()).is_err());
+    }
+
+    #[test]
+    fn protect_catches_panics_and_passes_results() {
+        assert_eq!(protect("F", || Ok(7)).unwrap(), 7);
+        let err = protect::<i32>("BadFn", || panic!("boom {}", 42)).unwrap_err();
+        match err {
+            DbError::UdxPanic { name, payload } => {
+                assert_eq!(name, "BadFn");
+                assert_eq!(payload, "boom 42");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Plain errors pass through untouched.
+        let err = protect::<i32>("F", || Err(DbError::Execution("x".into()))).unwrap_err();
+        assert!(matches!(err, DbError::Execution(_)));
     }
 }

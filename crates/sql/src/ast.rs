@@ -29,6 +29,12 @@ pub enum Statement {
     /// `CHECKPOINT` — flush all dirty pages durably and truncate the
     /// write-ahead log (T-SQL's manual checkpoint).
     Checkpoint,
+    /// `SET <option> = <n>` — session knob (resource-governor limits,
+    /// degree of parallelism). `0` switches a limit off.
+    Set {
+        name: String,
+        value: i64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]

@@ -78,6 +78,25 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
             db.checkpoint()?;
             Ok(QueryResult::empty())
         }
+        Statement::Set { name, value } => {
+            if *value < 0 {
+                return Err(DbError::Unsupported(format!(
+                    "SET {name}: value must be non-negative"
+                )));
+            }
+            // 0 switches a limit off, matching the resource-governor
+            // convention of "unlimited unless configured".
+            let v = (*value != 0).then_some(*value as u64);
+            match name.as_str() {
+                "QUERY_TIMEOUT_MS" => db.set_query_timeout_ms(v),
+                "QUERY_MEMORY_LIMIT_KB" => db.set_query_memory_limit_kb(v),
+                "MAX_DOP" => db.set_max_dop(*value as usize),
+                other => {
+                    return Err(DbError::Unsupported(format!("unknown SET option {other}")));
+                }
+            }
+            Ok(QueryResult::empty())
+        }
         Statement::CreateTable(ct) => create_table(db, ct),
         Statement::CreateIndex(ci) => create_index(db, ci),
         Statement::DropTable { name } => {

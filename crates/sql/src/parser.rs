@@ -166,6 +166,20 @@ impl Parser {
         if self.kw("checkpoint") {
             return Ok(Statement::Checkpoint);
         }
+        if self.kw("set") {
+            let name = self.ident()?.to_ascii_uppercase();
+            self.expect(&Token::Eq, "'=' in SET")?;
+            let value = match self.next()? {
+                Token::Int(i) => i,
+                t => {
+                    return Err(DbError::Parse(format!(
+                        "expected integer value for SET {name}, found {}",
+                        t.describe()
+                    )))
+                }
+            };
+            return Ok(Statement::Set { name, value });
+        }
         if self.kw("update") {
             let table = self.ident()?;
             self.expect_kw("set")?;
@@ -896,6 +910,30 @@ mod tests {
         assert!(matches!(
             parse("checkpoint").unwrap(),
             Statement::Checkpoint
+        ));
+    }
+
+    #[test]
+    fn parses_set_option() {
+        assert_eq!(
+            parse("SET QUERY_TIMEOUT_MS = 500").unwrap(),
+            Statement::Set {
+                name: "QUERY_TIMEOUT_MS".into(),
+                value: 500
+            }
+        );
+        // Option names are case-normalized; UPDATE's SET is unaffected.
+        assert_eq!(
+            parse("set query_memory_limit_kb = 0").unwrap(),
+            Statement::Set {
+                name: "QUERY_MEMORY_LIMIT_KB".into(),
+                value: 0
+            }
+        );
+        assert!(parse("SET QUERY_TIMEOUT_MS = 'soon'").is_err());
+        assert!(matches!(
+            parse("UPDATE t SET a = 1").unwrap(),
+            Statement::Update { .. }
         ));
     }
 

@@ -288,6 +288,19 @@ impl BufferPool {
     pub fn cached_frames(&self) -> usize {
         self.frames.lock().map.len()
     }
+
+    /// Frames currently pinned by callers (an outstanding `Arc<Frame>`
+    /// beyond the pool's own reference). A query that aborts mid-stream
+    /// must drop every pin it took; leak tests assert this returns to its
+    /// pre-query value.
+    pub fn pinned_frames(&self) -> usize {
+        self.frames
+            .lock()
+            .map
+            .values()
+            .filter(|f| Arc::strong_count(f) > 1)
+            .count()
+    }
 }
 
 fn touch(lru: &mut Vec<PageId>, id: PageId) {

@@ -120,6 +120,14 @@ impl FaultClock {
         z ^ (z >> 31)
     }
 
+    /// Count one I/O operation against the schedule, failing if the plan
+    /// says this operation errors. Public so components that do their own
+    /// raw-file I/O (e.g. the FileStream store, which bypasses the pager)
+    /// can share the clock's fault schedule.
+    pub fn inject_op(&self) -> Result<()> {
+        self.check_op()
+    }
+
     fn check_op(&self) -> Result<()> {
         if self.is_crashed() {
             return Err(DbError::Io("injected crash: device offline".into()));

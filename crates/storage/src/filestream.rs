@@ -31,17 +31,32 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use seqdb_types::{DbError, Result, Value};
+
+use crate::fault::FaultClock;
 
 /// Default read-ahead chunk for sequential access (64 KiB, matching the
 /// paper's observation that chunked reads beat per-line reads).
 pub const SEQUENTIAL_BUFFER: usize = 64 * 1024;
 
+/// How many times a failed BLOB read is retried before giving up.
+pub const READ_RETRIES: u32 = 3;
+
+/// Backoff before the first retry; doubles per attempt (1ms, 2ms, 4ms).
+const RETRY_BASE: Duration = Duration::from_millis(1);
+
 /// A database-managed directory of BLOB files, addressed by GUID.
 pub struct FileStreamStore {
     root: PathBuf,
     guid_seq: AtomicU64,
+    /// Optional fault clock shared with the pager/WAL wrappers so tests
+    /// can drive transient read errors through one seeded schedule.
+    fault: Mutex<Option<Arc<FaultClock>>>,
 }
 
 impl FileStreamStore {
@@ -68,12 +83,20 @@ impl FileStreamStore {
         Ok(FileStreamStore {
             root,
             guid_seq: AtomicU64::new(blobs + 1),
+            fault: Mutex::new(None),
         })
     }
 
     /// Directory managed by this store.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Attach (or detach, with `None`) a fault clock. Readers opened after
+    /// this call consult the clock on every physical read, exercising the
+    /// transient-error retry path.
+    pub fn set_fault_clock(&self, clock: Option<Arc<FaultClock>>) {
+        *self.fault.lock() = clock;
     }
 
     /// Generate a fresh GUID (`NEWID()`): time-seeded, process-unique,
@@ -177,6 +200,8 @@ impl FileStreamStore {
             } else {
                 None
             },
+            fault: self.fault.lock().clone(),
+            retries: 0,
         })
     }
 
@@ -231,10 +256,19 @@ struct ReadAhead {
 
 /// Streaming reader over one BLOB, with the `GetBytes` positional API of
 /// ADO.NET that the paper's TVF wrapper uses.
+///
+/// BLOB reads go to plain files outside the buffer pool, so a transient
+/// I/O error (NFS hiccup, overloaded disk) would otherwise kill a
+/// long-running import or `CROSS APPLY` scan near its end. Each physical
+/// read is therefore retried up to [`READ_RETRIES`] times with bounded
+/// exponential backoff; only a persistently failing device surfaces as an
+/// error, and that error reports how many retries were burned.
 pub struct FileStreamReader {
     file: File,
     len: u64,
     buffer: Option<ReadAhead>,
+    fault: Option<Arc<FaultClock>>,
+    retries: u64,
 }
 
 impl FileStreamReader {
@@ -247,6 +281,41 @@ impl FileStreamReader {
         self.len == 0
     }
 
+    /// Total transient-error retries this reader has performed.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// One physical read attempt at `offset` (fault-checked).
+    fn try_read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        if let Some(clock) = &self.fault {
+            clock.inject_op()?;
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        read_fully(&mut self.file, buf)
+    }
+
+    /// Positional read with bounded-backoff retry on transient I/O errors.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_read_at(offset, buf) {
+                Ok(n) => return Ok(n),
+                Err(DbError::Io(msg)) => {
+                    if attempt >= READ_RETRIES {
+                        return Err(DbError::Io(format!(
+                            "filestream read failed after {attempt} retries: {msg}"
+                        )));
+                    }
+                    std::thread::sleep(RETRY_BASE * (1 << attempt));
+                    attempt += 1;
+                    self.retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Read up to `out.len()` bytes starting at `offset`; returns the
     /// number of bytes read (0 at EOF). With sequential access enabled,
     /// forward reads are served from a read-ahead buffer.
@@ -254,16 +323,23 @@ impl FileStreamReader {
         if offset >= self.len || out.is_empty() {
             return Ok(0);
         }
-        if let Some(ra) = &mut self.buffer {
-            // Serve from the read-ahead window where possible.
+        if let Some(mut ra) = self.buffer.take() {
+            // Serve from the read-ahead window where possible. (The window
+            // is moved out so `read_at` can borrow `self` for refills.)
             let mut produced = 0usize;
             let mut offset = offset;
+            let mut result = Ok(());
             while produced < out.len() && offset < self.len {
                 let in_window = offset >= ra.start && offset < ra.start + ra.filled as u64;
                 if !in_window {
                     // Refill the window starting at `offset`.
-                    self.file.seek(SeekFrom::Start(offset))?;
-                    let n = read_fully(&mut self.file, &mut ra.buf)?;
+                    let n = match self.read_at(offset, &mut ra.buf) {
+                        Ok(n) => n,
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    };
                     ra.start = offset;
                     ra.filled = n;
                     if n == 0 {
@@ -278,19 +354,26 @@ impl FileStreamReader {
                 produced += want;
                 offset += want as u64;
             }
+            self.buffer = Some(ra);
+            result?;
             Ok(produced)
         } else {
-            self.file.seek(SeekFrom::Start(offset))?;
-            let n = read_fully(&mut self.file, out)?;
-            Ok(n)
+            self.read_at(offset, out)
         }
     }
 
     /// Read the entire BLOB (convenience for small blobs and tests).
     pub fn read_all(&mut self) -> Result<Vec<u8>> {
-        let mut out = Vec::with_capacity(self.len as usize);
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.read_to_end(&mut out)?;
+        let mut out = vec![0u8; self.len as usize];
+        let mut pos = 0usize;
+        while (pos as u64) < self.len {
+            let n = self.read_at(pos as u64, &mut out[pos..])?;
+            if n == 0 {
+                break;
+            }
+            pos += n;
+        }
+        out.truncate(pos);
         Ok(out)
     }
 }
@@ -465,6 +548,62 @@ mod tests {
             })
             .count();
         assert_eq!(temps, 0);
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried_to_success() {
+        use crate::fault::{FaultClock, FaultPlan};
+        let s = store("retry-ok");
+        let data: Vec<u8> = (0..150_000u32).map(|i| (i % 197) as u8).collect();
+        let guid = s.insert(&data).unwrap();
+        // Every 4th operation fails: each failure is followed by at least
+        // three good attempts, so retries always recover.
+        s.set_fault_clock(Some(FaultClock::new(FaultPlan {
+            io_error_every: Some(4),
+            ..FaultPlan::none()
+        })));
+        for sequential in [false, true] {
+            let mut r = s.open_reader(guid, sequential).unwrap();
+            let mut buf = vec![0u8; 7000];
+            let mut assembled = Vec::new();
+            loop {
+                let n = r.get_bytes(assembled.len() as u64, &mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                assembled.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(assembled, data, "sequential={sequential}");
+            assert!(
+                r.retries() > 0,
+                "the schedule must have fired (sequential={sequential})"
+            );
+        }
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn persistent_read_errors_report_retry_count() {
+        use crate::fault::{FaultClock, FaultPlan};
+        let s = store("retry-dead");
+        let guid = s.insert(b"unreachable payload").unwrap();
+        // Every operation fails: the device is effectively dead.
+        s.set_fault_clock(Some(FaultClock::new(FaultPlan {
+            io_error_every: Some(1),
+            ..FaultPlan::none()
+        })));
+        let mut r = s.open_reader(guid, false).unwrap();
+        let err = r.read_all().unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("after {READ_RETRIES} retries")),
+            "error must carry the retry count: {msg}"
+        );
+        // Detaching the clock restores normal service on new readers.
+        s.set_fault_clock(None);
+        let mut r = s.open_reader(guid, false).unwrap();
+        assert_eq!(r.read_all().unwrap(), b"unreachable payload");
         fs::remove_dir_all(s.root()).unwrap();
     }
 

@@ -71,6 +71,19 @@ impl TempSpace {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.spill_count.store(0, Ordering::Relaxed);
     }
+
+    /// Directory this temp space writes into.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Number of spill files currently on disk. Spill files delete
+    /// themselves when their writer/reader drops, so after a query ends —
+    /// normally or aborted — this must return to its pre-query value;
+    /// leak tests assert exactly that.
+    pub fn live_files(&self) -> Result<usize> {
+        Ok(fs::read_dir(&self.dir)?.count())
+    }
 }
 
 /// Write half of a spill file. Call [`SpillWriter::finish`] to flip it

@@ -39,6 +39,21 @@ pub enum DbError {
     Unsupported(String),
     /// Malformed genomic input data (bad FASTQ record, invalid base, ...).
     InvalidData(String),
+    /// A query exceeded its memory budget and the operator that hit the
+    /// limit cannot degrade by spilling. The query fails; the process and
+    /// every other query survive.
+    ResourceExhausted(String),
+    /// A query ran past its wall-clock timeout and was aborted at the next
+    /// cooperative check.
+    Timeout(String),
+    /// A query was cancelled (by the user or by a sibling worker that
+    /// already failed) and noticed at the next cooperative check.
+    Cancelled(String),
+    /// A user-defined function / table function / aggregate panicked. The
+    /// panic was caught at the invocation boundary; only the invoking query
+    /// fails. The payload is stringified because panic payloads are neither
+    /// `Clone` nor `PartialEq`.
+    UdxPanic { name: String, payload: String },
 }
 
 impl DbError {
@@ -62,6 +77,12 @@ impl fmt::Display for DbError {
             DbError::NotFound(m) => write!(f, "not found: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::InvalidData(m) => write!(f, "invalid data: {m}"),
+            DbError::ResourceExhausted(m) => write!(f, "resource limit exceeded: {m}"),
+            DbError::Timeout(m) => write!(f, "query timeout: {m}"),
+            DbError::Cancelled(m) => write!(f, "query cancelled: {m}"),
+            DbError::UdxPanic { name, payload } => {
+                write!(f, "panic in user function {name}: {payload}")
+            }
         }
     }
 }
@@ -91,6 +112,35 @@ mod tests {
         let e = DbError::Corruption("page 7 checksum mismatch".into());
         assert!(e.to_string().contains("corruption detected"));
         assert_ne!(e, DbError::Storage("page 7 checksum mismatch".into()));
+    }
+
+    #[test]
+    fn governor_errors_display_their_cause() {
+        let e = DbError::ResourceExhausted("query memory budget of 1024 bytes".into());
+        assert!(e.to_string().contains("resource limit exceeded"));
+        let e = DbError::Timeout("exceeded 50ms".into());
+        assert!(e.to_string().contains("query timeout"));
+        let e = DbError::Cancelled("cancelled by user".into());
+        assert!(e.to_string().contains("query cancelled"));
+    }
+
+    #[test]
+    fn udx_panic_names_the_function() {
+        let e = DbError::UdxPanic {
+            name: "BadUdf".into(),
+            payload: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("BadUdf") && s.contains("boom"), "{s}");
+        // The engine relies on these derives to report worker errors.
+        let _ = e.clone();
+        assert_eq!(
+            e,
+            DbError::UdxPanic {
+                name: "BadUdf".into(),
+                payload: "boom".into()
+            }
+        );
     }
 
     #[test]

@@ -338,7 +338,7 @@ fn fig8(factor: usize) -> Result<()> {
             vec![Expr::col(seq_col, "short_read_seq")],
             vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
             dop,
-            seqdb_engine::QueryGovernor::unlimited(),
+            db.exec_context(),
         )?;
         let t = Instant::now();
         let mut groups = 0u64;

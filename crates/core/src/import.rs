@@ -346,14 +346,23 @@ pub fn import_filestream(
         schema::create_filestream_schema(db, suffix)?;
     }
     let guid = db.filestream().insert_from_file(fastq_path)?;
-    db.catalog()
-        .table(&format!("ShortReadFiles{suffix}"))?
-        .insert(&Row::new(vec![
-            Value::Guid(guid),
-            Value::Int(sample),
-            Value::Int(lane),
-            Value::Guid(guid),
-        ]))?;
+    let inserted = db
+        .catalog()
+        .table(&format!("ShortReadFiles{suffix}"))
+        .and_then(|t| {
+            t.insert(&Row::new(vec![
+                Value::Guid(guid),
+                Value::Int(sample),
+                Value::Int(lane),
+                Value::Guid(guid),
+            ]))
+        });
+    if let Err(e) = inserted {
+        // The blob landed but its catalog row did not: without the row the
+        // GUID is unreachable, so reclaim it rather than orphan it.
+        let _ = db.filestream().delete(guid);
+        return Err(e);
+    }
     Ok(())
 }
 

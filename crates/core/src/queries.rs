@@ -275,9 +275,23 @@ pub fn run_query1(db: &Arc<Database>, suffix: &str) -> Result<QueryResult> {
     db.query_sql(&query1_sql(suffix))
 }
 
+/// Session-scoped Query 1: runs admitted against the global pool,
+/// governed by the session's effective limits, and registered in
+/// `sys.dm_exec_requests` where `KILL` can reach it.
+pub fn run_query1_on(session: &seqdb_engine::Session, suffix: &str) -> Result<QueryResult> {
+    use seqdb_sql::SessionSqlExt;
+    session.query_sql(&query1_sql(suffix))
+}
+
 /// Run Query 2 (populates `GeneExpression<suffix>`); returns rows inserted.
 pub fn run_query2(db: &Arc<Database>, suffix: &str) -> Result<u64> {
     Ok(db.execute_sql(&query2_sql(suffix))?.affected)
+}
+
+/// Session-scoped Query 2 (see [`run_query1_on`]).
+pub fn run_query2_on(session: &seqdb_engine::Session, suffix: &str) -> Result<u64> {
+    use seqdb_sql::SessionSqlExt;
+    Ok(session.execute_sql(&query2_sql(suffix))?.affected)
 }
 
 /// Run the pivot consensus; returns `(chr_id, consensus)` pairs.

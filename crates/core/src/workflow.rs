@@ -217,6 +217,26 @@ pub fn run_dge_analysis(db: &Arc<Database>, ds: &DgeDataset) -> Result<(usize, u
     Ok((q1.rows.len(), inserted))
 }
 
+/// Session-scoped [`run_dge_analysis`]: the analysis queries run
+/// admitted against the global memory pool, governed by the session's
+/// effective limits, and registered where another session's `KILL` can
+/// reach them — the shape of a multi-tenant analysis server.
+pub fn run_dge_analysis_on(
+    session: &seqdb_engine::Session,
+    ds: &DgeDataset,
+) -> Result<(usize, u64)> {
+    let q1 = queries::run_query1_on(session, NORM)?;
+    queries::check_query1_against(&q1, &ds.unique_tags)?;
+    let inserted = queries::run_query2_on(session, NORM)?;
+    if inserted != ds.gene_expression.len() as u64 {
+        return Err(DbError::Execution(format!(
+            "Query 2 produced {inserted} genes, dataset has {}",
+            ds.gene_expression.len()
+        )));
+    }
+    Ok((q1.rows.len(), inserted))
+}
+
 /// Run all three consensus plans (hash-grouped pivot, sort-based pivot,
 /// sliding window) and check they agree. Returns
 /// `(consensus pairs, spill bytes of the sort-based pivot plan)`.
@@ -386,6 +406,36 @@ mod tests {
         assert!(
             db.temp().spill_count() > 0,
             "an 8 KiB budget must force the aggregate to spill"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn workflow_analysis_runs_under_a_session() {
+        use seqdb_sql::SessionSqlExt;
+
+        let dir = tmp("session");
+        let ds = DgeDataset::generate(&dir, &scale()).unwrap();
+        let db = Database::in_memory();
+        load_dge_designs(&db, &ds).unwrap();
+
+        // Session-scoped limits: a tight budget makes this session's
+        // queries spill, while the server defaults other sessions see
+        // stay untouched.
+        let s = db.create_session();
+        s.execute_sql("SET QUERY_MEMORY_LIMIT_KB = 8").unwrap();
+        db.temp().reset_counters();
+        let (tags, genes) = run_dge_analysis_on(&s, &ds).unwrap();
+        assert_eq!(tags, ds.unique_tags.len());
+        assert!(genes > 0);
+        assert!(
+            db.temp().spill_count() > 0,
+            "the session's 8 KiB budget must force spilling"
+        );
+        assert_eq!(
+            db.config().query_mem_limit_kb,
+            None,
+            "SET in a session must not change the server default"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -2,6 +2,7 @@
 //! and configuration in one handle.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -14,6 +15,7 @@ use crate::catalog::{Catalog, Table};
 use crate::exec::ExecContext;
 use crate::governor::QueryGovernor;
 use crate::plan::{Plan, QueryResult};
+use crate::session::{AdmissionController, DmExecRequestsFn, Session, StatementRegistry};
 
 /// Tunables, adjustable at run time (the analogue of `sp_configure`).
 #[derive(Debug, Clone)]
@@ -32,6 +34,13 @@ pub struct DbConfig {
     /// `None` = unlimited. Spill-capable operators degrade to tempspace
     /// when the budget runs out; the rest fail with `ResourceExhausted`.
     pub query_mem_limit_kb: Option<u64>,
+    /// Global admission pool in KiB (`SET ADMISSION_POOL_KB`, server-wide);
+    /// `None` = admission control off. Governed session statements must
+    /// reserve their whole budget from this pool before starting.
+    pub admission_pool_kb: Option<u64>,
+    /// Bounded wait at the admission gate (`SET ADMISSION_WAIT_MS`,
+    /// server-wide) before a queued query fails with `AdmissionTimeout`.
+    pub admission_wait_ms: u64,
 }
 
 impl Default for DbConfig {
@@ -44,6 +53,8 @@ impl Default for DbConfig {
             sort_budget: ExecContext::DEFAULT_SORT_BUDGET,
             query_timeout_ms: None,
             query_mem_limit_kb: None,
+            admission_pool_kb: None,
+            admission_wait_ms: 1000,
         }
     }
 }
@@ -55,6 +66,9 @@ pub struct Database {
     filestream: Arc<FileStreamStore>,
     temp: Arc<TempSpace>,
     config: RwLock<DbConfig>,
+    statements: Arc<StatementRegistry>,
+    admission: Arc<AdmissionController>,
+    session_seq: AtomicU64,
 }
 
 impl Database {
@@ -106,13 +120,41 @@ impl Database {
         catalog.register_scalar(Arc::new(FsDataLengthFn {
             store: filestream.clone(),
         }));
+        // The DMV surface: DM_EXEC_REQUESTS() lists running statements
+        // straight out of the registry, so KILL targets are discoverable
+        // from SQL.
+        let statements = StatementRegistry::new();
+        catalog.register_table_fn(Arc::new(DmExecRequestsFn::new(statements.clone())));
         Ok(Arc::new(Database {
             pool,
             catalog,
             filestream,
             temp: TempSpace::open(base.join("tempdb"))?,
             config: RwLock::new(DbConfig::default()),
+            statements,
+            admission: AdmissionController::new(),
+            session_seq: AtomicU64::new(1),
         }))
+    }
+
+    /// Open a new session: a settings overlay over this database's
+    /// defaults plus the admission/registry handles its statements run
+    /// under. The analogue of one client connection.
+    pub fn create_session(self: &Arc<Self>) -> Session {
+        Session::new(
+            self.clone(),
+            self.session_seq.fetch_add(1, Ordering::Relaxed),
+        )
+    }
+
+    /// The shared registry of running statements (DMV + `KILL` target).
+    pub fn statements(&self) -> &Arc<StatementRegistry> {
+        &self.statements
+    }
+
+    /// The global admission gate governed session statements pass through.
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -154,6 +196,18 @@ impl Database {
     /// disables. Same knob as `SET QUERY_MEMORY_LIMIT_KB`.
     pub fn set_query_memory_limit_kb(&self, kb: Option<u64>) {
         self.config.write().query_mem_limit_kb = kb;
+    }
+
+    /// Size (KiB) of the global admission pool; `None` disables
+    /// admission control. Server-wide, like `sp_configure`.
+    pub fn set_admission_pool_kb(&self, kb: Option<u64>) {
+        self.config.write().admission_pool_kb = kb;
+    }
+
+    /// Bounded wait (ms) at the admission gate before a queued query
+    /// fails with `AdmissionTimeout`. Server-wide.
+    pub fn set_admission_wait_ms(&self, ms: u64) {
+        self.config.write().admission_wait_ms = ms;
     }
 
     /// Build an execution context snapshotting current configuration.

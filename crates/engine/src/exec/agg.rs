@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use seqdb_storage::tempspace::{SpillReader, SpillWriter};
+use seqdb_storage::tempspace::{SpillReader, SpillWriter, TempSpace};
 use seqdb_types::{DbError, Result, Row, Value};
 
 use crate::exec::rowser;
@@ -27,10 +27,12 @@ const STATE_OVERHEAD: usize = 64;
 /// Estimated hash-map entry overhead per group.
 const GROUP_OVERHEAD: usize = 48;
 /// Fan-out of one hash-agg spill pass.
-const SPILL_PARTITIONS: usize = 4;
+pub(crate) const SPILL_PARTITIONS: usize = 4;
 /// Recursion bound for repartitioning; beyond this the budget is simply
 /// too small for the data and the query fails with `ResourceExhausted`.
 const MAX_SPILL_DEPTH: u32 = 6;
+/// Estimated heap overhead per buffered output row (Vec + Row headers).
+const ROW_OVERHEAD: usize = 32;
 
 /// One aggregate call in a GROUP BY query.
 #[derive(Clone)]
@@ -85,7 +87,7 @@ fn key_bytes(key: &[Value]) -> usize {
 }
 
 /// Memory cost charged for admitting one new group.
-fn group_cost(key: &[Value], naggs: usize) -> usize {
+pub(crate) fn group_cost(key: &[Value], naggs: usize) -> usize {
     key_bytes(key) + naggs * STATE_OVERHEAD + GROUP_OVERHEAD
 }
 
@@ -150,11 +152,7 @@ pub fn merge_maps(into: &mut GroupedStates, from: GroupedStates, aggs: &[AggSpec
 pub fn finish_map(groups: GroupedStates, aggs: &[AggSpec]) -> Result<Vec<Row>> {
     let mut out = Vec::with_capacity(groups.len());
     for (key, states) in groups {
-        let mut vals = key;
-        for (mut s, spec) in states.into_iter().zip(aggs) {
-            vals.push(protect(spec.factory.name(), || s.finish())?);
-        }
-        out.push(Row::new(vals));
+        out.push(finish_group(key, states, aggs)?);
     }
     Ok(out)
 }
@@ -180,8 +178,14 @@ fn write_spill_row(w: &mut SpillWriter, row: &Row) -> Result<()> {
 }
 
 /// Iterate rows back out of a finished spill partition.
-struct SpillRowIter {
+pub(crate) struct SpillRowIter {
     reader: SpillReader,
+}
+
+impl SpillRowIter {
+    pub(crate) fn new(reader: SpillReader) -> SpillRowIter {
+        SpillRowIter { reader }
+    }
 }
 
 impl RowIterator for SpillRowIter {
@@ -200,6 +204,149 @@ impl RowIterator for SpillRowIter {
     }
 }
 
+/// Rough bytes held by one buffered output row.
+fn row_cost(row: &Row) -> usize {
+    key_bytes(row.values()) + ROW_OVERHEAD
+}
+
+/// Governed buffer for a blocking operator's finished rows. Buffered
+/// rows are charged against the query budget (the ROADMAP gap: a query
+/// with millions of tiny groups could overshoot *after* spilling its
+/// hash table correctly, because the finished `Vec<Row>` was free).
+/// When the budget rejects a row the buffer degrades like everything
+/// else: overflow rows go to one tempspace spill file and stream back
+/// out on iteration. Sticky, for the same reason the hash table's spill
+/// mode is: flapping between memory and disk would reorder nothing here,
+/// but one file and one mode keep the accounting honest.
+pub(crate) struct OutputBuffer {
+    rows: Vec<Row>,
+    charge: MemCharge,
+    temp: Arc<TempSpace>,
+    spill: Option<SpillWriter>,
+    total: usize,
+    // Phase budgeting: the buffer takes at most a quarter of the query
+    // budget, so it can never starve the hash tables of the repartition
+    // passes that still have rows to aggregate (which would turn a
+    // spillable query into a depth-exhaustion failure).
+    cap: Option<usize>,
+}
+
+impl OutputBuffer {
+    pub(crate) fn new(ctx: &ExecContext) -> OutputBuffer {
+        OutputBuffer {
+            rows: Vec::new(),
+            charge: MemCharge::new(ctx.gov.clone()),
+            temp: ctx.temp.clone(),
+            spill: None,
+            total: 0,
+            cap: ctx.gov.mem_limit().map(|l| l / 4),
+        }
+    }
+
+    pub(crate) fn push(&mut self, row: Row) -> Result<()> {
+        self.total += 1;
+        let cost = row_cost(&row);
+        if self.spill.is_none()
+            && self.cap.is_none_or(|c| self.charge.bytes() + cost <= c)
+            && self.charge.try_grow(cost)
+        {
+            self.rows.push(row);
+            return Ok(());
+        }
+        if self.spill.is_none() {
+            self.spill = Some(self.temp.create_spill()?);
+        }
+        match self.spill.as_mut() {
+            Some(writer) => write_spill_row(writer, &row),
+            None => Err(DbError::Execution("output spill writer missing".into())),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub(crate) fn into_rows(self) -> Result<OutputRows> {
+        let spilled = match self.spill {
+            Some(writer) => Some(SpillRowIter::new(writer.finish()?)),
+            None => None,
+        };
+        Ok(OutputRows {
+            in_mem: self.rows.into_iter(),
+            _charge: Some(self.charge),
+            spilled,
+            total: self.total,
+        })
+    }
+}
+
+/// Streams an [`OutputBuffer`]'s rows back out: the in-memory prefix
+/// first, then any spilled overflow. Holds the buffer's memory charge
+/// until dropped (the spill file deletes itself with its reader).
+pub(crate) struct OutputRows {
+    in_mem: std::vec::IntoIter<Row>,
+    _charge: Option<MemCharge>,
+    spilled: Option<SpillRowIter>,
+    total: usize,
+}
+
+impl OutputRows {
+    /// A purely in-memory, uncharged row stream (for synthesized rows
+    /// like the empty-input global aggregate).
+    pub(crate) fn from_vec(rows: Vec<Row>) -> OutputRows {
+        let total = rows.len();
+        OutputRows {
+            in_mem: rows.into_iter(),
+            _charge: None,
+            spilled: None,
+            total,
+        }
+    }
+
+    /// Total rows this stream will yield (including already-yielded).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+impl RowIterator for OutputRows {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(row) = self.in_mem.next() {
+            return Ok(Some(row));
+        }
+        match self.spilled.as_mut() {
+            Some(s) => s.next(),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Chain several spill partitions into one row stream (the parallel
+/// coordinator reads the same partition index from every worker as one
+/// logical partition).
+pub(crate) struct ChainRows {
+    parts: Vec<SpillRowIter>,
+    idx: usize,
+}
+
+impl ChainRows {
+    pub(crate) fn new(parts: Vec<SpillRowIter>) -> ChainRows {
+        ChainRows { parts, idx: 0 }
+    }
+}
+
+impl RowIterator for ChainRows {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(part) = self.parts.get_mut(self.idx) {
+            if let Some(row) = part.next()? {
+                return Ok(Some(row));
+            }
+            self.idx += 1;
+        }
+        Ok(None)
+    }
+}
+
 /// Governed hash aggregation with graceful degradation: when the memory
 /// budget runs out, rows for groups already in memory keep aggregating in
 /// place, while rows for *new* groups are spilled to hash partitions in
@@ -214,21 +361,101 @@ pub fn aggregate_governed(
     aggs: &[AggSpec],
     ctx: &ExecContext,
 ) -> Result<Vec<Row>> {
-    let mut out = Vec::new();
-    aggregate_level(input, group_exprs, aggs, ctx, 0, &mut out)?;
-    Ok(out)
+    let mut it = aggregate_governed_rows(input, group_exprs, aggs, ctx)?;
+    let mut rows = Vec::new();
+    while let Some(row) = it.next()? {
+        rows.push(row);
+    }
+    Ok(rows)
 }
 
-fn aggregate_level(
+/// Like [`aggregate_governed`] but keeps the finished rows inside their
+/// governed [`OutputRows`] stream: the in-memory prefix stays charged
+/// against the budget and the overflow streams from its spill file,
+/// instead of collecting everything into an unaccounted `Vec`.
+pub(crate) fn aggregate_governed_rows(
+    input: &mut dyn RowIterator,
+    group_exprs: &[Expr],
+    aggs: &[AggSpec],
+    ctx: &ExecContext,
+) -> Result<OutputRows> {
+    let mut out = OutputBuffer::new(ctx);
+    let mut resident = GroupedStates::new();
+    aggregate_level(input, group_exprs, aggs, ctx, 0, &mut resident, &mut out)?;
+    out.into_rows()
+}
+
+/// One pass of the hybrid hash aggregation. Groups that fit the budget
+/// aggregate in memory; overflow rows partition to tempspace and recurse
+/// with a re-salted hash. `resident` is the parallel coordinator's merged
+/// worker map: a spilled key that *also* lives there (one worker kept it
+/// in memory while another spilled it) must merge into the resident
+/// states instead of being emitted — emitting both would double that
+/// group. The serial path passes an empty resident map.
+pub(crate) fn aggregate_level(
     input: &mut dyn RowIterator,
     group_exprs: &[Expr],
     aggs: &[AggSpec],
     ctx: &ExecContext,
     depth: u32,
-    out: &mut Vec<Row>,
+    resident: &mut GroupedStates,
+    out: &mut OutputBuffer,
 ) -> Result<()> {
-    let mut ticker = crate::governor::Ticker::new();
     let mut charge = MemCharge::new(ctx.gov.clone());
+    let (mut groups, partitions) = aggregate_partial_spilling(
+        input,
+        group_exprs,
+        aggs,
+        &mut charge,
+        &ctx.temp,
+        Some(&ctx.gov),
+        None,
+        depth,
+    )?;
+
+    // Emit this level's finished groups — except keys the coordinator is
+    // still accumulating in its resident map, which merge there instead.
+    for (key, states) in groups.drain() {
+        if let Some(acc) = resident.get_mut(&key) {
+            merge_group(acc, states, aggs)?;
+        } else {
+            out.push(finish_group(key, states, aggs)?)?;
+        }
+    }
+    charge.release_all();
+
+    for writer in partitions.into_iter().flatten() {
+        let mut part = SpillRowIter::new(writer.finish()?);
+        aggregate_level(&mut part, group_exprs, aggs, ctx, depth + 1, resident, out)?;
+    }
+    Ok(())
+}
+
+/// Hash-aggregate an input into a map, spilling rows for new groups to
+/// hash partitions once the budget is exhausted instead of failing. This
+/// is the budget-respecting core shared by [`aggregate_level`] and the
+/// parallel workers (which run it at depth 0 and hand their partitions
+/// to the coordinator). At [`MAX_SPILL_DEPTH`] the budget is simply too
+/// small and the query fails typed. The caller keeps `charge` alive for
+/// as long as the returned map exists.
+///
+/// `cap` bounds this call's own charge below the governor limit. The
+/// parallel workers pass their per-worker share of half the budget so
+/// that the coordinator's final phase (which must hold the merged worker
+/// map while it re-aggregates the spills) is never starved; recursion
+/// levels pass `None` and use whatever the governor still has.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn aggregate_partial_spilling(
+    input: &mut dyn RowIterator,
+    group_exprs: &[Expr],
+    aggs: &[AggSpec],
+    charge: &mut MemCharge,
+    temp: &Arc<TempSpace>,
+    gov: Option<&Arc<QueryGovernor>>,
+    cap: Option<usize>,
+    depth: u32,
+) -> Result<(GroupedStates, Vec<Option<SpillWriter>>)> {
+    let mut ticker = crate::governor::Ticker::new();
     let mut groups: GroupedStates = HashMap::new();
     // Once the budget rejects one group, *all* further new groups go to
     // the spill. Without this the budget could free up mid-stream and
@@ -238,7 +465,9 @@ fn aggregate_level(
     let mut partitions: Vec<Option<SpillWriter>> = (0..SPILL_PARTITIONS).map(|_| None).collect();
 
     while let Some(row) = input.next()? {
-        ticker.tick(&ctx.gov)?;
+        if let Some(gov) = gov {
+            ticker.tick(gov)?;
+        }
         let key = group_key(group_exprs, &row)?;
         if let Some(states) = groups.get_mut(&key) {
             for (spec, state) in aggs.iter().zip(states.iter_mut()) {
@@ -246,7 +475,8 @@ fn aggregate_level(
             }
             continue;
         }
-        if !spilling && charge.try_grow(group_cost(&key, aggs.len())) {
+        let cost = group_cost(&key, aggs.len());
+        if !spilling && cap.is_none_or(|c| charge.bytes() + cost <= c) && charge.try_grow(cost) {
             let states = groups.entry(key).or_insert(create_states(aggs)?);
             for (spec, state) in aggs.iter().zip(states.iter_mut()) {
                 spec.update(state, &row)?;
@@ -261,24 +491,37 @@ fn aggregate_level(
             spilling = true;
             let p = partition_of(&key, depth);
             if partitions[p].is_none() {
-                partitions[p] = Some(ctx.temp.create_spill()?);
+                partitions[p] = Some(temp.create_spill()?);
             }
             if let Some(writer) = partitions[p].as_mut() {
                 write_spill_row(writer, &row)?;
             }
         }
     }
+    Ok((groups, partitions))
+}
 
-    out.extend(finish_map(std::mem::take(&mut groups), aggs)?);
-    charge.release_all();
-
-    for writer in partitions.drain(..).flatten() {
-        let mut part = SpillRowIter {
-            reader: writer.finish()?,
-        };
-        aggregate_level(&mut part, group_exprs, aggs, ctx, depth + 1, out)?;
+/// Merge one group's partial states into an accumulator's states (UDA
+/// `Merge` under panic protection).
+fn merge_group(
+    acc: &mut [Box<dyn AggState>],
+    partial: Vec<Box<dyn AggState>>,
+    aggs: &[AggSpec],
+) -> Result<()> {
+    for ((a, p), spec) in acc.iter_mut().zip(partial).zip(aggs) {
+        protect(spec.factory.name(), || a.merge(p))?;
     }
     Ok(())
+}
+
+/// Finish one group into an output row (UDA `Terminate` under panic
+/// protection).
+fn finish_group(key: Vec<Value>, states: Vec<Box<dyn AggState>>, aggs: &[AggSpec]) -> Result<Row> {
+    let mut vals = key;
+    for (mut s, spec) in states.into_iter().zip(aggs) {
+        vals.push(protect(spec.factory.name(), || s.finish())?);
+    }
+    Ok(Row::new(vals))
 }
 
 /// Blocking hash aggregate. Output order is unspecified (like SQL).
@@ -289,7 +532,7 @@ pub struct HashAggIter {
     group_exprs: Vec<Expr>,
     aggs: Vec<AggSpec>,
     ctx: ExecContext,
-    output: std::vec::IntoIter<Row>,
+    output: Option<OutputRows>,
 }
 
 impl HashAggIter {
@@ -304,7 +547,7 @@ impl HashAggIter {
             group_exprs,
             aggs,
             ctx,
-            output: Vec::new().into_iter(),
+            output: None,
         }
     }
 }
@@ -313,7 +556,7 @@ impl RowIterator for HashAggIter {
     fn next(&mut self) -> Result<Option<Row>> {
         if let Some(mut input) = self.input.take() {
             let rows =
-                aggregate_governed(input.as_mut(), &self.group_exprs, &self.aggs, &self.ctx)?;
+                aggregate_governed_rows(input.as_mut(), &self.group_exprs, &self.aggs, &self.ctx)?;
             if rows.is_empty() && self.group_exprs.is_empty() {
                 // Global aggregate over empty input still yields one row.
                 let mut vals = Vec::new();
@@ -321,12 +564,15 @@ impl RowIterator for HashAggIter {
                     let mut s = a.create_state()?;
                     vals.push(protect(a.factory.name(), || s.finish())?);
                 }
-                self.output = vec![Row::new(vals)].into_iter();
+                self.output = Some(OutputRows::from_vec(vec![Row::new(vals)]));
             } else {
-                self.output = rows.into_iter();
+                self.output = Some(rows);
             }
         }
-        Ok(self.output.next())
+        match self.output.as_mut() {
+            Some(rows) => rows.next(),
+            None => Ok(None),
+        }
     }
 }
 

@@ -32,6 +32,7 @@ pub mod expr;
 pub mod governor;
 pub mod parallel;
 pub mod plan;
+pub mod session;
 pub mod udx;
 
 pub use catalog::{Catalog, Table, TableIndex};
@@ -40,4 +41,8 @@ pub use exec::{BoxedIter, ExecContext, RowIterator};
 pub use expr::{BinOp, Expr};
 pub use governor::{GovernedIter, MemCharge, QueryGovernor};
 pub use plan::{Plan, QueryResult};
+pub use session::{
+    AdmissionController, RunningStatement, Session, SessionSettings, StatementGuard,
+    StatementRegistry,
+};
 pub use udx::{AggState, Aggregate, ScalarUdf, TableFunction, TvfCursor};

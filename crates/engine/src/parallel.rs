@@ -10,9 +10,14 @@
 //! 2. each worker scans its pages, applies the pushed-down filter, and
 //!    builds a partial hash-aggregate (possible because every aggregate —
 //!    built-in or user-defined — implements `merge`, paper §2.3.4);
+//!    when the shared memory budget runs out, the worker degrades like
+//!    the serial operator: rows for new groups partition to
+//!    `storage::tempspace` instead of failing the query;
 //! 3. the coordinating thread merges the partial maps (the repartition +
 //!    final aggregate collapsed into one merge, valid because merge is
-//!    associative) and emits finished groups.
+//!    associative), re-aggregates each spill partition — chaining the
+//!    same partition index from every worker, merging keys that another
+//!    worker kept in memory — and emits finished groups.
 //!
 //! Per-worker busy time and row counts are recorded in [`WorkerStats`],
 //! which is how the benchmark harness regenerates the utilization plot of
@@ -24,9 +29,12 @@ use std::time::{Duration, Instant};
 use seqdb_types::{DbError, Result, Row};
 
 use crate::catalog::Table;
-use crate::exec::agg::{aggregate_into_map, finish_map, merge_maps, AggSpec};
+use crate::exec::agg::{
+    aggregate_level, aggregate_partial_spilling, group_cost, merge_maps, AggSpec, ChainRows,
+    GroupedStates, OutputBuffer, OutputRows, SpillRowIter, SPILL_PARTITIONS,
+};
 use crate::exec::scan::HeapScanIter;
-use crate::exec::RowIterator;
+use crate::exec::{ExecContext, RowIterator};
 use crate::expr::Expr;
 use crate::governor::{MemCharge, QueryGovernor, Ticker};
 use crate::udx::{panic_payload, protect};
@@ -47,8 +55,8 @@ pub struct ParallelAggIter {
     group_exprs: Vec<Expr>,
     aggs: Vec<AggSpec>,
     dop: usize,
-    gov: Arc<QueryGovernor>,
-    output: Option<std::vec::IntoIter<Row>>,
+    ctx: ExecContext,
+    output: Option<OutputRows>,
     stats: Vec<WorkerStats>,
 }
 
@@ -59,7 +67,7 @@ impl ParallelAggIter {
         group_exprs: Vec<Expr>,
         aggs: Vec<AggSpec>,
         dop: usize,
-        gov: Arc<QueryGovernor>,
+        ctx: ExecContext,
     ) -> Result<ParallelAggIter> {
         if dop == 0 {
             return Err(DbError::Plan("degree of parallelism must be >= 1".into()));
@@ -78,7 +86,7 @@ impl ParallelAggIter {
             group_exprs,
             aggs,
             dop,
-            gov,
+            ctx,
             output: None,
             stats: Vec::new(),
         })
@@ -91,8 +99,11 @@ impl ParallelAggIter {
 
     fn execute(&mut self) -> Result<()> {
         let dop = self.dop;
-        let gov = &self.gov;
+        let gov = &self.ctx.gov;
+        let temp = &self.ctx.temp;
         let mut partials = Vec::with_capacity(dop);
+        // Per-worker spill partitions, handed to the coordinator unread.
+        let mut spills: Vec<Vec<Option<seqdb_storage::tempspace::SpillWriter>>> = Vec::new();
         // MemCharges travel with the partial maps they account for and
         // are dropped (releasing the budget) at the end of execute().
         let mut charges: Vec<MemCharge> = Vec::with_capacity(dop);
@@ -106,6 +117,7 @@ impl ParallelAggIter {
                 let group_exprs = self.group_exprs.clone();
                 let aggs = self.aggs.clone();
                 let gov = gov.clone();
+                let temp = temp.clone();
                 handles.push(scope.spawn(move || {
                     let start = Instant::now();
                     let mut scan = CountingIter {
@@ -116,22 +128,39 @@ impl ParallelAggIter {
                     };
                     // Workers share the query's governor: their partial
                     // maps charge one common budget, and they stop at the
-                    // next row once a sibling cancels it.
+                    // next row once a sibling cancels it. A worker whose
+                    // budget share runs out degrades exactly like the
+                    // serial hash aggregate: rows for new groups go to
+                    // its own tempspace partitions for the coordinator
+                    // to re-aggregate. Each worker is capped at its share
+                    // of *half* the budget so the final phase — which
+                    // must hold the merged worker map while re-reading
+                    // the spills — keeps the other half.
+                    let cap = gov.mem_limit().map(|l| l / 2 / dop);
                     let mut charge = MemCharge::new(gov.clone());
-                    let result = aggregate_into_map(&mut scan, &group_exprs, &aggs, &mut charge);
+                    let result = aggregate_partial_spilling(
+                        &mut scan,
+                        &group_exprs,
+                        &aggs,
+                        &mut charge,
+                        &temp,
+                        Some(&gov),
+                        cap,
+                        0,
+                    );
                     if result.is_err() {
                         // Fail fast: siblings notice at their next
                         // cooperative check instead of scanning on.
                         gov.cancel();
                     }
-                    let map = result?;
+                    let (map, partitions) = result?;
                     let stats = WorkerStats {
                         worker: w,
                         rows_scanned: scan.rows,
                         groups_produced: map.len() as u64,
                         busy: start.elapsed(),
                     };
-                    Ok::<_, DbError>((map, stats, charge))
+                    Ok::<_, DbError>((map, partitions, stats, charge))
                 }));
             }
             // Join every worker before reporting anything: no handle is
@@ -139,9 +168,10 @@ impl ParallelAggIter {
             // a coordinator panic.
             for h in handles {
                 match h.join() {
-                    Ok(Ok((map, stats, charge))) => {
+                    Ok(Ok((map, partitions, stats, charge))) => {
                         self.stats.push(stats);
                         partials.push(map);
+                        spills.push(partitions);
                         charges.push(charge);
                     }
                     Ok(Err(e)) => errors.push(e),
@@ -166,13 +196,63 @@ impl ParallelAggIter {
             return Err(root.clone());
         }
 
-        // Final aggregation: merge partial states.
-        let mut final_map = partials.pop().unwrap_or_default();
+        // Final aggregation: merge the workers' in-memory partial maps
+        // into one resident map. Duplicate keys collapse, so the merged
+        // map costs no more than the sum of the worker charges: release
+        // those and re-reserve the merged cost under one fresh charge,
+        // handing the freed budget back to the spill recursion below.
+        let mut resident: GroupedStates = partials.pop().unwrap_or_default();
         for p in partials {
-            merge_maps(&mut final_map, p, &self.aggs)?;
+            merge_maps(&mut resident, p, &self.aggs)?;
         }
-        let mut rows = finish_map(final_map, &self.aggs)?;
-        if rows.is_empty() && self.group_exprs.is_empty() {
+        drop(charges);
+        let mut resident_charge = MemCharge::new(gov.clone());
+        let resident_cost: usize = resident
+            .keys()
+            .map(|k| group_cost(k, self.aggs.len()))
+            .sum();
+        resident_charge.grow(resident_cost)?;
+
+        // Re-aggregate the spilled rows. All workers hash with the same
+        // depth-0 salt, so partition index p holds the same key subset in
+        // every worker: chaining them gives one logical partition, and no
+        // key appears in two different partitions. A spilled key that
+        // another worker kept in memory merges into the resident map
+        // inside `aggregate_level` instead of being emitted twice.
+        let mut out = OutputBuffer::new(&self.ctx);
+        for p in 0..SPILL_PARTITIONS {
+            let mut parts = Vec::new();
+            for worker in &mut spills {
+                if let Some(writer) = worker[p].take() {
+                    parts.push(SpillRowIter::new(writer.finish()?));
+                }
+            }
+            if parts.is_empty() {
+                continue;
+            }
+            let mut chained = ChainRows::new(parts);
+            aggregate_level(
+                &mut chained,
+                &self.group_exprs,
+                &self.aggs,
+                &self.ctx,
+                1,
+                &mut resident,
+                &mut out,
+            )?;
+        }
+
+        // Emit the resident groups last — only now are they complete.
+        for (key, states) in resident.drain() {
+            let mut vals = key;
+            for (mut s, spec) in states.into_iter().zip(&self.aggs) {
+                vals.push(protect(spec.factory.name(), || s.finish())?);
+            }
+            out.push(Row::new(vals))?;
+        }
+        drop(resident_charge);
+
+        if out.is_empty() && self.group_exprs.is_empty() {
             // Global aggregate over an empty table still yields one row.
             let mut vals = Vec::new();
             for a in &self.aggs {
@@ -181,10 +261,12 @@ impl ParallelAggIter {
                     s.finish()
                 })?);
             }
-            rows.push(Row::new(vals));
+            self.stats.sort_by_key(|s| s.worker);
+            self.output = Some(OutputRows::from_vec(vec![Row::new(vals)]));
+            return Ok(());
         }
         self.stats.sort_by_key(|s| s.worker);
-        self.output = Some(rows.into_iter());
+        self.output = Some(out.into_rows()?);
         Ok(())
     }
 }
@@ -214,7 +296,10 @@ impl RowIterator for ParallelAggIter {
         if self.output.is_none() {
             self.execute()?;
         }
-        Ok(self.output.as_mut().expect("executed above").next())
+        match self.output.as_mut() {
+            Some(rows) => rows.next(),
+            None => Ok(None),
+        }
     }
 }
 
@@ -272,15 +357,9 @@ mod tests {
         };
 
         for dop in [1, 2, 4] {
-            let mut par = ParallelAggIter::new(
-                t.clone(),
-                None,
-                group.clone(),
-                specs(),
-                dop,
-                QueryGovernor::unlimited(),
-            )
-            .unwrap();
+            let mut par =
+                ParallelAggIter::new(t.clone(), None, group.clone(), specs(), dop, _ctx.clone())
+                    .unwrap();
             let mut rows = Vec::new();
             while let Some(r) = par.next().unwrap() {
                 rows.push(r);
@@ -304,7 +383,7 @@ mod tests {
             vec![],
             vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
             3,
-            QueryGovernor::unlimited(),
+            _ctx,
         )
         .unwrap();
         let row = par.next().unwrap().unwrap();
@@ -321,7 +400,7 @@ mod tests {
             vec![],
             vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
             2,
-            QueryGovernor::unlimited(),
+            _ctx,
         )
         .unwrap();
         assert_eq!(par.next().unwrap().unwrap()[0], Value::Int(0));
@@ -348,7 +427,7 @@ mod tests {
             vec![],
             vec![AggSpec::new(Arc::new(NoMerge), vec![], "x")],
             2,
-            QueryGovernor::unlimited(),
+            _ctx,
         );
         assert!(matches!(res, Err(DbError::Plan(_))));
     }
@@ -389,14 +468,13 @@ mod tests {
     #[test]
     fn panicking_worker_fails_only_its_query() {
         let (_ctx, t) = setup(5000);
-        let gov = QueryGovernor::unlimited();
         let mut par = ParallelAggIter::new(
             t.clone(),
             None,
             vec![],
             vec![AggSpec::new(Arc::new(PanicAgg), vec![], "x")],
             4,
-            gov,
+            _ctx.clone(),
         )
         .unwrap();
         let err = par.next().unwrap_err();
@@ -410,34 +488,83 @@ mod tests {
             other => panic!("expected UdxPanic, got {other:?}"),
         }
         // The same table still serves healthy queries afterwards.
+        let mut healthy = _ctx.clone();
+        healthy.gov = QueryGovernor::unlimited();
         let mut ok = ParallelAggIter::new(
             t,
             None,
             vec![],
             vec![AggSpec::new(Arc::new(CountAgg), vec![], "cnt")],
             4,
-            QueryGovernor::unlimited(),
+            healthy,
         )
         .unwrap();
         assert_eq!(ok.next().unwrap().unwrap()[0], Value::Int(5000));
     }
 
     #[test]
-    fn worker_memory_exhaustion_fails_query_not_process() {
-        let (_ctx, t) = setup(5000);
-        let gov = QueryGovernor::new(None, Some(512));
+    fn worker_memory_pressure_spills_and_aggregates_exactly() {
+        let (ctx, t) = setup(5000);
+        let group = vec![Expr::col(0, "id")]; // one group per row
+
+        // Serial reference with no memory pressure.
+        let serial = {
+            let scan = Box::new(HeapScanIter::new(t.clone(), None, None));
+            let it = crate::exec::agg::HashAggIter::new(scan, group.clone(), specs(), ctx.clone());
+            let mut rows = collect(Box::new(it)).unwrap();
+            rows.sort_by_key(|r| r[0].as_int().unwrap());
+            rows
+        };
+
+        // ~64 KiB budget shared by 4 workers for ~5000 groups: every
+        // worker must spill, yet the query completes with exact results.
+        let mut tight = ctx.clone();
+        tight.gov = QueryGovernor::new(None, Some(64 * 1024));
+        let gov = tight.gov.clone();
+        tight.temp.reset_counters();
+        let mut par = ParallelAggIter::new(t, None, group, specs(), 4, tight.clone()).unwrap();
+        let mut rows = Vec::new();
+        while let Some(r) = par.next().unwrap() {
+            rows.push(r);
+        }
+        rows.sort_by_key(|r| r[0].as_int().unwrap());
+        assert_eq!(rows, serial);
+        assert!(
+            tight.temp.spill_count() > 0,
+            "the budget must have forced worker-side spilling"
+        );
+        drop(par);
+        assert_eq!(gov.mem_used(), 0, "all charges released");
+        assert_eq!(tight.temp.live_files().unwrap(), 0, "no leaked spill files");
+    }
+
+    #[test]
+    fn pathological_budget_fails_typed_after_bounded_repartitioning() {
+        let (ctx, t) = setup(5000);
+        // A budget too small to admit even one group: rows re-spill at
+        // every level until MAX_SPILL_DEPTH, then fail typed — the
+        // process and the table both survive.
+        let mut starved = ctx.clone();
+        starved.gov = QueryGovernor::new(None, Some(64));
+        let gov = starved.gov.clone();
         let mut par = ParallelAggIter::new(
             t,
             None,
-            vec![Expr::col(0, "id")], // one group per row: must blow the budget
+            vec![Expr::col(0, "id")],
             specs(),
             4,
-            gov.clone(),
+            starved.clone(),
         )
         .unwrap();
         let err = par.next().unwrap_err();
         assert!(matches!(err, DbError::ResourceExhausted(_)), "{err}");
+        drop(par);
         assert_eq!(gov.mem_used(), 0, "worker charges released on failure");
+        assert_eq!(
+            starved.temp.live_files().unwrap(),
+            0,
+            "no leaked spill files"
+        );
     }
 
     #[test]

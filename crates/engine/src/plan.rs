@@ -117,10 +117,16 @@ pub enum Plan {
         args: Vec<Expr>,
         schema: Arc<Schema>,
     },
-    /// ROW_NUMBER() over the (already sorted) input.
+    /// ROW_NUMBER() over the (already sorted) input. `order_cols` is
+    /// empty when a Sort below this node buffered (and budget-accounted)
+    /// the rows; non-empty when the planner skipped the Sort because the
+    /// input was already ordered — the operator then buffers each peer
+    /// frame (rows tied on those columns) itself, charged against the
+    /// query's memory budget.
     RowNumber {
         input: Box<Plan>,
         prepend: bool,
+        order_cols: Vec<usize>,
         schema: Arc<Schema>,
     },
 }
@@ -228,7 +234,7 @@ impl Plan {
                 group_exprs.clone(),
                 aggs.clone(),
                 (*dop).max(1).min(effective_dop(ctx)),
-                ctx.gov.clone(),
+                ctx.clone(),
             )?),
             Plan::HashJoin {
                 build,
@@ -263,8 +269,22 @@ impl Plan {
                 args.clone(),
                 ctx.clone(),
             )),
-            Plan::RowNumber { input, prepend, .. } => {
-                Box::new(RowNumberIter::new(input.open(ctx)?, *prepend))
+            Plan::RowNumber {
+                input,
+                prepend,
+                order_cols,
+                ..
+            } => {
+                if order_cols.is_empty() {
+                    Box::new(RowNumberIter::new(input.open(ctx)?, *prepend))
+                } else {
+                    Box::new(RowNumberIter::with_peer_frames(
+                        input.open(ctx)?,
+                        *prepend,
+                        order_cols.clone(),
+                        ctx.gov.clone(),
+                    ))
+                }
             }
         };
         Ok(Box::new(GovernedIter::new(node, ctx.gov.clone())))
@@ -459,8 +479,16 @@ impl Plan {
                 ));
                 input.explain_into(out, depth + 1);
             }
-            Plan::RowNumber { input, .. } => {
-                out.push_str(&format!("{pad}Sequence Project [ROW_NUMBER()]\n"));
+            Plan::RowNumber {
+                input, order_cols, ..
+            } => {
+                if order_cols.is_empty() {
+                    out.push_str(&format!("{pad}Sequence Project [ROW_NUMBER()]\n"));
+                } else {
+                    out.push_str(&format!(
+                        "{pad}Sequence Project [ROW_NUMBER(), peer frames over ordered input]\n"
+                    ));
+                }
                 input.explain_into(out, depth + 1);
             }
         }

@@ -1,0 +1,577 @@
+//! Sessions, the running-statement registry, and admission control.
+//!
+//! The paper's multi-hour in-database analyses are operable on SQL Server
+//! because the server wraps them in *sessions*: per-connection `SET`
+//! options, DMVs (`sys.dm_exec_requests`) listing what is running, `KILL`
+//! to stop a runaway statement, and Resource Governor workload gates that
+//! queue work instead of oversubscribing memory. This module is seqdb's
+//! equivalent:
+//!
+//! * [`Session`] — per-connection settings overlay over the
+//!   [`Database`](crate::Database)-level defaults (`SET QUERY_TIMEOUT_MS /
+//!   QUERY_MEMORY_LIMIT_KB / MAX_DOP` scope to one session);
+//! * [`StatementRegistry`] — every statement a session executes is
+//!   registered (session id, statement id, SQL text, start time, governor
+//!   handle) for the lifetime of its execution, making it visible to
+//!   `DM_EXEC_REQUESTS()` and killable by id;
+//! * [`AdmissionController`] — governed queries reserve their memory
+//!   budget from a global pool before starting; a query that cannot get a
+//!   reservation within a bounded wait fails with a typed
+//!   [`DbError::AdmissionTimeout`] instead of running the server out of
+//!   memory.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
+
+use crate::database::{Database, DbConfig};
+use crate::exec::ExecContext;
+use crate::governor::QueryGovernor;
+use crate::udx::{TableFunction, TvfCursor};
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+/// Per-session overrides of the database-level defaults. `None` means
+/// "inherit the server default"; the inner `Option`/value mirrors the
+/// corresponding [`DbConfig`] field (`SET ... = 0` stores an explicit
+/// "off").
+#[derive(Debug, Clone, Default)]
+pub struct SessionSettings {
+    pub query_timeout_ms: Option<Option<u64>>,
+    pub query_mem_limit_kb: Option<Option<u64>>,
+    pub max_dop: Option<usize>,
+}
+
+/// One client connection's worth of state: an id, a settings overlay,
+/// and the handles needed to admit, register and govern its statements.
+///
+/// Sessions are cheap; `core::workflow` opens one per pipeline run and a
+/// future network front end would open one per connection.
+pub struct Session {
+    db: Arc<Database>,
+    id: u64,
+    settings: Mutex<SessionSettings>,
+}
+
+impl Session {
+    pub(crate) fn new(db: Arc<Database>, id: u64) -> Session {
+        Session {
+            db,
+            id,
+            settings: Mutex::new(SessionSettings::default()),
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Session-scoped `SET QUERY_TIMEOUT_MS`; `None` switches the
+    /// override off for this session (0 via SQL maps to `Some(None)`).
+    pub fn set_query_timeout_ms(&self, ms: Option<u64>) {
+        self.settings.lock().query_timeout_ms = Some(ms);
+    }
+
+    /// Session-scoped `SET QUERY_MEMORY_LIMIT_KB`.
+    pub fn set_query_memory_limit_kb(&self, kb: Option<u64>) {
+        self.settings.lock().query_mem_limit_kb = Some(kb);
+    }
+
+    /// Session-scoped `SET MAX_DOP`.
+    pub fn set_max_dop(&self, dop: usize) {
+        self.settings.lock().max_dop = Some(dop.max(1));
+    }
+
+    /// The configuration this session's next statement runs under:
+    /// database defaults with this session's overrides applied.
+    pub fn effective_config(&self) -> DbConfig {
+        let mut cfg = self.db.config();
+        let s = self.settings.lock();
+        if let Some(ms) = s.query_timeout_ms {
+            cfg.query_timeout_ms = ms;
+        }
+        if let Some(kb) = s.query_mem_limit_kb {
+            cfg.query_mem_limit_kb = kb;
+        }
+        if let Some(dop) = s.max_dop {
+            cfg.max_dop = dop;
+        }
+        cfg
+    }
+
+    /// Admit, register and start one statement: reserves the statement's
+    /// memory budget from the global pool (bounded wait →
+    /// [`DbError::AdmissionTimeout`]), registers it as running (visible in
+    /// `DM_EXEC_REQUESTS()`, killable by id), and returns the execution
+    /// context plus an RAII guard that undoes both when the statement
+    /// finishes — on success, error, cancellation or panic alike.
+    pub fn begin_statement(&self, sql: &str) -> Result<(ExecContext, StatementGuard)> {
+        let cfg = self.effective_config();
+        let budget = cfg.query_mem_limit_kb.map(|kb| kb as usize * 1024);
+        let slot = self.db.admission().admit(
+            budget.unwrap_or(0),
+            cfg.admission_pool_kb.map(|kb| kb as usize * 1024),
+            Duration::from_millis(cfg.admission_wait_ms),
+        )?;
+        let gov = QueryGovernor::new(cfg.query_timeout_ms.map(Duration::from_millis), budget);
+        let registry = self.db.statements().clone();
+        let statement_id = registry.register(self.id, sql, gov.clone());
+        let ctx = ExecContext {
+            catalog: self.db.catalog().clone(),
+            filestream: self.db.filestream().clone(),
+            temp: self.db.temp().clone(),
+            dop: cfg.max_dop,
+            sort_budget: cfg.sort_budget,
+            gov,
+        };
+        Ok((
+            ctx,
+            StatementGuard {
+                registry,
+                statement_id,
+                _slot: slot,
+            },
+        ))
+    }
+}
+
+/// RAII handle for one running statement: deregisters it and returns its
+/// admission reservation to the global pool on drop.
+pub struct StatementGuard {
+    registry: Arc<StatementRegistry>,
+    statement_id: i64,
+    _slot: AdmissionSlot,
+}
+
+impl StatementGuard {
+    pub fn statement_id(&self) -> i64 {
+        self.statement_id
+    }
+}
+
+impl Drop for StatementGuard {
+    fn drop(&mut self) {
+        self.registry.deregister(self.statement_id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statement registry (the DMV behind DM_EXEC_REQUESTS and KILL)
+// ---------------------------------------------------------------------
+
+/// What the registry records about one in-flight statement.
+struct StatementInfo {
+    session_id: u64,
+    sql: String,
+    started: Instant,
+    gov: Arc<QueryGovernor>,
+}
+
+/// A point-in-time view of one running statement, as surfaced by
+/// [`StatementRegistry::snapshot`] and the `DM_EXEC_REQUESTS()` TVF.
+#[derive(Debug, Clone)]
+pub struct RunningStatement {
+    pub statement_id: i64,
+    pub session_id: u64,
+    pub sql: String,
+    pub elapsed: Duration,
+    pub mem_used: usize,
+    pub aborted: bool,
+}
+
+/// Registry of running statements, shared by every session of a
+/// [`Database`]. Statement ids are process-unique and never reused, so a
+/// `KILL` racing with statement completion can only miss (NotFound),
+/// never hit an unrelated newer statement.
+pub struct StatementRegistry {
+    next_id: AtomicI64,
+    running: Mutex<HashMap<i64, StatementInfo>>,
+}
+
+impl StatementRegistry {
+    pub fn new() -> Arc<StatementRegistry> {
+        Arc::new(StatementRegistry {
+            next_id: AtomicI64::new(1),
+            running: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn register(&self, session_id: u64, sql: &str, gov: Arc<QueryGovernor>) -> i64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.running.lock().insert(
+            id,
+            StatementInfo {
+                session_id,
+                sql: sql.to_string(),
+                started: Instant::now(),
+                gov,
+            },
+        );
+        id
+    }
+
+    fn deregister(&self, id: i64) {
+        self.running.lock().remove(&id);
+    }
+
+    /// `KILL <statement id>`: request cancellation of a running
+    /// statement. The victim fails with [`DbError::Cancelled`] at its
+    /// next cooperative check; a statement that already finished (or
+    /// never existed) reports [`DbError::NotFound`].
+    pub fn kill(&self, id: i64) -> Result<()> {
+        let running = self.running.lock();
+        match running.get(&id) {
+            Some(info) => {
+                info.gov.cancel();
+                Ok(())
+            }
+            None => Err(DbError::NotFound(format!("running statement {id}"))),
+        }
+    }
+
+    /// Point-in-time view of every running statement, ordered by id.
+    pub fn snapshot(&self) -> Vec<RunningStatement> {
+        let running = self.running.lock();
+        let mut v: Vec<RunningStatement> = running
+            .iter()
+            .map(|(&id, info)| RunningStatement {
+                statement_id: id,
+                session_id: info.session_id,
+                sql: info.sql.clone(),
+                elapsed: info.started.elapsed(),
+                mem_used: info.gov.mem_used(),
+                aborted: info.gov.is_aborted(),
+            })
+            .collect();
+        v.sort_by_key(|s| s.statement_id);
+        v
+    }
+
+    /// Number of statements currently running.
+    pub fn running_count(&self) -> usize {
+        self.running.lock().len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+struct PoolState {
+    /// Bytes of the global pool currently reserved by admitted queries.
+    in_use: usize,
+}
+
+/// Gate in front of query startup: each *governed* query (one with a
+/// memory budget) must reserve its whole budget from a global pool
+/// before it begins executing. When the pool is full the query waits,
+/// bounded; past the bound it fails with a typed
+/// [`DbError::AdmissionTimeout`] — the Resource Governor behaviour of
+/// queueing work at the gate instead of letting admitted queries
+/// oversubscribe and die mid-flight.
+///
+/// Ungoverned queries (no budget) bypass the gate: with no declared
+/// ceiling there is nothing meaningful to reserve, exactly like SQL
+/// Server's small-query bypass.
+pub struct AdmissionController {
+    state: StdMutex<PoolState>,
+    freed: Condvar,
+}
+
+impl AdmissionController {
+    pub fn new() -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            state: StdMutex::new(PoolState { in_use: 0 }),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Reserve `bytes` from a pool of `pool_limit` bytes, waiting up to
+    /// `wait` for other queries to finish. `bytes == 0` (ungoverned
+    /// query) or `pool_limit == None` (admission off) admit immediately.
+    pub fn admit(
+        self: &Arc<Self>,
+        bytes: usize,
+        pool_limit: Option<usize>,
+        wait: Duration,
+    ) -> Result<AdmissionSlot> {
+        let Some(limit) = pool_limit else {
+            return Ok(AdmissionSlot {
+                ctrl: None,
+                bytes: 0,
+            });
+        };
+        if bytes == 0 {
+            return Ok(AdmissionSlot {
+                ctrl: None,
+                bytes: 0,
+            });
+        }
+        if bytes > limit {
+            return Err(DbError::AdmissionTimeout(format!(
+                "query budget of {bytes} bytes exceeds the global admission pool of {limit} bytes"
+            )));
+        }
+        let deadline = Instant::now() + wait;
+        let mut state = self.state.lock().map_err(poisoned)?;
+        while state.in_use + bytes > limit {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(DbError::AdmissionTimeout(format!(
+                    "admission pool saturated ({} of {limit} bytes reserved); \
+                     gave up after {}ms",
+                    state.in_use,
+                    wait.as_millis()
+                )));
+            }
+            let (guard, _timeout) = self
+                .freed
+                .wait_timeout(state, deadline - now)
+                .map_err(|_| DbError::Execution("admission pool lock poisoned".into()))?;
+            state = guard;
+        }
+        state.in_use += bytes;
+        Ok(AdmissionSlot {
+            ctrl: Some(self.clone()),
+            bytes,
+        })
+    }
+
+    /// Bytes currently reserved from the pool (0 when idle — the leak
+    /// probe used by tests).
+    pub fn reserved(&self) -> usize {
+        self.state.lock().map(|s| s.in_use).unwrap_or(usize::MAX)
+    }
+
+    fn release(&self, bytes: usize) {
+        if let Ok(mut state) = self.state.lock() {
+            state.in_use = state.in_use.saturating_sub(bytes);
+        }
+        self.freed.notify_all();
+    }
+}
+
+fn poisoned<T>(_: std::sync::PoisonError<T>) -> DbError {
+    DbError::Execution("admission pool lock poisoned".into())
+}
+
+/// RAII admission reservation; returns its bytes to the pool (and wakes
+/// waiters) on drop.
+pub struct AdmissionSlot {
+    ctrl: Option<Arc<AdmissionController>>,
+    bytes: usize,
+}
+
+impl std::fmt::Debug for AdmissionSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionSlot")
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl Drop for AdmissionSlot {
+    fn drop(&mut self) {
+        if let Some(ctrl) = self.ctrl.take() {
+            ctrl.release(self.bytes);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DM_EXEC_REQUESTS() — the DMV as a table-valued function
+// ---------------------------------------------------------------------
+
+/// `SELECT * FROM DM_EXEC_REQUESTS()` — seqdb's `sys.dm_exec_requests`:
+/// one row per running statement, including the statement issuing the
+/// query itself.
+pub struct DmExecRequestsFn {
+    registry: Arc<StatementRegistry>,
+}
+
+impl DmExecRequestsFn {
+    pub fn new(registry: Arc<StatementRegistry>) -> DmExecRequestsFn {
+        DmExecRequestsFn { registry }
+    }
+}
+
+struct DmExecRequestsCursor {
+    rows: std::vec::IntoIter<Row>,
+    current: Option<Row>,
+}
+
+impl TvfCursor for DmExecRequestsCursor {
+    fn move_next(&mut self) -> Result<bool> {
+        self.current = self.rows.next();
+        Ok(self.current.is_some())
+    }
+    fn fill_row(&mut self) -> Result<Row> {
+        self.current
+            .clone()
+            .ok_or_else(|| DbError::Execution("fill_row past end of DM_EXEC_REQUESTS".into()))
+    }
+}
+
+impl TableFunction for DmExecRequestsFn {
+    fn name(&self) -> &str {
+        "DM_EXEC_REQUESTS"
+    }
+    fn schema(&self) -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
+            Column::new("statement_id", DataType::Int).not_null(),
+            Column::new("session_id", DataType::Int).not_null(),
+            Column::new("sql_text", DataType::Text).not_null(),
+            Column::new("elapsed_ms", DataType::Int).not_null(),
+            Column::new("mem_used_bytes", DataType::Int).not_null(),
+            Column::new("status", DataType::Text).not_null(),
+        ]))
+    }
+    fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
+        if !args.is_empty() {
+            return Err(DbError::Execution(
+                "DM_EXEC_REQUESTS() takes no arguments".into(),
+            ));
+        }
+        let rows: Vec<Row> = self
+            .registry
+            .snapshot()
+            .into_iter()
+            .map(|s| {
+                Row::new(vec![
+                    Value::Int(s.statement_id),
+                    Value::Int(s.session_id as i64),
+                    Value::text(s.sql),
+                    Value::Int(s.elapsed.as_millis() as i64),
+                    Value::Int(s.mem_used as i64),
+                    Value::text(if s.aborted { "aborted" } else { "running" }),
+                ])
+            })
+            .collect();
+        Ok(Box::new(DmExecRequestsCursor {
+            rows: rows.into_iter(),
+            current: None,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_overlay_inherits_then_overrides() {
+        let db = Database::in_memory();
+        db.set_query_timeout_ms(Some(500));
+        let s = db.create_session();
+        // Inherits the server default until overridden.
+        assert_eq!(s.effective_config().query_timeout_ms, Some(500));
+        s.set_query_timeout_ms(Some(100));
+        assert_eq!(s.effective_config().query_timeout_ms, Some(100));
+        // Explicit off beats the server default.
+        s.set_query_timeout_ms(None);
+        assert_eq!(s.effective_config().query_timeout_ms, None);
+        // And the server default is untouched.
+        assert_eq!(db.config().query_timeout_ms, Some(500));
+    }
+
+    #[test]
+    fn sessions_do_not_share_overrides() {
+        let db = Database::in_memory();
+        let a = db.create_session();
+        let b = db.create_session();
+        assert_ne!(a.id(), b.id());
+        a.set_max_dop(1);
+        assert_eq!(a.effective_config().max_dop, 1);
+        assert_eq!(b.effective_config().max_dop, db.config().max_dop);
+    }
+
+    #[test]
+    fn registry_registers_kills_and_deregisters() {
+        let reg = StatementRegistry::new();
+        let gov = QueryGovernor::unlimited();
+        let id = reg.register(7, "SELECT 1", gov.clone());
+        assert_eq!(reg.running_count(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap[0].session_id, 7);
+        assert_eq!(snap[0].sql, "SELECT 1");
+        assert!(!snap[0].aborted);
+        reg.kill(id).unwrap();
+        assert!(gov.is_aborted());
+        assert!(reg.snapshot()[0].aborted);
+        reg.deregister(id);
+        assert_eq!(reg.running_count(), 0);
+        assert!(matches!(reg.kill(id), Err(DbError::NotFound(_))));
+    }
+
+    #[test]
+    fn statement_guard_cleans_up_on_drop() {
+        let db = Database::in_memory();
+        db.set_admission_pool_kb(Some(64));
+        let s = db.create_session();
+        s.set_query_memory_limit_kb(Some(32));
+        {
+            let (_ctx, guard) = s.begin_statement("SELECT 1").unwrap();
+            assert_eq!(db.statements().running_count(), 1);
+            assert_eq!(db.admission().reserved(), 32 * 1024);
+            let _ = guard.statement_id();
+        }
+        assert_eq!(db.statements().running_count(), 0);
+        assert_eq!(db.admission().reserved(), 0);
+    }
+
+    #[test]
+    fn admission_pool_admits_queues_and_times_out() {
+        let ctrl = AdmissionController::new();
+        let limit = Some(1000);
+        let wait = Duration::from_millis(50);
+        // Ungoverned and admission-off queries bypass the pool.
+        let free = ctrl.admit(0, limit, wait).unwrap();
+        let off = ctrl.admit(800, None, wait).unwrap();
+        assert_eq!(ctrl.reserved(), 0);
+        drop((free, off));
+
+        let a = ctrl.admit(600, limit, wait).unwrap();
+        let b = ctrl.admit(400, limit, wait).unwrap();
+        assert_eq!(ctrl.reserved(), 1000);
+        // Pool full: a third governed query times out, typed.
+        let err = ctrl.admit(100, limit, wait).unwrap_err();
+        assert!(matches!(err, DbError::AdmissionTimeout(_)), "{err}");
+        // A budget bigger than the whole pool can never be admitted.
+        let err = ctrl.admit(2000, limit, wait).unwrap_err();
+        assert!(matches!(err, DbError::AdmissionTimeout(_)), "{err}");
+        drop(a);
+        // Freed capacity admits the next query.
+        let c = ctrl.admit(100, limit, wait).unwrap();
+        drop((b, c));
+        assert_eq!(ctrl.reserved(), 0);
+    }
+
+    #[test]
+    fn admission_wait_succeeds_when_capacity_frees_in_time() {
+        let ctrl = AdmissionController::new();
+        let limit = Some(1000);
+        let a = ctrl.admit(1000, limit, Duration::from_millis(10)).unwrap();
+        let ctrl2 = ctrl.clone();
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            drop(a);
+        });
+        // Waits past the release and gets in, well before the bound.
+        let b = ctrl2.admit(1000, limit, Duration::from_secs(5)).unwrap();
+        releaser.join().unwrap();
+        drop(b);
+        assert_eq!(ctrl.reserved(), 0);
+    }
+}

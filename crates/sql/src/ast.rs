@@ -35,6 +35,9 @@ pub enum Statement {
         name: String,
         value: i64,
     },
+    /// `KILL <statement-id>` — cancel a running statement in any session
+    /// (T-SQL's `KILL <session id>`, at statement granularity).
+    Kill(i64),
 }
 
 #[derive(Debug, Clone, PartialEq)]

@@ -20,7 +20,9 @@ use seqdb_engine::exec::agg::AggSpec;
 use seqdb_engine::exec::filter::project_schema;
 use seqdb_engine::exec::sort::SortKey;
 use seqdb_engine::plan::aggregate_schema;
-use seqdb_engine::{BinOp, Database, ExecContext, Expr, Plan, QueryResult, TableFunction};
+use seqdb_engine::{
+    BinOp, Database, DbConfig, ExecContext, Expr, Plan, QueryResult, Session, TableFunction,
+};
 use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
 
 use crate::ast::*;
@@ -42,12 +44,83 @@ pub fn execute_script(db: &Arc<Database>, sql: &str) -> Result<QueryResult> {
     Ok(last)
 }
 
+/// Execute one SQL statement in a [`Session`]: `SET` mutates the
+/// session's own settings (not the server defaults), and queries run
+/// admitted against the global pool, governed by the session's effective
+/// limits, and registered in `sys.dm_exec_requests` where another
+/// session's `KILL` can reach them.
+pub fn execute_on(session: &Session, sql: &str) -> Result<QueryResult> {
+    let stmt = crate::parser::parse(sql)?;
+    execute_statement_on(session, &stmt, sql)
+}
+
+/// Session-scoped variant of [`execute_script`].
+pub fn execute_script_on(session: &Session, sql: &str) -> Result<QueryResult> {
+    let stmts = crate::parser::parse_script(sql)?;
+    let mut last = QueryResult::empty();
+    for s in &stmts {
+        last = execute_statement_on(session, s, sql)?;
+    }
+    Ok(last)
+}
+
+/// Session-scoped statement dispatch. `sql_text` is what
+/// `sys.dm_exec_requests` shows for the running statement.
+pub fn execute_statement_on(
+    session: &Session,
+    stmt: &Statement,
+    sql_text: &str,
+) -> Result<QueryResult> {
+    let db = session.database();
+    match stmt {
+        Statement::Set { name, value } => {
+            if *value < 0 {
+                return Err(DbError::Unsupported(format!(
+                    "SET {name}: value must be non-negative"
+                )));
+            }
+            let v = (*value != 0).then_some(*value as u64);
+            match name.as_str() {
+                // Session-scoped overlays of the server defaults.
+                "QUERY_TIMEOUT_MS" => session.set_query_timeout_ms(v),
+                "QUERY_MEMORY_LIMIT_KB" => session.set_query_memory_limit_kb(v),
+                "MAX_DOP" => session.set_max_dop(*value as usize),
+                // Admission control is a property of the shared pool, not
+                // of one session: these stay server-wide.
+                "ADMISSION_POOL_KB" => db.set_admission_pool_kb(v),
+                "ADMISSION_WAIT_MS" => db.set_admission_wait_ms(*value as u64),
+                other => {
+                    return Err(DbError::Unsupported(format!("unknown SET option {other}")));
+                }
+            }
+            Ok(QueryResult::empty())
+        }
+        Statement::Select(s) => {
+            // Plan under the session's effective config (its MAX_DOP
+            // override steers the parallel-plan choice), then execute
+            // admitted + governed + registered.
+            let b = Binder::with_config(db, session.effective_config());
+            let bound = b.plan_select(s)?;
+            let (ctx, guard) = session.begin_statement(sql_text)?;
+            let rows = bound.plan.run(&ctx)?;
+            drop(guard);
+            Ok(QueryResult {
+                schema: bound.plan.schema(),
+                rows,
+                affected: 0,
+            })
+        }
+        // DDL/DML and KILL behave identically from any session.
+        other => execute_statement(db, other),
+    }
+}
+
 /// Plan a SELECT and return the physical plan (for EXPLAIN and tests).
 pub fn plan_query(db: &Arc<Database>, sql: &str) -> Result<Plan> {
     let stmt = crate::parser::parse(sql)?;
     match stmt {
         Statement::Select(s) => {
-            let b = Binder { db };
+            let b = Binder::new(db);
             Ok(b.plan_select(&s)?.plan)
         }
         _ => Err(DbError::Plan("EXPLAIN requires a SELECT".into())),
@@ -60,7 +133,7 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
             let Statement::Select(s) = inner.as_ref() else {
                 return Err(DbError::Unsupported("EXPLAIN of non-SELECT".into()));
             };
-            let b = Binder { db };
+            let b = Binder::new(db);
             let bound = b.plan_select(s)?;
             let text = bound.plan.explain();
             let schema = Arc::new(Schema::new(vec![Column::new("plan", DataType::Text)]));
@@ -91,10 +164,16 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
                 "QUERY_TIMEOUT_MS" => db.set_query_timeout_ms(v),
                 "QUERY_MEMORY_LIMIT_KB" => db.set_query_memory_limit_kb(v),
                 "MAX_DOP" => db.set_max_dop(*value as usize),
+                "ADMISSION_POOL_KB" => db.set_admission_pool_kb(v),
+                "ADMISSION_WAIT_MS" => db.set_admission_wait_ms(*value as u64),
                 other => {
                     return Err(DbError::Unsupported(format!("unknown SET option {other}")));
                 }
             }
+            Ok(QueryResult::empty())
+        }
+        Statement::Kill(id) => {
+            db.statements().kill(*id)?;
             Ok(QueryResult::empty())
         }
         Statement::CreateTable(ct) => create_table(db, ct),
@@ -106,7 +185,7 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
         Statement::Insert(ins) => insert(db, ins),
         Statement::Delete { table, predicate } => {
             let t = db.catalog().table(table)?;
-            let b = Binder { db };
+            let b = Binder::new(db);
             let scope = Scope::from_schema(&t.schema, Some(&t.name));
             let bound = match predicate {
                 Some(p) => Some(b.bind_expr(p, &scope)?),
@@ -128,7 +207,7 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
             predicate,
         } => {
             let t = db.catalog().table(table)?;
-            let b = Binder { db };
+            let b = Binder::new(db);
             let scope = Scope::from_schema(&t.schema, Some(&t.name));
             let bound_pred = match predicate {
                 Some(p) => Some(b.bind_expr(p, &scope)?),
@@ -171,7 +250,7 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
             })
         }
         Statement::Select(s) => {
-            let b = Binder { db };
+            let b = Binder::new(db);
             let bound = b.plan_select(s)?;
             let ctx = db.exec_context();
             let rows = bound.plan.run(&ctx)?;
@@ -256,7 +335,7 @@ fn insert(db: &Arc<Database>, ins: &Insert) -> Result<QueryResult> {
 
     let source_rows: Box<dyn Iterator<Item = Result<Row>>> = match &ins.source {
         InsertSource::Values(rows) => {
-            let b = Binder { db };
+            let b = Binder::new(db);
             let empty_scope = Scope::empty();
             let mut out = Vec::with_capacity(rows.len());
             for r in rows {
@@ -270,7 +349,7 @@ fn insert(db: &Arc<Database>, ins: &Insert) -> Result<QueryResult> {
             Box::new(out.into_iter())
         }
         InsertSource::Query(q) => {
-            let b = Binder { db };
+            let b = Binder::new(db);
             let bound = b.plan_select(q)?;
             let ctx = db.exec_context();
             let rows = bound.plan.run(&ctx)?;
@@ -423,6 +502,21 @@ struct BoundSelect {
 
 struct Binder<'a> {
     db: &'a Arc<Database>,
+    /// Effective configuration for planning decisions (degree of
+    /// parallelism, parallel threshold): the server defaults, or a
+    /// session's overlaid view of them.
+    cfg: DbConfig,
+}
+
+impl<'a> Binder<'a> {
+    fn new(db: &'a Arc<Database>) -> Binder<'a> {
+        let cfg = db.config();
+        Binder { db, cfg }
+    }
+
+    fn with_config(db: &'a Arc<Database>, cfg: DbConfig) -> Binder<'a> {
+        Binder { db, cfg }
+    }
 }
 
 /// Columns (by position) the plan's output is known to be ordered by.
@@ -547,14 +641,43 @@ impl Binder<'_> {
 
         if let Some((win_pos, win_order)) = window {
             let win_keys = self.bind_order(&win_order, &scope)?;
-            plan = Plan::Sort {
-                input: Box::new(plan),
-                keys: win_keys,
+            // If the input is already ordered by the window keys (e.g. a
+            // clustered index scan), skip the Sort: ROW_NUMBER then runs
+            // directly over the scan, buffering (and budget-charging) its
+            // own peer frames instead of relying on the Sort's accounting.
+            let covering_cols: Option<Vec<usize>> = win_keys
+                .iter()
+                .map(|k| match (&k.expr, k.desc) {
+                    (Expr::Column { index, .. }, false) => Some(*index),
+                    _ => None,
+                })
+                .collect();
+            let mut presorted = false;
+            if let Some(cols) = &covering_cols {
+                if !cols.is_empty() {
+                    presorted = ordering_covers(&plan_ordering(&plan), cols);
+                    if !presorted {
+                        if let Some(ordered) = try_index_order(&plan, cols) {
+                            plan = ordered;
+                            presorted = true;
+                        }
+                    }
+                }
+            }
+            let order_cols = if presorted {
+                covering_cols.unwrap_or_default()
+            } else {
+                plan = Plan::Sort {
+                    input: Box::new(plan),
+                    keys: win_keys,
+                };
+                Vec::new()
             };
             let schema_before = scope.to_schema();
             plan = Plan::RowNumber {
                 input: Box::new(plan),
                 prepend: false,
+                order_cols,
                 schema: Arc::new(append_rownum(&schema_before)),
             };
             exprs[win_pos] = Expr::col(scope.len(), "ROW_NUMBER()");
@@ -692,7 +815,7 @@ impl Binder<'_> {
         // Choose the aggregation strategy.
         let in_schema = plan.schema();
         let agg_schema = aggregate_schema(&in_schema, &group_exprs, &group_names, &aggs)?;
-        let cfg = self.db.config();
+        let cfg = self.cfg.clone();
         let all_mergeable = aggs.iter().all(|a| a.factory.mergeable());
         let ordering = plan_ordering(&plan);
         let group_cols: Option<Vec<usize>> = group_exprs
@@ -806,6 +929,8 @@ impl Binder<'_> {
                 plan = Plan::RowNumber {
                     input: Box::new(plan),
                     prepend: false,
+                    // The Sort just planned above accounts for the rows.
+                    order_cols: Vec::new(),
                     schema: Arc::new(append_rownum(&out_schema)),
                 };
                 window_col = Some(out_schema.len());
@@ -1079,7 +1204,7 @@ impl Binder<'_> {
                                 left_keys,
                                 right_keys,
                                 schema,
-                                dop_hint: self.db.config().max_dop,
+                                dop_hint: self.cfg.max_dop,
                             }
                         }
                         None => Plan::HashJoin {

@@ -17,7 +17,7 @@ pub mod parser;
 
 use std::sync::Arc;
 
-use seqdb_engine::{Database, Plan, QueryResult};
+use seqdb_engine::{Database, Plan, QueryResult, Session};
 use seqdb_types::Result;
 
 pub use parser::{parse, parse_script};
@@ -52,6 +52,32 @@ impl DatabaseSqlExt for Arc<Database> {
     }
     fn explain_sql(&self, sql: &str) -> Result<String> {
         Ok(binder::plan_query(self, sql)?.explain())
+    }
+}
+
+/// SQL entry points on a [`Session`]. Unlike [`DatabaseSqlExt`], `SET`
+/// changes only this session's settings, and queries run admitted
+/// against the global memory pool, governed by the session's effective
+/// limits, and visible in `sys.dm_exec_requests` (hence killable from
+/// another session with `KILL <statement id>`).
+pub trait SessionSqlExt {
+    /// Execute any single statement under this session.
+    fn execute_sql(&self, sql: &str) -> Result<QueryResult>;
+    /// Execute a `;`-separated script; returns the last statement's result.
+    fn execute_sql_script(&self, sql: &str) -> Result<QueryResult>;
+    /// Alias of [`SessionSqlExt::execute_sql`] for query call sites.
+    fn query_sql(&self, sql: &str) -> Result<QueryResult>;
+}
+
+impl SessionSqlExt for Session {
+    fn execute_sql(&self, sql: &str) -> Result<QueryResult> {
+        binder::execute_on(self, sql)
+    }
+    fn execute_sql_script(&self, sql: &str) -> Result<QueryResult> {
+        binder::execute_script_on(self, sql)
+    }
+    fn query_sql(&self, sql: &str) -> Result<QueryResult> {
+        binder::execute_on(self, sql)
     }
 }
 
@@ -148,6 +174,38 @@ mod tests {
         assert_eq!(r.rows[0].values()[..2], [Value::Int(1), Value::Int(3)]);
         assert_eq!(r.rows[0][2], Value::text("A"));
         assert_eq!(r.rows[2].values()[..2], [Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn window_over_ordered_index_scan_skips_the_sort() {
+        let db = db();
+        db.execute_sql_script(
+            "CREATE TABLE t (k INT PRIMARY KEY, v INT);
+             INSERT INTO t VALUES (3, 30), (1, 10), (2, 20);",
+        )
+        .unwrap();
+        // The clustered PK already orders the scan by k: no Sort node,
+        // and ROW_NUMBER buffers its own (budget-charged) peer frames.
+        let plan = db
+            .explain_sql("SELECT k, v, ROW_NUMBER() OVER (ORDER BY k) FROM t")
+            .unwrap();
+        assert!(!plan.contains("Sort"), "{plan}");
+        assert!(plan.contains("peer frames over ordered input"), "{plan}");
+        assert!(plan.contains("Clustered Index Scan"), "{plan}");
+        let r = db
+            .query_sql("SELECT k, v, ROW_NUMBER() OVER (ORDER BY k) FROM t")
+            .unwrap();
+        let triples: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|x| (x[0].as_int().unwrap(), x[2].as_int().unwrap()))
+            .collect();
+        assert_eq!(triples, vec![(1, 1), (2, 2), (3, 3)]);
+        // A descending window still needs the Sort.
+        let plan = db
+            .explain_sql("SELECT k, ROW_NUMBER() OVER (ORDER BY k DESC) FROM t")
+            .unwrap();
+        assert!(plan.contains("Sort"), "{plan}");
     }
 
     #[test]

@@ -180,6 +180,18 @@ impl Parser {
             };
             return Ok(Statement::Set { name, value });
         }
+        if self.kw("kill") {
+            let id = match self.next()? {
+                Token::Int(i) => i,
+                t => {
+                    return Err(DbError::Parse(format!(
+                        "expected statement id after KILL, found {}",
+                        t.describe()
+                    )))
+                }
+            };
+            return Ok(Statement::Kill(id));
+        }
         if self.kw("update") {
             let table = self.ident()?;
             self.expect_kw("set")?;

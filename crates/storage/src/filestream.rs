@@ -47,6 +47,11 @@ pub const SEQUENTIAL_BUFFER: usize = 64 * 1024;
 /// How many times a failed BLOB read is retried before giving up.
 pub const READ_RETRIES: u32 = 3;
 
+/// How many times a failed BLOB write is retried before giving up. The
+/// import path (`insert` / `insert_from_file`) rebuilds the temp file
+/// from scratch on each attempt, so a retry never resumes a torn write.
+pub const WRITE_RETRIES: u32 = 3;
+
 /// Backoff before the first retry; doubles per attempt (1ms, 2ms, 4ms).
 const RETRY_BASE: Duration = Duration::from_millis(1);
 
@@ -57,6 +62,9 @@ pub struct FileStreamStore {
     /// Optional fault clock shared with the pager/WAL wrappers so tests
     /// can drive transient read errors through one seeded schedule.
     fault: Mutex<Option<Arc<FaultClock>>>,
+    /// Total transient-error retries burned by `write_atomic` across the
+    /// store's lifetime (observability for import-under-fault tests).
+    write_retries: AtomicU64,
 }
 
 impl FileStreamStore {
@@ -84,6 +92,7 @@ impl FileStreamStore {
             root,
             guid_seq: AtomicU64::new(blobs + 1),
             fault: Mutex::new(None),
+            write_retries: AtomicU64::new(0),
         })
     }
 
@@ -97,6 +106,11 @@ impl FileStreamStore {
     /// transient-error retry path.
     pub fn set_fault_clock(&self, clock: Option<Arc<FaultClock>>) {
         *self.fault.lock() = clock;
+    }
+
+    /// Total transient-error retries `write_atomic` has performed.
+    pub fn write_retries(&self) -> u64 {
+        self.write_retries.load(Ordering::Relaxed)
     }
 
     /// Generate a fresh GUID (`NEWID()`): time-seeded, process-unique,
@@ -137,6 +151,9 @@ impl FileStreamStore {
         let guid = self.new_guid();
         let mut src = File::open(source)?;
         self.write_atomic(guid, |f| {
+            // A retry restarts the copy on a fresh temp file; rewind the
+            // source so the blob is complete, not a tail.
+            src.seek(SeekFrom::Start(0))?;
             std::io::copy(&mut src, f)?;
             Ok(())
         })?;
@@ -146,20 +163,69 @@ impl FileStreamStore {
     /// Crash-safe blob creation: fill a `.tmp` file, sync it, atomically
     /// rename it to its final name and sync the directory. A crash at any
     /// point leaves either no blob or the complete blob, never a torn one.
-    fn write_atomic(&self, guid: u128, fill: impl FnOnce(&mut File) -> Result<()>) -> Result<()> {
+    ///
+    /// Like the read path, each attempt consults the attached fault clock
+    /// and transient I/O errors are retried up to [`WRITE_RETRIES`] times
+    /// with bounded exponential backoff. Every retry discards the temp
+    /// file and refills it from scratch, so the atomicity argument above
+    /// holds per attempt.
+    fn write_atomic(
+        &self,
+        guid: u128,
+        mut fill: impl FnMut(&mut File) -> Result<()>,
+    ) -> Result<()> {
         let tmp = self.root.join(format!("{}.tmp", Value::guid_string(guid)));
         let path = self.path(guid);
-        let mut f = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+        let fault = self.fault.lock().clone();
+        let mut attempt = 0u32;
+        loop {
+            match self.try_write_atomic(&tmp, &path, &fault, &mut fill) {
+                Ok(()) => return Ok(()),
+                Err(DbError::Io(msg)) => {
+                    let _ = fs::remove_file(&tmp);
+                    if attempt >= WRITE_RETRIES {
+                        return Err(DbError::Io(format!(
+                            "filestream write failed after {attempt} retries: {msg}"
+                        )));
+                    }
+                    std::thread::sleep(RETRY_BASE * (1 << attempt));
+                    attempt += 1;
+                    self.write_retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    let _ = fs::remove_file(&tmp);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One attempt of [`Self::write_atomic`]. The fault clock is consulted
+    /// twice — at write submission and at the durability point — so a
+    /// seeded schedule can fail an attempt either before any bytes land or
+    /// after the temp file is full, exercising the refill-from-scratch
+    /// retry path.
+    fn try_write_atomic(
+        &self,
+        tmp: &Path,
+        path: &Path,
+        fault: &Option<Arc<FaultClock>>,
+        fill: &mut impl FnMut(&mut File) -> Result<()>,
+    ) -> Result<()> {
+        if let Some(clock) = fault {
+            clock.inject_op()?;
+        }
+        let mut f = OpenOptions::new().write(true).create_new(true).open(tmp)?;
         let written = fill(&mut f).and_then(|()| {
+            if let Some(clock) = fault {
+                clock.inject_op()?;
+            }
             f.sync_data()?;
             Ok(())
         });
         drop(f);
-        if let Err(e) = written {
-            let _ = fs::remove_file(&tmp);
-            return Err(e);
-        }
-        fs::rename(&tmp, &path)?;
+        written?;
+        fs::rename(tmp, path)?;
         sync_dir(&self.root)?;
         Ok(())
     }
@@ -604,6 +670,95 @@ mod tests {
         s.set_fault_clock(None);
         let mut r = s.open_reader(guid, false).unwrap();
         assert_eq!(r.read_all().unwrap(), b"unreachable payload");
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn transient_write_errors_are_retried_to_success() {
+        use crate::fault::{FaultClock, FaultPlan};
+        let s = store("write-retry-ok");
+        // Every 4th operation fails. Each write attempt burns two ops
+        // (submission + durability), so the schedule hits both the
+        // before-any-bytes and the after-fill failure points across the
+        // inserts below, and every failure recovers within the retry
+        // budget.
+        s.set_fault_clock(Some(FaultClock::new(FaultPlan {
+            io_error_every: Some(4),
+            ..FaultPlan::none()
+        })));
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 211) as u8).collect();
+        let mut guids = Vec::new();
+        for _ in 0..6 {
+            guids.push(s.insert(&data).unwrap());
+        }
+        assert!(s.write_retries() > 0, "the schedule must have fired");
+        s.set_fault_clock(None);
+        for g in guids {
+            let mut r = s.open_reader(g, false).unwrap();
+            assert_eq!(r.read_all().unwrap(), data, "blob complete after retries");
+        }
+        let temps = fs::read_dir(s.root())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .count();
+        assert_eq!(temps, 0, "no temp files survive a retried insert");
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn import_from_file_rewinds_the_source_on_retry() {
+        use crate::fault::{FaultClock, FaultPlan};
+        let s = store("write-retry-rewind");
+        let src = s.root().join("source.fastq");
+        let payload: Vec<u8> = (0..120_000u32).map(|i| (i % 251) as u8).collect();
+        fs::write(&src, &payload).unwrap();
+        // Failures landing on the durability op leave a fully-copied temp
+        // file behind; the retry must rewind the source or the re-copy
+        // produces an empty blob. Each attempt burns two ops, so with a
+        // warm-up insert (ops 1-2) the import's first attempt fails on
+        // its durability op (op 4) — after the copy — and its retry
+        // (ops 5-6) succeeds.
+        s.set_fault_clock(Some(FaultClock::new(FaultPlan {
+            io_error_every: Some(4),
+            ..FaultPlan::none()
+        })));
+        s.insert(b"warm-up").unwrap();
+        let guid = s.insert_from_file(&src).unwrap();
+        assert!(s.write_retries() > 0, "the schedule must have fired");
+        s.set_fault_clock(None);
+        let mut r = s.open_reader(guid, true).unwrap();
+        assert_eq!(r.read_all().unwrap(), payload, "import not torn by retries");
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn persistent_write_errors_fail_cleanly() {
+        use crate::fault::{FaultClock, FaultPlan};
+        let s = store("write-retry-dead");
+        // Every operation fails: the device is effectively dead.
+        s.set_fault_clock(Some(FaultClock::new(FaultPlan {
+            io_error_every: Some(1),
+            ..FaultPlan::none()
+        })));
+        let err = s.insert(b"never lands").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("after {WRITE_RETRIES} retries")),
+            "error must carry the retry count: {msg}"
+        );
+        // A failed insert leaves nothing behind: no blob, no temp file.
+        let leftovers = fs::read_dir(s.root()).unwrap().count();
+        assert_eq!(leftovers, 0, "failed insert must not leave files");
+        // Detaching the clock restores normal service.
+        s.set_fault_clock(None);
+        let guid = s.insert(b"lands now").unwrap();
+        assert_eq!(s.len(guid).unwrap(), 9);
         fs::remove_dir_all(s.root()).unwrap();
     }
 

@@ -49,6 +49,11 @@ pub enum DbError {
     /// A query was cancelled (by the user or by a sibling worker that
     /// already failed) and noticed at the next cooperative check.
     Cancelled(String),
+    /// The admission controller could not grant the query a reservation
+    /// from the global memory pool within its bounded wait: the server is
+    /// saturated and the query was rejected *before* execution rather than
+    /// oversubscribing memory.
+    AdmissionTimeout(String),
     /// A user-defined function / table function / aggregate panicked. The
     /// panic was caught at the invocation boundary; only the invoking query
     /// fails. The payload is stringified because panic payloads are neither
@@ -80,6 +85,7 @@ impl fmt::Display for DbError {
             DbError::ResourceExhausted(m) => write!(f, "resource limit exceeded: {m}"),
             DbError::Timeout(m) => write!(f, "query timeout: {m}"),
             DbError::Cancelled(m) => write!(f, "query cancelled: {m}"),
+            DbError::AdmissionTimeout(m) => write!(f, "admission timeout: {m}"),
             DbError::UdxPanic { name, payload } => {
                 write!(f, "panic in user function {name}: {payload}")
             }
@@ -122,6 +128,8 @@ mod tests {
         assert!(e.to_string().contains("query timeout"));
         let e = DbError::Cancelled("cancelled by user".into());
         assert!(e.to_string().contains("query cancelled"));
+        let e = DbError::AdmissionTimeout("pool saturated for 100ms".into());
+        assert!(e.to_string().contains("admission timeout"));
     }
 
     #[test]

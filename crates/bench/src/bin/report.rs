@@ -11,7 +11,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use seqdb_bench::{dge_database, dge_dataset, fmt_dur, reseq_database, reseq_dataset, time};
+use seqdb_bench::{
+    dge_database, dge_dataset, fmt_dur, fmt_io, reseq_database, reseq_dataset, time,
+    write_bench_json, BenchEntry, IoSnapshot,
+};
 use seqdb_bio::fastq::{ChunkedFastqParser, IoChunkSource, SimpleFastqReader};
 use seqdb_core::baseline;
 use seqdb_core::queries;
@@ -377,6 +380,12 @@ fn fig9(factor: usize) -> Result<()> {
     db.set_max_dop(4);
     let plan = db.plan_sql(&queries::query1_sql(NORM))?;
     println!("{}", plan.explain());
+    println!("actual execution plan (EXPLAIN ANALYZE):");
+    let analyzed = db.query_sql(&format!("EXPLAIN ANALYZE {}", queries::query1_sql(NORM)))?;
+    for row in &analyzed.rows {
+        println!("{row}");
+    }
+    println!();
     Ok(())
 }
 
@@ -413,7 +422,9 @@ fn binning(factor: usize) -> Result<()> {
     assert_eq!(script_tags, interp_tags);
 
     db.set_max_dop(4);
+    let before = IoSnapshot::now(&db);
     let (sql_res, sql_time) = time(|| queries::run_query1(&db, NORM));
+    let sql_io = IoSnapshot::now(&db).delta_since(&before);
     let sql_res = sql_res?;
     queries::check_query1_against(&sql_res, &ds.unique_tags)?;
     assert_eq!(
@@ -449,7 +460,17 @@ fn binning(factor: usize) -> Result<()> {
         "  SQL vs interpreted script: {:.1}x (paper: Perl 10 min vs SQL 44 s = 13.6x on 4 cores;",
         interp_time.as_secs_f64() / sql_time.as_secs_f64().max(1e-9)
     );
-    println!("  this host has 1 core — see EXPERIMENTS.md for the compiled-script caveat)\n");
+    println!("  this host has 1 core — see EXPERIMENTS.md for the compiled-script caveat)");
+    println!("  SQL Query 1 I/O: {}\n", fmt_io(&sql_io));
+    let json = write_bench_json(
+        "binning",
+        &[BenchEntry {
+            name: "sql_query1".into(),
+            wall: sql_time,
+            io: sql_io,
+        }],
+    )?;
+    println!("  wrote {}\n", json.display());
     Ok(())
 }
 
@@ -475,17 +496,23 @@ fn consensus(factor: usize) -> Result<()> {
         n as f64 / join_time.as_secs_f64().max(1e-9) / 1e6
     );
 
+    let before = IoSnapshot::now(&db);
     let (pivot, pivot_time) = time(|| queries::run_query3_pivot(&db, NORM));
     let pivot = pivot?;
+    let pivot_io = IoSnapshot::now(&db).delta_since(&before);
 
     db.temp().reset_counters();
+    let before = IoSnapshot::now(&db);
     let (sorted, sorted_time) = time(|| queries::run_query3_pivot_sorted(&db, NORM));
     let sorted = sorted?;
+    let sorted_io = IoSnapshot::now(&db).delta_since(&before);
     let spill = db.temp().bytes_written();
     let spills = db.temp().spill_count();
 
+    let before = IoSnapshot::now(&db);
     let (sliding, sliding_time) = time(|| queries::run_query3_sliding(&db, NORM));
     let sliding = sliding?;
+    let sliding_io = IoSnapshot::now(&db).delta_since(&before);
     assert_eq!(pivot, sliding, "plans must agree");
     assert_eq!(sorted, sliding, "plans must agree");
 
@@ -510,10 +537,34 @@ fn consensus(factor: usize) -> Result<()> {
         fmt_dur(sliding_time)
     );
     println!(
-        "  consensus sequences: {} chromosomes, e.g. chr{} length {}\n",
+        "  consensus sequences: {} chromosomes, e.g. chr{} length {}",
         sliding.len(),
         sliding[0].0 + 1,
         sliding[0].1.len()
     );
+    println!("  I/O (pivot+hash)    : {}", fmt_io(&pivot_io));
+    println!("  I/O (pivot+sort)    : {}", fmt_io(&sorted_io));
+    println!("  I/O (sliding window): {}", fmt_io(&sliding_io));
+    let json = write_bench_json(
+        "consensus",
+        &[
+            BenchEntry {
+                name: "pivot_hash".into(),
+                wall: pivot_time,
+                io: pivot_io,
+            },
+            BenchEntry {
+                name: "pivot_sort".into(),
+                wall: sorted_time,
+                io: sorted_io,
+            },
+            BenchEntry {
+                name: "sliding_window".into(),
+                wall: sliding_time,
+                io: sliding_io,
+            },
+        ],
+    )?;
+    println!("  wrote {}\n", json.display());
     Ok(())
 }

@@ -12,10 +12,12 @@ use seqdb_storage::{BufferPool, FilePager, FileStreamStore, MemPager, TempSpace,
 use seqdb_types::{Result, Row, Schema};
 
 use crate::catalog::{Catalog, Table};
+use crate::dmv::{DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn};
 use crate::exec::ExecContext;
 use crate::governor::QueryGovernor;
 use crate::plan::{Plan, QueryResult};
 use crate::session::{AdmissionController, DmExecRequestsFn, Session, StatementRegistry};
+use crate::stats::QueryStatsHistory;
 
 /// Tunables, adjustable at run time (the analogue of `sp_configure`).
 #[derive(Debug, Clone)]
@@ -68,6 +70,7 @@ pub struct Database {
     config: RwLock<DbConfig>,
     statements: Arc<StatementRegistry>,
     admission: Arc<AdmissionController>,
+    query_stats: Arc<QueryStatsHistory>,
     session_seq: AtomicU64,
 }
 
@@ -121,18 +124,29 @@ impl Database {
             store: filestream.clone(),
         }));
         // The DMV surface: DM_EXEC_REQUESTS() lists running statements
-        // straight out of the registry, so KILL targets are discoverable
-        // from SQL.
+        // straight out of the registry (so KILL targets are discoverable
+        // from SQL), DM_OS_PERFORMANCE_COUNTERS()/DM_OS_WAIT_STATS()
+        // render the counter registries, and DM_EXEC_QUERY_STATS() the
+        // bounded statement history.
         let statements = StatementRegistry::new();
+        let query_stats = QueryStatsHistory::new(QueryStatsHistory::DEFAULT_CAPACITY);
+        let temp = TempSpace::open(base.join("tempdb"))?;
         catalog.register_table_fn(Arc::new(DmExecRequestsFn::new(statements.clone())));
+        catalog.register_table_fn(Arc::new(DmOsPerformanceCountersFn::new(
+            pool.clone(),
+            temp.clone(),
+        )));
+        catalog.register_table_fn(Arc::new(DmOsWaitStatsFn));
+        catalog.register_table_fn(Arc::new(DmExecQueryStatsFn::new(query_stats.clone())));
         Ok(Arc::new(Database {
             pool,
             catalog,
             filestream,
-            temp: TempSpace::open(base.join("tempdb"))?,
+            temp,
             config: RwLock::new(DbConfig::default()),
             statements,
             admission: AdmissionController::new(),
+            query_stats,
             session_seq: AtomicU64::new(1),
         }))
     }
@@ -155,6 +169,11 @@ impl Database {
     /// The global admission gate governed session statements pass through.
     pub fn admission(&self) -> &Arc<AdmissionController> {
         &self.admission
+    }
+
+    /// The bounded statement history behind `DM_EXEC_QUERY_STATS()`.
+    pub fn query_stats(&self) -> &Arc<QueryStatsHistory> {
+        &self.query_stats
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -227,6 +246,8 @@ impl Database {
             dop: cfg.max_dop,
             sort_budget: cfg.sort_budget,
             gov,
+            stats: None,
+            node: None,
         }
     }
 

@@ -14,6 +14,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use seqdb_storage::tempspace::{SpillReader, SpillWriter, TempSpace};
+use seqdb_storage::SpillTally;
 use seqdb_types::{DbError, Result, Row, Value};
 
 use crate::exec::rowser;
@@ -222,6 +223,8 @@ pub(crate) struct OutputBuffer {
     rows: Vec<Row>,
     charge: MemCharge,
     temp: Arc<TempSpace>,
+    /// Spill attribution sinks of the owning context (query + operator).
+    tallies: Vec<Arc<SpillTally>>,
     spill: Option<SpillWriter>,
     total: usize,
     // Phase budgeting: the buffer takes at most a quarter of the query
@@ -237,6 +240,7 @@ impl OutputBuffer {
             rows: Vec::new(),
             charge: MemCharge::new(ctx.gov.clone()),
             temp: ctx.temp.clone(),
+            tallies: ctx.spill_tallies(),
             spill: None,
             total: 0,
             cap: ctx.gov.mem_limit().map(|l| l / 4),
@@ -254,7 +258,7 @@ impl OutputBuffer {
             return Ok(());
         }
         if self.spill.is_none() {
-            self.spill = Some(self.temp.create_spill()?);
+            self.spill = Some(self.temp.create_spill_tallied(self.tallies.clone())?);
         }
         match self.spill.as_mut() {
             Some(writer) => write_spill_row(writer, &row),
@@ -408,6 +412,7 @@ pub(crate) fn aggregate_level(
         aggs,
         &mut charge,
         &ctx.temp,
+        &ctx.spill_tallies(),
         Some(&ctx.gov),
         None,
         depth,
@@ -451,6 +456,7 @@ pub(crate) fn aggregate_partial_spilling(
     aggs: &[AggSpec],
     charge: &mut MemCharge,
     temp: &Arc<TempSpace>,
+    tallies: &[Arc<SpillTally>],
     gov: Option<&Arc<QueryGovernor>>,
     cap: Option<usize>,
     depth: u32,
@@ -491,7 +497,7 @@ pub(crate) fn aggregate_partial_spilling(
             spilling = true;
             let p = partition_of(&key, depth);
             if partitions[p].is_none() {
-                partitions[p] = Some(temp.create_spill()?);
+                partitions[p] = Some(temp.create_spill_tallied(tallies.to_vec())?);
             }
             if let Some(writer) = partitions[p].as_mut() {
                 write_spill_row(writer, &row)?;

@@ -18,10 +18,12 @@ use std::sync::Arc;
 
 use seqdb_types::{Result, Row};
 
-use seqdb_storage::{FileStreamStore, TempSpace};
+use seqdb_storage::tempspace::SpillWriter;
+use seqdb_storage::{FileStreamStore, SpillTally, TempSpace};
 
 use crate::catalog::Catalog;
 use crate::governor::QueryGovernor;
+use crate::stats::{ExecStats, NodeStats};
 
 /// Everything an operator needs at run time.
 #[derive(Clone)]
@@ -37,11 +39,37 @@ pub struct ExecContext {
     /// Fresh for every query; clone the `Arc` to cancel from another
     /// thread.
     pub gov: Arc<QueryGovernor>,
+    /// Actual-execution collector (`EXPLAIN ANALYZE`); `None` for plain
+    /// runs, which then pay nothing per row.
+    pub stats: Option<Arc<ExecStats>>,
+    /// The stats slot of the plan node this context was captured by.
+    /// `Plan::open` sets it per node before building the node's iterator,
+    /// so spills created through [`ExecContext::create_spill`] attribute
+    /// to the operator that caused them.
+    pub node: Option<Arc<NodeStats>>,
 }
 
 impl ExecContext {
     /// Default memory budget for blocking operators: 64 MiB.
     pub const DEFAULT_SORT_BUDGET: usize = 64 * 1024 * 1024;
+
+    /// The spill tallies every spill of this context should feed: the
+    /// query-wide tally on the governor plus, when collecting actuals,
+    /// the current plan node's tally.
+    pub fn spill_tallies(&self) -> Vec<Arc<SpillTally>> {
+        let mut tallies = vec![Arc::clone(self.gov.spill_tally())];
+        if let Some(node) = &self.node {
+            tallies.push(Arc::clone(&node.spill));
+        }
+        tallies
+    }
+
+    /// Create a spill file attributed to this query (and, under
+    /// `EXPLAIN ANALYZE`, to the current operator). All operator spill
+    /// paths go through here rather than `TempSpace::create_spill`.
+    pub fn create_spill(&self) -> Result<SpillWriter> {
+        self.temp.create_spill_tallied(self.spill_tallies())
+    }
 }
 
 /// A pull-based row stream.
@@ -107,6 +135,8 @@ pub(crate) mod testutil {
             dop: 2,
             sort_budget: ExecContext::DEFAULT_SORT_BUDGET,
             gov: QueryGovernor::unlimited(),
+            stats: None,
+            node: None,
         }
     }
 

@@ -117,7 +117,7 @@ fn spill_run(
     buffer: &mut Vec<(Vec<Value>, Row)>,
 ) -> Result<SpillReader> {
     buffer.sort_by(|a, b| compare_keys(keys, &a.0, &b.0));
-    let mut writer = ctx.temp.create_spill()?;
+    let mut writer = ctx.create_spill()?;
     let mut scratch = Vec::new();
     for (kv, row) in buffer.drain(..) {
         scratch.clear();

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use seqdb_storage::SpillTally;
 use seqdb_types::{DbError, Result, Row};
 
 use crate::exec::{BoxedIter, RowIterator};
@@ -37,6 +38,11 @@ pub struct QueryGovernor {
     /// Memory budget in bytes; `usize::MAX` means unlimited.
     mem_limit: usize,
     mem_used: AtomicUsize,
+    /// High-water mark of `mem_used` over the query's lifetime.
+    mem_peak: AtomicUsize,
+    /// Spill traffic attributed to this query (every spill file the query
+    /// creates, across all operators and parallel workers).
+    spill: Arc<SpillTally>,
 }
 
 impl QueryGovernor {
@@ -52,6 +58,8 @@ impl QueryGovernor {
             timeout,
             mem_limit: mem_limit.unwrap_or(usize::MAX),
             mem_used: AtomicUsize::new(0),
+            mem_peak: AtomicUsize::new(0),
+            spill: Arc::new(SpillTally::default()),
         })
     }
 
@@ -84,12 +92,16 @@ impl QueryGovernor {
         self.check()?;
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
-                let _ = self.state.compare_exchange(
-                    RUNNING,
-                    TIMED_OUT,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                );
+                if self
+                    .state
+                    .compare_exchange(RUNNING, TIMED_OUT, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // First transition only: one timed-out query, one count.
+                    crate::stats::engine_counters()
+                        .timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 return Err(self.timeout_error());
             }
         }
@@ -110,6 +122,7 @@ impl QueryGovernor {
             self.mem_used.fetch_sub(bytes, Ordering::Relaxed);
             false
         } else {
+            self.mem_peak.fetch_max(prev + bytes, Ordering::Relaxed);
             true
         }
     }
@@ -141,6 +154,17 @@ impl QueryGovernor {
 
     pub fn mem_limit(&self) -> Option<usize> {
         (self.mem_limit != usize::MAX).then_some(self.mem_limit)
+    }
+
+    /// Highest concurrent memory charge the query ever held.
+    pub fn mem_peak(&self) -> usize {
+        self.mem_peak.load(Ordering::Relaxed)
+    }
+
+    /// The query-wide spill tally; attach it to every spill this query
+    /// creates (see `ExecContext::create_spill`).
+    pub fn spill_tally(&self) -> &Arc<SpillTally> {
+        &self.spill
     }
 }
 

@@ -27,16 +27,19 @@
 pub mod builtins;
 pub mod catalog;
 pub mod database;
+pub mod dmv;
 pub mod exec;
 pub mod expr;
 pub mod governor;
 pub mod parallel;
 pub mod plan;
 pub mod session;
+pub mod stats;
 pub mod udx;
 
 pub use catalog::{Catalog, Table, TableIndex};
 pub use database::{Database, DbConfig};
+pub use dmv::{DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn};
 pub use exec::{BoxedIter, ExecContext, RowIterator};
 pub use expr::{BinOp, Expr};
 pub use governor::{GovernedIter, MemCharge, QueryGovernor};
@@ -44,5 +47,9 @@ pub use plan::{Plan, QueryResult};
 pub use session::{
     AdmissionController, RunningStatement, Session, SessionSettings, StatementGuard,
     StatementRegistry,
+};
+pub use stats::{
+    engine_counters, EngineCounters, ExecStats, NodeStats, QueryStatsHistory, QueryStatsRecord,
+    StatementOutcome, StatsIter,
 };
 pub use udx::{AggState, Aggregate, ScalarUdf, TableFunction, TvfCursor};

@@ -118,6 +118,7 @@ impl ParallelAggIter {
                 let aggs = self.aggs.clone();
                 let gov = gov.clone();
                 let temp = temp.clone();
+                let tallies = self.ctx.spill_tallies();
                 handles.push(scope.spawn(move || {
                     let start = Instant::now();
                     let mut scan = CountingIter {
@@ -144,6 +145,7 @@ impl ParallelAggIter {
                         &aggs,
                         &mut charge,
                         &temp,
+                        &tallies,
                         Some(&gov),
                         cap,
                         0,

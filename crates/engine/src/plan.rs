@@ -18,6 +18,7 @@ use crate::exec::{BoxedIter, ExecContext, ValuesIter};
 use crate::expr::Expr;
 use crate::governor::GovernedIter;
 use crate::parallel::ParallelAggIter;
+use crate::stats::StatsIter;
 use crate::udx::TableFunction;
 
 /// A physical query plan node.
@@ -158,7 +159,18 @@ impl Plan {
     /// wrapped in a [`GovernedIter`], so cancellation/timeout checks run
     /// between rows at every operator boundary — including inside
     /// blocking operators, which drain their (wrapped) children.
+    ///
+    /// When the context carries an [`crate::stats::ExecStats`] collector
+    /// (`EXPLAIN ANALYZE`), each node additionally registers a stats slot
+    /// — in pre-order, before recursing into children, so slot *i* lines
+    /// up with the *i*-th operator header of [`Plan::explain`] — and is
+    /// wrapped in a [`StatsIter`]. The slot is shared via `Arc` with the
+    /// collector, so actuals survive an early pipeline drop.
     pub fn open(&self, ctx: &ExecContext) -> Result<BoxedIter> {
+        let mut local = ctx.clone();
+        let slot = local.stats.as_ref().map(|s| s.register(self.label()));
+        local.node = slot.clone();
+        let ctx = &local;
         let node: BoxedIter = match self {
             Plan::TableScan {
                 table,
@@ -287,7 +299,60 @@ impl Plan {
                 }
             }
         };
-        Ok(Box::new(GovernedIter::new(node, ctx.gov.clone())))
+        let governed: BoxedIter = Box::new(GovernedIter::new(node, ctx.gov.clone()));
+        Ok(match slot {
+            Some(slot) => Box::new(StatsIter::new(governed, slot, ctx.gov.clone())),
+            None => governed,
+        })
+    }
+
+    /// Short operator name (the head of the `EXPLAIN` header line), used
+    /// to label stats slots.
+    fn label(&self) -> &'static str {
+        match self {
+            Plan::TableScan { .. } => "Table Scan",
+            Plan::IndexScan { .. } => "Clustered Index Scan",
+            Plan::TvfScan { .. } => "Table Valued Function",
+            Plan::Values { .. } => "Constant Scan",
+            Plan::Filter { .. } => "Filter",
+            Plan::Project { .. } => "Compute Scalar",
+            Plan::Sort { .. } => "Sort",
+            Plan::TopN { .. } => "Top N Sort",
+            Plan::Limit { .. } => "Top",
+            Plan::HashAggregate { .. } => "Hash Match (Aggregate)",
+            Plan::StreamAggregate { .. } => "Stream Aggregate",
+            Plan::ParallelAggregate { .. } => "Parallelism (Gather Streams)",
+            Plan::HashJoin { .. } => "Hash Match (Inner Join)",
+            Plan::MergeJoin { .. } => "Merge Join",
+            Plan::CrossApply { .. } => "Nested Loops (Cross Apply)",
+            Plan::RowNumber { .. } => "Sequence Project",
+        }
+    }
+
+    /// Cardinality estimate for this node, `None` when unknown. The
+    /// estimator is deliberately simple — enough for `EXPLAIN ANALYZE`
+    /// to show actual-vs-estimated drift, not a costing model.
+    pub fn estimate_rows(&self) -> Option<u64> {
+        match self {
+            // No selectivity model: a (possibly filtered) scan estimates
+            // its full input, which is exactly the kind of drift
+            // actual-vs-estimated output is meant to expose.
+            Plan::TableScan { table, .. } | Plan::IndexScan { table, .. } => {
+                Some(table.row_count())
+            }
+            Plan::ParallelAggregate { .. } => None,
+            Plan::TvfScan { .. } => None,
+            Plan::Values { rows, .. } => Some(rows.len() as u64),
+            Plan::Filter { input, .. } => input.estimate_rows(),
+            Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::RowNumber { input, .. } => input.estimate_rows(),
+            Plan::TopN { input, n, .. } | Plan::Limit { input, n } => {
+                Some(input.estimate_rows().map_or(*n, |e| e.min(*n)))
+            }
+            Plan::HashAggregate { .. } | Plan::StreamAggregate { .. } => None,
+            Plan::HashJoin { .. } | Plan::MergeJoin { .. } | Plan::CrossApply { .. } => None,
+        }
     }
 
     /// Execute to completion and collect the rows.
@@ -299,11 +364,38 @@ impl Plan {
     /// reproduce Figures 9 and 10).
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0);
+        self.explain_into(&mut out, 0, &mut Annotations::none());
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
+    /// Render the plan tree annotated with the actuals a run collected —
+    /// the `EXPLAIN ANALYZE` / "actual execution plan" output. `stats`
+    /// must come from opening *this* plan with the collector attached;
+    /// slots pair with operator headers in pre-order.
+    pub fn explain_analyze(&self, stats: &crate::stats::ExecStats) -> String {
+        let nodes = stats.nodes();
+        let mut ann = Annotations {
+            nodes: &nodes,
+            next: 0,
+        };
+        let mut out = String::new();
+        self.explain_into(&mut out, 0, &mut ann);
+        out
+    }
+
+    /// Terminate an operator header line: append the node's actuals when
+    /// rendering an analyzed plan, then the newline. Every variant calls
+    /// this exactly once (on its first line), keeping the rendering and
+    /// the pre-order slot registration of [`Plan::open`] in lockstep.
+    fn end_header(&self, out: &mut String, ann: &mut Annotations) {
+        if let Some(node) = ann.nodes.get(ann.next) {
+            ann.next += 1;
+            out.push_str(&node.annotation(self.estimate_rows()));
+        }
+        out.push('\n');
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize, ann: &mut Annotations) {
         let pad = "  ".repeat(depth);
         match self {
             Plan::TableScan { table, filter, .. } => {
@@ -311,7 +403,7 @@ impl Plan {
                 if let Some(f) = filter {
                     out.push_str(&format!(" WHERE {f}"));
                 }
-                out.push('\n');
+                self.end_header(out, ann);
             }
             Plan::IndexScan {
                 table,
@@ -331,39 +423,46 @@ impl Plan {
                 if let Some(f) = filter {
                     out.push_str(&format!(" WHERE {f}"));
                 }
-                out.push('\n');
+                self.end_header(out, ann);
             }
             Plan::TvfScan { tvf, args } => {
                 let a: Vec<String> = args.iter().map(|v| v.to_string()).collect();
                 out.push_str(&format!(
-                    "{pad}Table Valued Function [{}({})] (streaming)\n",
+                    "{pad}Table Valued Function [{}({})] (streaming)",
                     tvf.name(),
                     a.join(", ")
                 ));
+                self.end_header(out, ann);
             }
             Plan::Values { rows, .. } => {
-                out.push_str(&format!("{pad}Constant Scan ({} rows)\n", rows.len()));
+                out.push_str(&format!("{pad}Constant Scan ({} rows)", rows.len()));
+                self.end_header(out, ann);
             }
             Plan::Filter { input, predicate } => {
-                out.push_str(&format!("{pad}Filter [{predicate}]\n"));
-                input.explain_into(out, depth + 1);
+                out.push_str(&format!("{pad}Filter [{predicate}]"));
+                self.end_header(out, ann);
+                input.explain_into(out, depth + 1, ann);
             }
             Plan::Project { input, exprs, .. } => {
                 let e: Vec<String> = exprs.iter().map(|x| x.to_string()).collect();
-                out.push_str(&format!("{pad}Compute Scalar [{}]\n", e.join(", ")));
-                input.explain_into(out, depth + 1);
+                out.push_str(&format!("{pad}Compute Scalar [{}]", e.join(", ")));
+                self.end_header(out, ann);
+                input.explain_into(out, depth + 1, ann);
             }
             Plan::Sort { input, keys } => {
-                out.push_str(&format!("{pad}Sort [{}]\n", fmt_keys(keys)));
-                input.explain_into(out, depth + 1);
+                out.push_str(&format!("{pad}Sort [{}]", fmt_keys(keys)));
+                self.end_header(out, ann);
+                input.explain_into(out, depth + 1, ann);
             }
             Plan::TopN { input, keys, n } => {
-                out.push_str(&format!("{pad}Top N Sort [TOP {n}, {}]\n", fmt_keys(keys)));
-                input.explain_into(out, depth + 1);
+                out.push_str(&format!("{pad}Top N Sort [TOP {n}, {}]", fmt_keys(keys)));
+                self.end_header(out, ann);
+                input.explain_into(out, depth + 1, ann);
             }
             Plan::Limit { input, n } => {
-                out.push_str(&format!("{pad}Top [TOP {n}]\n"));
-                input.explain_into(out, depth + 1);
+                out.push_str(&format!("{pad}Top [TOP {n}]"));
+                self.end_header(out, ann);
+                input.explain_into(out, depth + 1, ann);
             }
             Plan::HashAggregate {
                 input,
@@ -372,11 +471,12 @@ impl Plan {
                 ..
             } => {
                 out.push_str(&format!(
-                    "{pad}Hash Match (Aggregate) [GROUP BY {}; {}]\n",
+                    "{pad}Hash Match (Aggregate) [GROUP BY {}; {}]",
                     fmt_exprs(group_exprs),
                     fmt_aggs(aggs)
                 ));
-                input.explain_into(out, depth + 1);
+                self.end_header(out, ann);
+                input.explain_into(out, depth + 1, ann);
             }
             Plan::StreamAggregate {
                 input,
@@ -385,11 +485,12 @@ impl Plan {
                 ..
             } => {
                 out.push_str(&format!(
-                    "{pad}Stream Aggregate [GROUP BY {}; {}] (non-blocking)\n",
+                    "{pad}Stream Aggregate [GROUP BY {}; {}] (non-blocking)",
                     fmt_exprs(group_exprs),
                     fmt_aggs(aggs)
                 ));
-                input.explain_into(out, depth + 1);
+                self.end_header(out, ann);
+                input.explain_into(out, depth + 1, ann);
             }
             Plan::ParallelAggregate {
                 table,
@@ -399,8 +500,11 @@ impl Plan {
                 dop,
                 ..
             } => {
-                // Printed as the exchange stack of Figure 9.
-                out.push_str(&format!("{pad}Parallelism (Gather Streams) [DOP={dop}]\n"));
+                // Printed as the exchange stack of Figure 9. One plan node
+                // executes the whole stack, so the actuals annotate the
+                // Gather line only.
+                out.push_str(&format!("{pad}Parallelism (Gather Streams) [DOP={dop}]"));
+                self.end_header(out, ann);
                 let pad1 = "  ".repeat(depth + 1);
                 out.push_str(&format!(
                     "{pad1}Hash Match (Aggregate, final) [GROUP BY {}; {}]\n",
@@ -432,12 +536,13 @@ impl Plan {
                 ..
             } => {
                 out.push_str(&format!(
-                    "{pad}Hash Match (Inner Join) [{} = {}]\n",
+                    "{pad}Hash Match (Inner Join) [{} = {}]",
                     fmt_exprs(build_keys),
                     fmt_exprs(probe_keys)
                 ));
-                build.explain_into(out, depth + 1);
-                probe.explain_into(out, depth + 1);
+                self.end_header(out, ann);
+                build.explain_into(out, depth + 1, ann);
+                probe.explain_into(out, depth + 1, ann);
             }
             Plan::MergeJoin {
                 left,
@@ -449,48 +554,69 @@ impl Plan {
             } => {
                 if *dop_hint > 1 {
                     out.push_str(&format!(
-                        "{pad}Parallelism (Gather Streams) [DOP={dop_hint}]\n"
+                        "{pad}Parallelism (Gather Streams) [DOP={dop_hint}]"
                     ));
+                    self.end_header(out, ann);
                     let pad1 = "  ".repeat(depth + 1);
                     out.push_str(&format!(
                         "{pad1}Merge Join (Inner Join) [{} = {}] (parallel, key-range partitioned)\n",
                         fmt_exprs(left_keys),
                         fmt_exprs(right_keys)
                     ));
-                    left.explain_into(out, depth + 2);
-                    right.explain_into(out, depth + 2);
+                    left.explain_into(out, depth + 2, ann);
+                    right.explain_into(out, depth + 2, ann);
                 } else {
                     out.push_str(&format!(
-                        "{pad}Merge Join (Inner Join) [{} = {}]\n",
+                        "{pad}Merge Join (Inner Join) [{} = {}]",
                         fmt_exprs(left_keys),
                         fmt_exprs(right_keys)
                     ));
-                    left.explain_into(out, depth + 1);
-                    right.explain_into(out, depth + 1);
+                    self.end_header(out, ann);
+                    left.explain_into(out, depth + 1, ann);
+                    right.explain_into(out, depth + 1, ann);
                 }
             }
             Plan::CrossApply {
                 input, tvf, args, ..
             } => {
                 out.push_str(&format!(
-                    "{pad}Nested Loops (Cross Apply) [{}({})]\n",
+                    "{pad}Nested Loops (Cross Apply) [{}({})]",
                     tvf.name(),
                     fmt_exprs(args)
                 ));
-                input.explain_into(out, depth + 1);
+                self.end_header(out, ann);
+                input.explain_into(out, depth + 1, ann);
             }
             Plan::RowNumber {
                 input, order_cols, ..
             } => {
                 if order_cols.is_empty() {
-                    out.push_str(&format!("{pad}Sequence Project [ROW_NUMBER()]\n"));
+                    out.push_str(&format!("{pad}Sequence Project [ROW_NUMBER()]"));
                 } else {
                     out.push_str(&format!(
-                        "{pad}Sequence Project [ROW_NUMBER(), peer frames over ordered input]\n"
+                        "{pad}Sequence Project [ROW_NUMBER(), peer frames over ordered input]"
                     ));
                 }
-                input.explain_into(out, depth + 1);
+                self.end_header(out, ann);
+                input.explain_into(out, depth + 1, ann);
             }
+        }
+    }
+}
+
+/// Cursor pairing `EXPLAIN` operator headers with the pre-order stats
+/// slots an analyzed run registered. With no slots (plain `EXPLAIN`)
+/// every lookup misses and the rendering is unchanged.
+struct Annotations<'a> {
+    nodes: &'a [Arc<crate::stats::NodeStats>],
+    next: usize,
+}
+
+impl Annotations<'_> {
+    fn none() -> Annotations<'static> {
+        Annotations {
+            nodes: &[],
+            next: 0,
         }
     }
 }

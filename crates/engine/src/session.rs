@@ -28,11 +28,13 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use seqdb_storage::{waits, WaitClass};
 use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
 
 use crate::database::{Database, DbConfig};
 use crate::exec::ExecContext;
 use crate::governor::QueryGovernor;
+use crate::stats::{engine_counters, QueryStatsHistory, StatementOutcome};
 use crate::udx::{TableFunction, TvfCursor};
 
 // ---------------------------------------------------------------------
@@ -120,14 +122,34 @@ impl Session {
     pub fn begin_statement(&self, sql: &str) -> Result<(ExecContext, StatementGuard)> {
         let cfg = self.effective_config();
         let budget = cfg.query_mem_limit_kb.map(|kb| kb as usize * 1024);
+        let gov = QueryGovernor::new(cfg.query_timeout_ms.map(Duration::from_millis), budget);
+        let registry = self.db.statements().clone();
+        // Register *before* admission: a statement waiting at the gate is
+        // already visible in DM_EXEC_REQUESTS() with wait_state 'queued',
+        // which is how an operator tells a stuck query from a slow one.
+        let statement_id = registry.register(self.id, sql, gov.clone());
+        let mut guard = StatementGuard {
+            registry,
+            statement_id,
+            slot: None,
+            history: self.db.query_stats().clone(),
+            sql: sql.to_string(),
+            started: Instant::now(),
+            gov: gov.clone(),
+            rows: 0,
+            record: false,
+        };
+        // On admission failure the guard's drop deregisters the queued
+        // statement; `record` is still false, so a statement that never
+        // ran leaves no history entry.
         let slot = self.db.admission().admit(
             budget.unwrap_or(0),
             cfg.admission_pool_kb.map(|kb| kb as usize * 1024),
             Duration::from_millis(cfg.admission_wait_ms),
         )?;
-        let gov = QueryGovernor::new(cfg.query_timeout_ms.map(Duration::from_millis), budget);
-        let registry = self.db.statements().clone();
-        let statement_id = registry.register(self.id, sql, gov.clone());
+        guard.registry.mark_admitted(statement_id);
+        guard.slot = Some(slot);
+        guard.record = true;
         let ctx = ExecContext {
             catalog: self.db.catalog().clone(),
             filestream: self.db.filestream().clone(),
@@ -135,35 +157,65 @@ impl Session {
             dop: cfg.max_dop,
             sort_budget: cfg.sort_budget,
             gov,
+            stats: None,
+            node: None,
         };
-        Ok((
-            ctx,
-            StatementGuard {
-                registry,
-                statement_id,
-                _slot: slot,
-            },
-        ))
+        Ok((ctx, guard))
     }
 }
 
-/// RAII handle for one running statement: deregisters it and returns its
-/// admission reservation to the global pool on drop.
+/// RAII handle for one running statement: on drop it deregisters the
+/// statement, folds its outcome into the query-stats history, and
+/// returns the admission reservation to the global pool.
+///
+/// Recording happens in `drop` — not on a success path — so a statement
+/// cancelled, killed or panicked mid-stream still lands in
+/// `DM_EXEC_QUERY_STATS()` with the rows/spills/peak-memory it produced
+/// before dying (its per-operator `NodeStats` are likewise `Arc`-shared
+/// and lose nothing to the early pipeline drop).
 pub struct StatementGuard {
     registry: Arc<StatementRegistry>,
     statement_id: i64,
-    _slot: AdmissionSlot,
+    slot: Option<AdmissionSlot>,
+    history: Arc<QueryStatsHistory>,
+    sql: String,
+    started: Instant,
+    gov: Arc<QueryGovernor>,
+    rows: u64,
+    /// Only statements that were actually admitted are recorded.
+    record: bool,
 }
 
 impl StatementGuard {
     pub fn statement_id(&self) -> i64 {
         self.statement_id
     }
+
+    /// Rows the statement returned to the client; the caller sets this
+    /// after draining the result so the history entry is accurate.
+    pub fn set_rows(&mut self, rows: u64) {
+        self.rows = rows;
+    }
 }
 
 impl Drop for StatementGuard {
     fn drop(&mut self) {
         self.registry.deregister(self.statement_id);
+        if self.record {
+            let spill = self.gov.spill_tally();
+            self.history.record(
+                &self.sql,
+                &StatementOutcome {
+                    rows: self.rows,
+                    elapsed: self.started.elapsed(),
+                    spill_files: spill.files(),
+                    spill_bytes: spill.bytes(),
+                    peak_mem_bytes: self.gov.mem_peak() as u64,
+                },
+            );
+        }
+        // `slot` drops here, releasing the admission reservation.
+        let _ = self.slot.take();
     }
 }
 
@@ -177,6 +229,9 @@ struct StatementInfo {
     sql: String,
     started: Instant,
     gov: Arc<QueryGovernor>,
+    /// Still waiting at the admission gate (registration happens before
+    /// admission so queued statements are visible).
+    queued: bool,
 }
 
 /// A point-in-time view of one running statement, as surfaced by
@@ -189,6 +244,27 @@ pub struct RunningStatement {
     pub elapsed: Duration,
     pub mem_used: usize,
     pub aborted: bool,
+    pub queued: bool,
+    /// Spill files this statement has created so far.
+    pub spill_files: u64,
+}
+
+impl RunningStatement {
+    /// The statement's `wait_state` as surfaced by `DM_EXEC_REQUESTS()`:
+    /// `queued` (at the admission gate), `cancelled` (kill/timeout
+    /// requested, statement still unwinding), `spilling` (has spilled at
+    /// least once), else `running`.
+    pub fn wait_state(&self) -> &'static str {
+        if self.queued {
+            "queued"
+        } else if self.aborted {
+            "cancelled"
+        } else if self.spill_files > 0 {
+            "spilling"
+        } else {
+            "running"
+        }
+    }
 }
 
 /// Registry of running statements, shared by every session of a
@@ -217,9 +293,17 @@ impl StatementRegistry {
                 sql: sql.to_string(),
                 started: Instant::now(),
                 gov,
+                queued: true,
             },
         );
         id
+    }
+
+    /// The statement cleared the admission gate and is now executing.
+    fn mark_admitted(&self, id: i64) {
+        if let Some(info) = self.running.lock().get_mut(&id) {
+            info.queued = false;
+        }
     }
 
     fn deregister(&self, id: i64) {
@@ -235,6 +319,7 @@ impl StatementRegistry {
         match running.get(&id) {
             Some(info) => {
                 info.gov.cancel();
+                engine_counters().kills.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             None => Err(DbError::NotFound(format!("running statement {id}"))),
@@ -253,6 +338,8 @@ impl StatementRegistry {
                 elapsed: info.started.elapsed(),
                 mem_used: info.gov.mem_used(),
                 aborted: info.gov.is_aborted(),
+                queued: info.queued,
+                spill_files: info.gov.spill_tally().files(),
             })
             .collect();
         v.sort_by_key(|s| s.statement_id);
@@ -326,22 +413,39 @@ impl AdmissionController {
         }
         let deadline = Instant::now() + wait;
         let mut state = self.state.lock().map_err(poisoned)?;
-        while state.in_use + bytes > limit {
+        // Blocked time at the gate is an ADMISSION wait — counted once
+        // per statement that had to wait at all, and timed whether the
+        // statement eventually got in or timed out.
+        let mut wait_start: Option<Instant> = None;
+        let outcome = loop {
+            if state.in_use + bytes <= limit {
+                break Ok(());
+            }
             let now = Instant::now();
             if now >= deadline {
-                return Err(DbError::AdmissionTimeout(format!(
+                break Err(DbError::AdmissionTimeout(format!(
                     "admission pool saturated ({} of {limit} bytes reserved); \
                      gave up after {}ms",
                     state.in_use,
                     wait.as_millis()
                 )));
             }
+            if wait_start.is_none() {
+                wait_start = Some(now);
+                engine_counters()
+                    .admission_waits
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             let (guard, _timeout) = self
                 .freed
                 .wait_timeout(state, deadline - now)
                 .map_err(|_| DbError::Execution("admission pool lock poisoned".into()))?;
             state = guard;
+        };
+        if let Some(start) = wait_start {
+            waits().record(WaitClass::Admission, start.elapsed());
         }
+        outcome?;
         state.in_use += bytes;
         Ok(AdmissionSlot {
             ctrl: Some(self.clone()),
@@ -436,6 +540,7 @@ impl TableFunction for DmExecRequestsFn {
             Column::new("elapsed_ms", DataType::Int).not_null(),
             Column::new("mem_used_bytes", DataType::Int).not_null(),
             Column::new("status", DataType::Text).not_null(),
+            Column::new("wait_state", DataType::Text).not_null(),
         ]))
     }
     fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
@@ -449,13 +554,15 @@ impl TableFunction for DmExecRequestsFn {
             .snapshot()
             .into_iter()
             .map(|s| {
+                let wait_state = s.wait_state();
                 Row::new(vec![
                     Value::Int(s.statement_id),
                     Value::Int(s.session_id as i64),
-                    Value::text(s.sql),
+                    Value::text(s.sql.clone()),
                     Value::Int(s.elapsed.as_millis() as i64),
                     Value::Int(s.mem_used as i64),
                     Value::text(if s.aborted { "aborted" } else { "running" }),
+                    Value::text(wait_state),
                 ])
             })
             .collect();

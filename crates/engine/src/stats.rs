@@ -1,0 +1,381 @@
+//! Execution statistics: actual per-operator numbers, engine-level
+//! counters, and the bounded query-stats history.
+//!
+//! The paper's evaluation reads SQL Server's *actual* execution plans and
+//! engine counters to attribute query time (Figures 9–10). seqdb's
+//! analogue has three pieces:
+//!
+//! * [`ExecStats`] / [`NodeStats`] — a per-query collector threaded
+//!   through `Plan::open`. Every operator node registers one
+//!   [`NodeStats`] slot (in pre-order, matching the `EXPLAIN` rendering
+//!   order) and is wrapped in a [`StatsIter`] that records rows produced,
+//!   `next()` calls, cumulative wall time and the query-memory high-water
+//!   observed while the node was active. Slots are `Arc`-shared with the
+//!   collector, so the numbers survive even when the pipeline is dropped
+//!   mid-stream by a cancellation or `KILL` — nothing is flushed on
+//!   close, because nothing ever lived only inside the iterator.
+//! * [`engine_counters`] — process-global engine counters (admission
+//!   waits, kills, UDX panics, governed timeouts), merged with the
+//!   storage registry into `DM_OS_PERFORMANCE_COUNTERS()`.
+//! * [`QueryStatsHistory`] — a bounded per-database history keyed by
+//!   statement text, recorded on statement completion (the session
+//!   guard's drop), rendered by `DM_EXEC_QUERY_STATS()`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use seqdb_storage::SpillTally;
+use seqdb_types::{Result, Row};
+
+use crate::exec::{BoxedIter, RowIterator};
+use crate::governor::QueryGovernor;
+
+/// Actual numbers for one operator node of one executed plan.
+#[derive(Debug)]
+pub struct NodeStats {
+    /// Operator label (the `EXPLAIN` header name), for debugging.
+    pub label: &'static str,
+    rows: AtomicU64,
+    nexts: AtomicU64,
+    elapsed_nanos: AtomicU64,
+    peak_mem: AtomicU64,
+    /// Spill traffic attributed to this node (files + bytes).
+    pub spill: Arc<SpillTally>,
+}
+
+impl NodeStats {
+    fn new(label: &'static str) -> Arc<NodeStats> {
+        Arc::new(NodeStats {
+            label,
+            rows: AtomicU64::new(0),
+            nexts: AtomicU64::new(0),
+            elapsed_nanos: AtomicU64::new(0),
+            peak_mem: AtomicU64::new(0),
+            spill: Arc::new(SpillTally::default()),
+        })
+    }
+
+    /// Rows this node produced.
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// `next()` calls made on this node (rows + the final end-of-stream
+    /// pull, unless the consumer stopped early).
+    pub fn nexts(&self) -> u64 {
+        self.nexts.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wall time spent inside this node's `next()`, children
+    /// included (the SQL Server showplan convention).
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Highest query-wide governed memory observed while this node was
+    /// producing rows (an upper bound on what the node itself charged).
+    pub fn peak_mem_bytes(&self) -> u64 {
+        self.peak_mem.load(Ordering::Relaxed)
+    }
+
+    /// The `EXPLAIN ANALYZE` suffix for this node's header line.
+    pub fn annotation(&self, est_rows: Option<u64>) -> String {
+        let est = est_rows.map_or_else(|| "?".to_string(), |n| n.to_string());
+        let ms = self.elapsed().as_secs_f64() * 1e3;
+        let mut out = format!(
+            " (actual_rows={} est_rows={est} nexts={} elapsed_ms={ms:.3} peak_mem_kb={}",
+            self.rows(),
+            self.nexts(),
+            self.peak_mem_bytes() / 1024,
+        );
+        if self.spill.files() > 0 {
+            out.push_str(&format!(
+                " spill_files={} spill_kb={}",
+                self.spill.files(),
+                self.spill.bytes() / 1024
+            ));
+        }
+        out.push(')');
+        out
+    }
+}
+
+/// Per-query collector: one [`NodeStats`] per plan node, registered in
+/// pre-order during `Plan::open` so index *i* lines up with the *i*-th
+/// operator header of the `EXPLAIN` rendering.
+#[derive(Default)]
+pub struct ExecStats {
+    nodes: Mutex<Vec<Arc<NodeStats>>>,
+}
+
+impl ExecStats {
+    pub fn new() -> Arc<ExecStats> {
+        Arc::new(ExecStats::default())
+    }
+
+    /// Register the next node slot (called by `Plan::open` in pre-order).
+    pub fn register(&self, label: &'static str) -> Arc<NodeStats> {
+        let node = NodeStats::new(label);
+        self.nodes.lock().push(node.clone());
+        node
+    }
+
+    /// All node slots in registration (= pre-order) order.
+    pub fn nodes(&self) -> Vec<Arc<NodeStats>> {
+        self.nodes.lock().clone()
+    }
+}
+
+/// Wraps an operator and records its actual numbers into a shared
+/// [`NodeStats`] on every call — there is no flush-on-close step, so an
+/// early drop (LIMIT, cancellation, KILL) loses nothing.
+pub struct StatsIter {
+    inner: BoxedIter,
+    node: Arc<NodeStats>,
+    gov: Arc<QueryGovernor>,
+}
+
+impl StatsIter {
+    pub fn new(inner: BoxedIter, node: Arc<NodeStats>, gov: Arc<QueryGovernor>) -> StatsIter {
+        StatsIter { inner, node, gov }
+    }
+}
+
+impl RowIterator for StatsIter {
+    fn next(&mut self) -> Result<Option<Row>> {
+        let start = Instant::now();
+        let out = self.inner.next();
+        self.node
+            .elapsed_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.node.nexts.fetch_add(1, Ordering::Relaxed);
+        if matches!(out, Ok(Some(_))) {
+            self.node.rows.fetch_add(1, Ordering::Relaxed);
+        }
+        self.node
+            .peak_mem
+            .fetch_max(self.gov.mem_used() as u64, Ordering::Relaxed);
+        out
+    }
+}
+
+/// Process-global engine counters (`DM_OS_PERFORMANCE_COUNTERS()` rows
+/// beyond what the storage layer tracks).
+#[derive(Default)]
+pub struct EngineCounters {
+    /// Statements that had to wait in the admission controller.
+    pub admission_waits: AtomicU64,
+    /// Statements killed via `KILL` / `StatementRegistry::kill`.
+    pub kills: AtomicU64,
+    /// UDX invocations that panicked and were isolated.
+    pub udx_panics: AtomicU64,
+    /// Queries stopped by the governor's wall-clock timeout.
+    pub timeouts: AtomicU64,
+}
+
+impl EngineCounters {
+    /// Render as `(name, value)` pairs in a stable order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("admission_waits", ld(&self.admission_waits)),
+            ("statement_kills", ld(&self.kills)),
+            ("udx_panics", ld(&self.udx_panics)),
+            ("governed_timeouts", ld(&self.timeouts)),
+        ]
+    }
+}
+
+static ENGINE: EngineCounters = EngineCounters {
+    admission_waits: AtomicU64::new(0),
+    kills: AtomicU64::new(0),
+    udx_panics: AtomicU64::new(0),
+    timeouts: AtomicU64::new(0),
+};
+
+/// The process-global engine-counter registry.
+pub fn engine_counters() -> &'static EngineCounters {
+    &ENGINE
+}
+
+/// One row of `DM_EXEC_QUERY_STATS()`.
+#[derive(Debug, Clone)]
+pub struct QueryStatsRecord {
+    pub sql: String,
+    pub executions: u64,
+    pub total_rows: u64,
+    pub last_rows: u64,
+    pub total_elapsed: Duration,
+    pub last_elapsed: Duration,
+    pub total_spill_files: u64,
+    pub total_spill_bytes: u64,
+    /// Highest governed-memory high-water across executions.
+    pub peak_mem_bytes: u64,
+}
+
+/// What one finished statement contributes to the history.
+#[derive(Debug, Clone)]
+pub struct StatementOutcome {
+    pub rows: u64,
+    pub elapsed: Duration,
+    pub spill_files: u64,
+    pub spill_bytes: u64,
+    pub peak_mem_bytes: u64,
+}
+
+/// Bounded per-database statement history keyed by statement text.
+/// Statements beyond `capacity` evict the least-recently-executed entry
+/// (SQL Server's `sys.dm_exec_query_stats` is likewise a cache, not a
+/// log).
+pub struct QueryStatsHistory {
+    capacity: usize,
+    /// Most-recently-executed last.
+    entries: Mutex<Vec<QueryStatsRecord>>,
+}
+
+impl QueryStatsHistory {
+    /// Default history size.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    pub fn new(capacity: usize) -> Arc<QueryStatsHistory> {
+        Arc::new(QueryStatsHistory {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Fold one finished statement into the history. Called from the
+    /// session guard's drop, so cancelled/killed/panicked statements are
+    /// recorded with whatever they produced before dying.
+    pub fn record(&self, sql: &str, outcome: &StatementOutcome) {
+        let mut entries = self.entries.lock();
+        let mut rec = match entries.iter().position(|r| r.sql == sql) {
+            Some(i) => entries.remove(i),
+            None => QueryStatsRecord {
+                sql: sql.to_string(),
+                executions: 0,
+                total_rows: 0,
+                last_rows: 0,
+                total_elapsed: Duration::ZERO,
+                last_elapsed: Duration::ZERO,
+                total_spill_files: 0,
+                total_spill_bytes: 0,
+                peak_mem_bytes: 0,
+            },
+        };
+        rec.executions += 1;
+        rec.total_rows += outcome.rows;
+        rec.last_rows = outcome.rows;
+        rec.total_elapsed += outcome.elapsed;
+        rec.last_elapsed = outcome.elapsed;
+        rec.total_spill_files += outcome.spill_files;
+        rec.total_spill_bytes += outcome.spill_bytes;
+        rec.peak_mem_bytes = rec.peak_mem_bytes.max(outcome.peak_mem_bytes);
+        if entries.len() >= self.capacity {
+            entries.remove(0);
+        }
+        entries.push(rec);
+    }
+
+    /// Every record, least-recently-executed first.
+    pub fn snapshot(&self) -> Vec<QueryStatsRecord> {
+        self.entries.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{collect, ValuesIter};
+    use seqdb_types::Value;
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| Row::new(vec![Value::Int(i)])).collect()
+    }
+
+    #[test]
+    fn stats_iter_counts_rows_and_calls() {
+        let stats = ExecStats::new();
+        let node = stats.register("Constant Scan");
+        let gov = QueryGovernor::unlimited();
+        let it = StatsIter::new(Box::new(ValuesIter::new(rows(5))), node.clone(), gov);
+        let out = collect(Box::new(it)).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(node.rows(), 5);
+        assert_eq!(node.nexts(), 6, "5 rows + 1 end-of-stream pull");
+        assert_eq!(stats.nodes().len(), 1);
+    }
+
+    #[test]
+    fn early_drop_keeps_partial_stats() {
+        let stats = ExecStats::new();
+        let node = stats.register("Constant Scan");
+        let gov = QueryGovernor::unlimited();
+        let mut it = StatsIter::new(Box::new(ValuesIter::new(rows(100))), node.clone(), gov);
+        for _ in 0..7 {
+            it.next().unwrap();
+        }
+        drop(it);
+        assert_eq!(node.rows(), 7, "stats survive an early iterator drop");
+        assert_eq!(node.nexts(), 7);
+    }
+
+    #[test]
+    fn stats_iter_tracks_memory_high_water() {
+        let gov = QueryGovernor::new(None, Some(1 << 20));
+        let stats = ExecStats::new();
+        let node = stats.register("Constant Scan");
+        gov.reserve(4096).unwrap();
+        let mut it = StatsIter::new(
+            Box::new(ValuesIter::new(rows(2))),
+            node.clone(),
+            gov.clone(),
+        );
+        it.next().unwrap();
+        gov.release(4096);
+        it.next().unwrap();
+        assert!(node.peak_mem_bytes() >= 4096);
+    }
+
+    #[test]
+    fn history_is_bounded_and_keyed_by_sql() {
+        let h = QueryStatsHistory::new(2);
+        let outcome = |rows| StatementOutcome {
+            rows,
+            elapsed: Duration::from_millis(2),
+            spill_files: 1,
+            spill_bytes: 100,
+            peak_mem_bytes: 64,
+        };
+        h.record("SELECT 1", &outcome(1));
+        h.record("SELECT 2", &outcome(2));
+        h.record("SELECT 1", &outcome(3));
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 2);
+        let s1 = snap.iter().find(|r| r.sql == "SELECT 1").unwrap();
+        assert_eq!(s1.executions, 2);
+        assert_eq!(s1.total_rows, 4);
+        assert_eq!(s1.last_rows, 3);
+        assert_eq!(s1.total_spill_files, 2);
+        // A third distinct statement evicts the least recently executed.
+        h.record("SELECT 3", &outcome(9));
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().all(|r| r.sql != "SELECT 2"));
+    }
+
+    #[test]
+    fn annotation_mentions_actual_rows() {
+        let stats = ExecStats::new();
+        let node = stats.register("Table Scan");
+        node.rows.store(42, Ordering::Relaxed);
+        let ann = node.annotation(Some(100));
+        assert!(ann.contains("actual_rows=42"));
+        assert!(ann.contains("est_rows=100"));
+        let ann = node.annotation(None);
+        assert!(ann.contains("est_rows=?"));
+    }
+}

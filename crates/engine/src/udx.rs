@@ -123,10 +123,15 @@ pub fn panic_payload(p: Box<dyn Any + Send>) -> String {
 pub fn protect<T>(name: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(r) => r,
-        Err(p) => Err(DbError::UdxPanic {
-            name: name.to_string(),
-            payload: panic_payload(p),
-        }),
+        Err(p) => {
+            crate::stats::engine_counters()
+                .udx_panics
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Err(DbError::UdxPanic {
+                name: name.to_string(),
+                payload: panic_payload(p),
+            })
+        }
     }
 }
 

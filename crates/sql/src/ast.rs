@@ -24,8 +24,14 @@ pub enum Statement {
         assignments: Vec<(String, AstExpr)>,
         predicate: Option<AstExpr>,
     },
-    /// `EXPLAIN <select>` — returns the physical plan as text.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <select>` — returns the physical plan as text;
+    /// with `ANALYZE` the statement is executed and each operator line is
+    /// annotated with its actual rows, `next()` calls, wall time, memory
+    /// high-water and spill traffic.
+    Explain {
+        analyze: bool,
+        inner: Box<Statement>,
+    },
     /// `CHECKPOINT` — flush all dirty pages durably and truncate the
     /// write-ahead log (T-SQL's manual checkpoint).
     Checkpoint,

@@ -101,14 +101,33 @@ pub fn execute_statement_on(
             // admitted + governed + registered.
             let b = Binder::with_config(db, session.effective_config());
             let bound = b.plan_select(s)?;
-            let (ctx, guard) = session.begin_statement(sql_text)?;
+            let (ctx, mut guard) = session.begin_statement(sql_text)?;
             let rows = bound.plan.run(&ctx)?;
+            guard.set_rows(rows.len() as u64);
             drop(guard);
             Ok(QueryResult {
                 schema: bound.plan.schema(),
                 rows,
                 affected: 0,
             })
+        }
+        Statement::Explain { analyze, inner } => {
+            // Session-scoped EXPLAIN: planned under the session's
+            // effective config; with ANALYZE the statement runs admitted
+            // + governed + registered like any other query.
+            let Statement::Select(s) = inner.as_ref() else {
+                return Err(DbError::Unsupported("EXPLAIN of non-SELECT".into()));
+            };
+            let b = Binder::with_config(db, session.effective_config());
+            let bound = b.plan_select(s)?;
+            if *analyze {
+                let (ctx, mut guard) = session.begin_statement(sql_text)?;
+                let (result, rows) = run_explain_analyze(&bound.plan, ctx)?;
+                guard.set_rows(rows);
+                Ok(result)
+            } else {
+                Ok(plan_text_result(bound.plan.explain()))
+            }
         }
         // DDL/DML and KILL behave identically from any session.
         other => execute_statement(db, other),
@@ -127,25 +146,57 @@ pub fn plan_query(db: &Arc<Database>, sql: &str) -> Result<Plan> {
     }
 }
 
+/// Render plan text as the `[plan TEXT]` result EXPLAIN returns.
+fn plan_text_result(text: String) -> QueryResult {
+    let schema = Arc::new(Schema::new(vec![Column::new("plan", DataType::Text)]));
+    let rows = text
+        .lines()
+        .map(|l| Row::new(vec![Value::text(l)]))
+        .collect();
+    QueryResult {
+        schema,
+        rows,
+        affected: 0,
+    }
+}
+
+/// `EXPLAIN ANALYZE`: execute the plan with an actuals collector
+/// attached, then render the annotated tree plus a one-line statement
+/// summary. Returns the result and the row count the run produced (for
+/// the caller's query-stats record).
+fn run_explain_analyze(plan: &Plan, mut ctx: ExecContext) -> Result<(QueryResult, u64)> {
+    let stats = seqdb_engine::ExecStats::new();
+    ctx.stats = Some(stats.clone());
+    let started = std::time::Instant::now();
+    let rows = plan.run(&ctx)?;
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let spill = ctx.gov.spill_tally();
+    let mut text = plan.explain_analyze(&stats);
+    text.push_str(&format!(
+        "-- actual: {} rows, elapsed_ms={elapsed_ms:.3}, peak_mem_kb={}, \
+         spill_files={}, spill_kb={}\n",
+        rows.len(),
+        ctx.gov.mem_peak() / 1024,
+        spill.files(),
+        spill.bytes() / 1024
+    ));
+    Ok((plan_text_result(text), rows.len() as u64))
+}
+
 pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryResult> {
     match stmt {
-        Statement::Explain(inner) => {
+        Statement::Explain { analyze, inner } => {
             let Statement::Select(s) = inner.as_ref() else {
                 return Err(DbError::Unsupported("EXPLAIN of non-SELECT".into()));
             };
             let b = Binder::new(db);
             let bound = b.plan_select(s)?;
-            let text = bound.plan.explain();
-            let schema = Arc::new(Schema::new(vec![Column::new("plan", DataType::Text)]));
-            let rows = text
-                .lines()
-                .map(|l| Row::new(vec![Value::text(l)]))
-                .collect();
-            Ok(QueryResult {
-                schema,
-                rows,
-                affected: 0,
-            })
+            if *analyze {
+                let (result, _rows) = run_explain_analyze(&bound.plan, db.exec_context())?;
+                Ok(result)
+            } else {
+                Ok(plan_text_result(bound.plan.explain()))
+            }
         }
         Statement::Checkpoint => {
             db.checkpoint()?;

@@ -125,8 +125,12 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.kw("explain") {
+            let analyze = self.kw("analyze");
             let inner = self.statement()?;
-            return Ok(Statement::Explain(Box::new(inner)));
+            return Ok(Statement::Explain {
+                analyze,
+                inner: Box::new(inner),
+            });
         }
         if self.peek_kw("select") {
             return Ok(Statement::Select(self.select()?));
@@ -1069,7 +1073,9 @@ mod tests {
     #[test]
     fn explain_wraps_statement() {
         let stmt = parse("EXPLAIN SELECT 1").unwrap();
-        assert!(matches!(stmt, Statement::Explain(_)));
+        assert!(matches!(stmt, Statement::Explain { analyze: false, .. }));
+        let stmt = parse("EXPLAIN ANALYZE SELECT 1").unwrap();
+        assert!(matches!(stmt, Statement::Explain { analyze: true, .. }));
     }
 
     #[test]

@@ -130,7 +130,9 @@ impl BufferPool {
         // Read outside the table lock; a racing fetch of the same page may
         // duplicate the read, but the table insert below deduplicates.
         let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        let start = std::time::Instant::now();
         self.store.read_page(id, &mut buf)?;
+        crate::counters::waits().record(crate::counters::WaitClass::BufferIo, start.elapsed());
         let page = Page::from_bytes(buf)?;
         let frame = Arc::new(Frame {
             id,

@@ -32,12 +32,13 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use seqdb_types::{DbError, Result, Value};
 
+use crate::counters::{storage_counters, waits, WaitClass};
 use crate::fault::FaultClock;
 
 /// Default read-ahead chunk for sequential access (64 KiB, matching the
@@ -188,9 +189,14 @@ impl FileStreamStore {
                             "filestream write failed after {attempt} retries: {msg}"
                         )));
                     }
+                    let backoff = Instant::now();
                     std::thread::sleep(RETRY_BASE * (1 << attempt));
+                    waits().record(WaitClass::FileStreamRetry, backoff.elapsed());
                     attempt += 1;
                     self.write_retries.fetch_add(1, Ordering::Relaxed);
+                    storage_counters()
+                        .filestream_write_retries
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e) => {
                     let _ = fs::remove_file(&tmp);
@@ -227,6 +233,9 @@ impl FileStreamStore {
         written?;
         fs::rename(tmp, path)?;
         sync_dir(&self.root)?;
+        storage_counters()
+            .filestream_bytes_written
+            .fetch_add(fs::metadata(path)?.len(), Ordering::Relaxed);
         Ok(())
     }
 
@@ -358,7 +367,11 @@ impl FileStreamReader {
             clock.inject_op()?;
         }
         self.file.seek(SeekFrom::Start(offset))?;
-        read_fully(&mut self.file, buf)
+        let n = read_fully(&mut self.file, buf)?;
+        storage_counters()
+            .filestream_bytes_read
+            .fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
     }
 
     /// Positional read with bounded-backoff retry on transient I/O errors.
@@ -373,9 +386,14 @@ impl FileStreamReader {
                             "filestream read failed after {attempt} retries: {msg}"
                         )));
                     }
+                    let backoff = Instant::now();
                     std::thread::sleep(RETRY_BASE * (1 << attempt));
+                    waits().record(WaitClass::FileStreamRetry, backoff.elapsed());
                     attempt += 1;
                     self.retries += 1;
+                    storage_counters()
+                        .filestream_read_retries
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e) => return Err(e),
             }

@@ -19,6 +19,7 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod counters;
 pub mod crc32c;
 pub mod fault;
 pub mod filestream;
@@ -34,6 +35,9 @@ pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::BufferPool;
+pub use counters::{
+    storage_counters, waits, SpillTally, StorageCounters, WaitClass, WaitSnapshot, WaitStats,
+};
 pub use fault::{FaultClock, FaultInjectingPageStore, FaultPlan};
 pub use filestream::{FileStreamReader, FileStreamStore};
 pub use heap::{HeapFile, RecordId};

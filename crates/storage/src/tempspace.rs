@@ -13,8 +13,11 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use seqdb_types::Result;
+
+use crate::counters::{storage_counters, waits, SpillTally, WaitClass};
 
 /// A directory of temporary spill files with global byte accounting.
 pub struct TempSpace {
@@ -45,14 +48,32 @@ impl TempSpace {
 
     /// Create a new spill file for writing.
     pub fn create_spill(self: &Arc<Self>) -> Result<SpillWriter> {
+        self.create_spill_tallied(Vec::new())
+    }
+
+    /// Create a new spill file whose traffic is also attributed to each of
+    /// `tallies` (per-query and per-operator spill accounting for
+    /// `EXPLAIN ANALYZE` and the DMVs). The space's own counters and the
+    /// global registry are always updated regardless.
+    pub fn create_spill_tallied(
+        self: &Arc<Self>,
+        tallies: Vec<Arc<SpillTally>>,
+    ) -> Result<SpillWriter> {
         let n = self.seq.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("spill-{n}.tmp"));
         let file = File::create(&path)?;
         self.spill_count.fetch_add(1, Ordering::Relaxed);
+        storage_counters()
+            .spill_files
+            .fetch_add(1, Ordering::Relaxed);
+        for tally in &tallies {
+            tally.add_file();
+        }
         Ok(SpillWriter {
             space: Arc::clone(self),
             path,
             writer: Some(BufWriter::new(file)),
+            tallies,
         })
     }
 
@@ -92,17 +113,26 @@ pub struct SpillWriter {
     space: Arc<TempSpace>,
     path: PathBuf,
     writer: Option<BufWriter<File>>,
+    tallies: Vec<Arc<SpillTally>>,
 }
 
 impl SpillWriter {
     pub fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        let start = Instant::now();
         self.writer
             .as_mut()
             .expect("writer live until finish")
             .write_all(buf)?;
+        waits().record(WaitClass::SpillIo, start.elapsed());
         self.space
             .bytes_written
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        storage_counters()
+            .spill_bytes
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        for tally in &self.tallies {
+            tally.add_bytes(buf.len() as u64);
+        }
         Ok(())
     }
 
@@ -135,16 +165,21 @@ pub struct SpillReader {
 
 impl SpillReader {
     pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<bool> {
-        match self.reader.read_exact(buf) {
+        let start = Instant::now();
+        let res = match self.reader.read_exact(buf) {
             Ok(()) => Ok(true),
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
             Err(e) => Err(e.into()),
-        }
+        };
+        waits().record(WaitClass::SpillIo, start.elapsed());
+        res
     }
 
     pub fn read_to_end(&mut self) -> Result<Vec<u8>> {
+        let start = Instant::now();
         let mut out = Vec::new();
         self.reader.read_to_end(&mut out)?;
+        waits().record(WaitClass::SpillIo, start.elapsed());
         Ok(out)
     }
 }
@@ -191,6 +226,24 @@ mod tests {
         let leftovers = fs::read_dir(&dir).unwrap().count();
         assert_eq!(leftovers, 0, "spill files must not leak");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tallied_spills_attribute_files_and_bytes() {
+        let ts = TempSpace::system().unwrap();
+        let per_query = Arc::new(SpillTally::default());
+        let per_node = Arc::new(SpillTally::default());
+        let mut w = ts
+            .create_spill_tallied(vec![Arc::clone(&per_query), Arc::clone(&per_node)])
+            .unwrap();
+        w.write_all(&[0u8; 300]).unwrap();
+        w.write_all(&[1u8; 100]).unwrap();
+        for tally in [&per_query, &per_node] {
+            assert_eq!(tally.files(), 1);
+            assert_eq!(tally.bytes(), 400);
+        }
+        let waited = waits().count(WaitClass::SpillIo);
+        assert!(waited >= 2, "spill writes must record SPILL_IO waits");
     }
 
     #[test]

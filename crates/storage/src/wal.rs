@@ -36,6 +36,7 @@ use parking_lot::Mutex;
 
 use seqdb_types::{DbError, Result};
 
+use crate::counters::storage_counters;
 use crate::crc32c::crc32c;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::pager::PageStore;
@@ -209,7 +210,7 @@ impl WriteAheadLog {
         payload.extend_from_slice(&id.to_le_bytes());
         payload.extend_from_slice(image);
         let _state = self.state.lock();
-        self.backend.append(&frame(&payload))
+        self.backend.append(&counted_frame(&payload))
     }
 
     /// Append a commit marker and return its sequence number.
@@ -219,14 +220,18 @@ impl WriteAheadLog {
         let mut payload = Vec::with_capacity(9);
         payload.push(KIND_COMMIT);
         payload.extend_from_slice(&seq.to_le_bytes());
-        self.backend.append(&frame(&payload))?;
+        self.backend.append(&counted_frame(&payload))?;
         state.next_seq += 1;
         Ok(seq)
     }
 
     /// Make all appended records durable.
     pub fn sync(&self) -> Result<()> {
-        self.backend.sync()
+        self.backend.sync()?;
+        storage_counters()
+            .wal_fsyncs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
     }
 
     /// Discard the log (call only after the data store is synced).
@@ -311,6 +316,18 @@ impl WriteAheadLog {
         self.backend.truncate()?;
         Ok(last.len())
     }
+}
+
+/// Build a frame and account it in the global storage counters. Both
+/// append paths (`log_page`, `commit`) go through here so `wal_records`
+/// and `wal_bytes` count exactly what lands in the log.
+fn counted_frame(payload: &[u8]) -> Vec<u8> {
+    let rec = frame(payload);
+    let counters = storage_counters();
+    let relaxed = std::sync::atomic::Ordering::Relaxed;
+    counters.wal_records.fetch_add(1, relaxed);
+    counters.wal_bytes.fetch_add(rec.len() as u64, relaxed);
+    rec
 }
 
 fn frame(payload: &[u8]) -> Vec<u8> {

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `fig7`, `fig8`, `fig9`,
-//! `fig10`, `binning` (§5.3.2), `consensus` (§5.3.3), `all`.
+//! `join`, `fig10`, `binning` (§5.3.2), `consensus` (§5.3.3), `all`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,8 +25,9 @@ use seqdb_engine::exec::RowIterator;
 use seqdb_engine::parallel::ParallelAggIter;
 use seqdb_engine::udx::CountAgg;
 use seqdb_engine::{BinOp, Expr};
+use seqdb_engine::{Database, JoinStrategy};
 use seqdb_sql::DatabaseSqlExt;
-use seqdb_types::Result;
+use seqdb_types::{Result, Row, Value};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,7 +58,7 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|fig10|binning|consensus|snp|all] [--scale N]");
+    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|join|fig10|binning|consensus|snp|all] [--scale N]");
     std::process::exit(2);
 }
 
@@ -101,6 +102,7 @@ fn run(experiment: &str, factor: usize) -> Result<()> {
         "fig7" => fig7(factor)?,
         "fig8" => fig8(factor)?,
         "fig9" => fig9(factor)?,
+        "join" => join_bench(factor)?,
         "fig10" => fig10(factor)?,
         "binning" => binning(factor)?,
         "consensus" => consensus(factor)?,
@@ -112,6 +114,7 @@ fn run(experiment: &str, factor: usize) -> Result<()> {
             fig7(factor)?;
             fig8(factor)?;
             fig9(factor)?;
+            join_bench(factor)?;
             fig10(factor)?;
             binning(factor)?;
             consensus(factor)?;
@@ -386,6 +389,70 @@ fn fig9(factor: usize) -> Result<()> {
         println!("{row}");
     }
     println!();
+    Ok(())
+}
+
+/// Hybrid Grace hash join vs forced Sort+MergeJoin on unsorted heaps,
+/// at three scales and four execution shapes. Every variant computes
+/// the same COUNT; the JSON keeps the timing + I/O trajectory.
+fn join_bench(factor: usize) -> Result<()> {
+    println!("--- Join strategies: hybrid Grace hash vs Sort+MergeJoin ---");
+    const Q: &str = "SELECT COUNT(*) FROM big a JOIN small b ON (a.k = b.k)";
+    const BUDGET_KB: u64 = 256;
+    let mut entries = Vec::new();
+    for base in [30_000i64, 60_000, 120_000] {
+        let n = base * factor.max(1) as i64;
+        let db = Database::in_memory();
+        db.execute_sql("CREATE TABLE big (k INT, pay INT)")?;
+        db.execute_sql("CREATE TABLE small (k INT, pay INT)")?;
+        // A primary-key-style join (reads against reference positions):
+        // big holds n distinct keys inserted in scrambled order, small
+        // covers half of them, so the join emits n/2 rows.
+        let scramble = |i: i64, m: i64| (i * 2_654_435_761 % m + m) % m;
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row::new(vec![Value::Int(scramble(i, n)), Value::Int(i)]))
+            .collect();
+        db.insert_rows("big", &rows)?;
+        let rows: Vec<Row> = (0..n / 2)
+            .map(|i| Row::new(vec![Value::Int(scramble(i, n / 2)), Value::Int(i)]))
+            .collect();
+        db.insert_rows("small", &rows)?;
+        let expect = Value::Int(n / 2);
+
+        // (strategy, budget_kb, dop) per variant.
+        let variants: [(&str, JoinStrategy, Option<u64>, usize); 4] = [
+            ("merge-forced", JoinStrategy::Merge, None, 4),
+            ("hash-resident", JoinStrategy::Auto, None, 4),
+            ("hash-spilled", JoinStrategy::Hash, Some(BUDGET_KB), 1),
+            ("hash-parallel", JoinStrategy::Hash, Some(BUDGET_KB), 4),
+        ];
+        println!("  n={n} (distinct keys, {} output rows):", n / 2);
+        let mut walls = std::collections::HashMap::new();
+        for (name, strategy, budget, dop) in variants {
+            db.set_join_strategy(strategy);
+            db.set_query_memory_limit_kb(budget);
+            db.set_max_dop(dop);
+            let before = IoSnapshot::now(&db);
+            let (r, wall) = time(|| db.query_sql(Q));
+            let io = IoSnapshot::now(&db).delta_since(&before);
+            assert_eq!(r?.rows[0][0], expect, "{name} returned a wrong count");
+            println!("    {name:>13}: {:>10}  {}", fmt_dur(wall), fmt_io(&io));
+            walls.insert(name, wall);
+            entries.push(BenchEntry {
+                name: format!("n={n}/{name}"),
+                wall,
+                io,
+            });
+        }
+        let merge = walls["merge-forced"].as_secs_f64();
+        let hash = walls["hash-resident"].as_secs_f64().max(1e-9);
+        println!(
+            "    cost-based hash vs forced sort+merge: {:.2}x (unsorted input, DOP 4)",
+            merge / hash
+        );
+    }
+    let json = write_bench_json("join", &entries)?;
+    println!("  wrote {}\n", json.display());
     Ok(())
 }
 

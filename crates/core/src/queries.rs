@@ -113,10 +113,14 @@ pub fn query3_sliding_plan(db: &Arc<Database>, suffix: &str) -> Result<Plan> {
         probe: Box::new(probe),
         build_keys: vec![Expr::col(r_id, "r_id")],
         probe_keys: vec![Expr::col(a_t_id, "a_t_id")],
+        probe_first: false,
+        dop: 1,
         schema: joint.clone(),
     };
-    // Hash join preserves probe order, so the joined stream is still in
-    // (chr, pos) order; stream-aggregate per chromosome.
+    // A resident hash join preserves probe order, so the joined stream is
+    // still in (chr, pos) order; stream-aggregate per chromosome. (This
+    // hand-built plan runs without a memory budget, so the join never
+    // degrades to the order-breaking spill path.)
     let group_exprs = vec![Expr::col(rlen + a_chr, "a_chr_id")];
     let agg = AggSpec::new(
         db.catalog()
@@ -175,6 +179,8 @@ pub fn query3_pivot_sorted_plan(db: &Arc<Database>, suffix: &str) -> Result<Plan
         }),
         build_keys: vec![Expr::col(rs.resolve("r_id")?, "r_id")],
         probe_keys: vec![Expr::col(als.resolve("a_t_id")?, "a_t_id")],
+        probe_first: false,
+        dop: 1,
         schema: Arc::new(rs.concat(als)),
     };
     let joint = join.schema();

@@ -19,6 +19,33 @@ use crate::plan::{Plan, QueryResult};
 use crate::session::{AdmissionController, DmExecRequestsFn, Session, StatementRegistry};
 use crate::stats::QueryStatsHistory;
 
+/// Join algorithm selection (`SET JOIN_STRATEGY`): cost-based by default,
+/// forcible for benchmarks and plan-shape tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Cost-based: merge join when both inputs are already ordered on the
+    /// join keys, otherwise the cheaper of hash join and sort+merge by
+    /// estimated bytes moved.
+    #[default]
+    Auto,
+    /// Always hash join.
+    Hash,
+    /// Always merge join, sorting unordered inputs first.
+    Merge,
+}
+
+impl JoinStrategy {
+    /// Decode the `SET JOIN_STRATEGY = n` value: 0=auto, 1=hash, 2=merge.
+    pub fn from_setting(v: i64) -> Option<JoinStrategy> {
+        match v {
+            0 => Some(JoinStrategy::Auto),
+            1 => Some(JoinStrategy::Hash),
+            2 => Some(JoinStrategy::Merge),
+            _ => None,
+        }
+    }
+}
+
 /// Tunables, adjustable at run time (the analogue of `sp_configure`).
 #[derive(Debug, Clone)]
 pub struct DbConfig {
@@ -43,6 +70,8 @@ pub struct DbConfig {
     /// Bounded wait at the admission gate (`SET ADMISSION_WAIT_MS`,
     /// server-wide) before a queued query fails with `AdmissionTimeout`.
     pub admission_wait_ms: u64,
+    /// Join algorithm selection (`SET JOIN_STRATEGY`).
+    pub join_strategy: JoinStrategy,
 }
 
 impl Default for DbConfig {
@@ -57,6 +86,7 @@ impl Default for DbConfig {
             query_mem_limit_kb: None,
             admission_pool_kb: None,
             admission_wait_ms: 1000,
+            join_strategy: JoinStrategy::Auto,
         }
     }
 }
@@ -215,6 +245,12 @@ impl Database {
     /// disables. Same knob as `SET QUERY_MEMORY_LIMIT_KB`.
     pub fn set_query_memory_limit_kb(&self, kb: Option<u64>) {
         self.config.write().query_mem_limit_kb = kb;
+    }
+
+    /// Join algorithm selection applied to every subsequent query. Same
+    /// knob as `SET JOIN_STRATEGY` (0=auto, 1=hash, 2=merge).
+    pub fn set_join_strategy(&self, strategy: JoinStrategy) {
+        self.config.write().join_strategy = strategy;
     }
 
     /// Size (KiB) of the global admission pool; `None` disables

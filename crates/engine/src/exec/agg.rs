@@ -14,7 +14,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use seqdb_storage::tempspace::{SpillReader, SpillWriter, TempSpace};
-use seqdb_storage::SpillTally;
+use seqdb_storage::{SpillTally, WaitClass};
 use seqdb_types::{DbError, Result, Row, Value};
 
 use crate::exec::rowser;
@@ -160,7 +160,9 @@ pub fn finish_map(groups: GroupedStates, aggs: &[AggSpec]) -> Result<Vec<Row>> {
 
 /// Hash a group key for spill partitioning. `depth` salts the hash so
 /// each repartition pass splits differently from the one that overflowed.
-fn partition_of(key: &[Value], depth: u32) -> usize {
+/// Shared with the hybrid hash join, which partitions on the same salted
+/// hash so both spill paths recurse identically.
+pub(crate) fn partition_of(key: &[Value], depth: u32) -> usize {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     depth.hash(&mut h);
     key.hash(&mut h);
@@ -169,7 +171,7 @@ fn partition_of(key: &[Value], depth: u32) -> usize {
 
 /// Append one rowser-framed row to a spill partition (same u32-length
 /// framing as the external sort's runs).
-fn write_spill_row(w: &mut SpillWriter, row: &Row) -> Result<()> {
+pub(crate) fn write_spill_row(w: &mut SpillWriter, row: &Row) -> Result<()> {
     let mut scratch = Vec::new();
     rowser::write_row(&mut scratch, row);
     let mut framed = Vec::with_capacity(scratch.len() + 4);
@@ -232,10 +234,29 @@ pub(crate) struct OutputBuffer {
     // passes that still have rows to aggregate (which would turn a
     // spillable query into a depth-exhaustion failure).
     cap: Option<usize>,
+    /// Wait class for overflow spill I/O (`SpillIo` for aggregates,
+    /// `JoinSpill` when buffering joined rows).
+    class: WaitClass,
 }
 
 impl OutputBuffer {
     pub(crate) fn new(ctx: &ExecContext) -> OutputBuffer {
+        OutputBuffer::with_class(ctx, WaitClass::SpillIo)
+    }
+
+    pub(crate) fn with_class(ctx: &ExecContext, class: WaitClass) -> OutputBuffer {
+        let cap = ctx.gov.mem_limit().map(|l| l / 4);
+        OutputBuffer::with_class_capped(ctx, class, cap)
+    }
+
+    /// Like [`OutputBuffer::with_class`] but with an explicit memory cap:
+    /// concurrent buffers (one per parallel join partition) must split
+    /// the output quarter of the budget between them.
+    pub(crate) fn with_class_capped(
+        ctx: &ExecContext,
+        class: WaitClass,
+        cap: Option<usize>,
+    ) -> OutputBuffer {
         OutputBuffer {
             rows: Vec::new(),
             charge: MemCharge::new(ctx.gov.clone()),
@@ -243,7 +264,8 @@ impl OutputBuffer {
             tallies: ctx.spill_tallies(),
             spill: None,
             total: 0,
-            cap: ctx.gov.mem_limit().map(|l| l / 4),
+            cap,
+            class,
         }
     }
 
@@ -258,7 +280,10 @@ impl OutputBuffer {
             return Ok(());
         }
         if self.spill.is_none() {
-            self.spill = Some(self.temp.create_spill_tallied(self.tallies.clone())?);
+            self.spill = Some(
+                self.temp
+                    .create_spill_class(self.tallies.clone(), self.class)?,
+            );
         }
         match self.spill.as_mut() {
             Some(writer) => write_spill_row(writer, &row),

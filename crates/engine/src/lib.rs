@@ -38,7 +38,7 @@ pub mod stats;
 pub mod udx;
 
 pub use catalog::{Catalog, Table, TableIndex};
-pub use database::{Database, DbConfig};
+pub use database::{Database, DbConfig, JoinStrategy};
 pub use dmv::{DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn};
 pub use exec::{BoxedIter, ExecContext, RowIterator};
 pub use expr::{BinOp, Expr};

@@ -39,6 +39,18 @@ use crate::expr::Expr;
 use crate::governor::{MemCharge, QueryGovernor, Ticker};
 use crate::udx::{panic_payload, protect};
 
+/// Pick the error a failed parallel phase should surface: the first
+/// non-`Cancelled` error is the root cause — siblings that were told to
+/// stop because of it report `Cancelled` and would mask it. Shared by the
+/// parallel aggregate and the partition-parallel hash join.
+pub(crate) fn root_cause(errors: &[DbError]) -> DbError {
+    errors
+        .iter()
+        .find(|e| !matches!(e, DbError::Cancelled(_)))
+        .unwrap_or(&errors[0])
+        .clone()
+}
+
 /// What one worker did during a parallel operator's execution.
 #[derive(Debug, Clone)]
 pub struct WorkerStats {
@@ -189,13 +201,7 @@ impl ParallelAggIter {
         });
 
         if !errors.is_empty() {
-            // Prefer the root cause over the Cancelled errors of siblings
-            // that were told to stop because of it.
-            let root = errors
-                .iter()
-                .find(|e| !matches!(e, DbError::Cancelled(_)))
-                .unwrap_or(&errors[0]);
-            return Err(root.clone());
+            return Err(root_cause(&errors));
         }
 
         // Final aggregation: merge the workers' in-memory partial maps

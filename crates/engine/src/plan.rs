@@ -100,6 +100,13 @@ pub enum Plan {
         probe: Box<Plan>,
         build_keys: Vec<Expr>,
         probe_keys: Vec<Expr>,
+        /// True when the build side is the statement's RIGHT input (the
+        /// binder puts the estimated-smaller side on the build); the
+        /// operator then restores `left ++ right` output order.
+        probe_first: bool,
+        /// Workers for the spilled partition phase (1 = serial). Only
+        /// reached when the build side overflows its memory grant.
+        dop: usize,
         schema: Arc<Schema>,
     },
     MergeJoin {
@@ -253,13 +260,17 @@ impl Plan {
                 probe,
                 build_keys,
                 probe_keys,
+                probe_first,
+                dop,
                 ..
             } => Box::new(HashJoinIter::new(
                 build.open(ctx)?,
                 probe.open(ctx)?,
                 build_keys.clone(),
                 probe_keys.clone(),
-                ctx.gov.clone(),
+                *probe_first,
+                (*dop).max(1).min(effective_dop(ctx)),
+                ctx.clone(),
             )),
             Plan::MergeJoin {
                 left,
@@ -533,6 +544,8 @@ impl Plan {
                 probe,
                 build_keys,
                 probe_keys,
+                probe_first,
+                dop,
                 ..
             } => {
                 out.push_str(&format!(
@@ -540,6 +553,12 @@ impl Plan {
                     fmt_exprs(build_keys),
                     fmt_exprs(probe_keys)
                 ));
+                if *probe_first {
+                    out.push_str(" (build=right)");
+                }
+                if *dop > 1 {
+                    out.push_str(&format!(" [DOP={dop}]"));
+                }
                 self.end_header(out, ann);
                 build.explain_into(out, depth + 1, ann);
                 probe.explain_into(out, depth + 1, ann);

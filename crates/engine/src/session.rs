@@ -50,6 +50,7 @@ pub struct SessionSettings {
     pub query_timeout_ms: Option<Option<u64>>,
     pub query_mem_limit_kb: Option<Option<u64>>,
     pub max_dop: Option<usize>,
+    pub join_strategy: Option<crate::database::JoinStrategy>,
 }
 
 /// One client connection's worth of state: an id, a settings overlay,
@@ -96,6 +97,11 @@ impl Session {
         self.settings.lock().max_dop = Some(dop.max(1));
     }
 
+    /// Session-scoped `SET JOIN_STRATEGY`.
+    pub fn set_join_strategy(&self, strategy: crate::database::JoinStrategy) {
+        self.settings.lock().join_strategy = Some(strategy);
+    }
+
     /// The configuration this session's next statement runs under:
     /// database defaults with this session's overrides applied.
     pub fn effective_config(&self) -> DbConfig {
@@ -109,6 +115,9 @@ impl Session {
         }
         if let Some(dop) = s.max_dop {
             cfg.max_dop = dop;
+        }
+        if let Some(strategy) = s.join_strategy {
+            cfg.join_strategy = strategy;
         }
         cfg
     }

@@ -21,7 +21,8 @@ use seqdb_engine::exec::filter::project_schema;
 use seqdb_engine::exec::sort::SortKey;
 use seqdb_engine::plan::aggregate_schema;
 use seqdb_engine::{
-    BinOp, Database, DbConfig, ExecContext, Expr, Plan, QueryResult, Session, TableFunction,
+    BinOp, Database, DbConfig, ExecContext, Expr, JoinStrategy, Plan, QueryResult, Session,
+    TableFunction,
 };
 use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
 
@@ -85,6 +86,13 @@ pub fn execute_statement_on(
                 "QUERY_TIMEOUT_MS" => session.set_query_timeout_ms(v),
                 "QUERY_MEMORY_LIMIT_KB" => session.set_query_memory_limit_kb(v),
                 "MAX_DOP" => session.set_max_dop(*value as usize),
+                "JOIN_STRATEGY" => session.set_join_strategy(
+                    JoinStrategy::from_setting(*value).ok_or_else(|| {
+                        DbError::Unsupported(format!(
+                            "SET JOIN_STRATEGY: {value} (want 0=auto, 1=hash, 2=merge)"
+                        ))
+                    })?,
+                ),
                 // Admission control is a property of the shared pool, not
                 // of one session: these stay server-wide.
                 "ADMISSION_POOL_KB" => db.set_admission_pool_kb(v),
@@ -215,6 +223,13 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
                 "QUERY_TIMEOUT_MS" => db.set_query_timeout_ms(v),
                 "QUERY_MEMORY_LIMIT_KB" => db.set_query_memory_limit_kb(v),
                 "MAX_DOP" => db.set_max_dop(*value as usize),
+                "JOIN_STRATEGY" => {
+                    db.set_join_strategy(JoinStrategy::from_setting(*value).ok_or_else(|| {
+                        DbError::Unsupported(format!(
+                            "SET JOIN_STRATEGY: {value} (want 0=auto, 1=hash, 2=merge)"
+                        ))
+                    })?)
+                }
                 "ADMISSION_POOL_KB" => db.set_admission_pool_kb(v),
                 "ADMISSION_WAIT_MS" => db.set_admission_wait_ms(*value as u64),
                 other => {
@@ -567,6 +582,68 @@ impl<'a> Binder<'a> {
 
     fn with_config(db: &'a Arc<Database>, cfg: DbConfig) -> Binder<'a> {
         Binder { db, cfg }
+    }
+}
+
+// ---- join costing ----
+
+/// Fallback cardinality when a plan has no estimate (TVFs, nested joins).
+const UNKNOWN_ROWS: u64 = 10_000;
+
+/// Rough per-row width in bytes from the schema, for costing only.
+fn estimated_row_width(schema: &Schema) -> u64 {
+    schema
+        .columns()
+        .iter()
+        .map(|c| match c.dtype {
+            DataType::Bool => 9,
+            DataType::Int | DataType::Float => 16,
+            DataType::Guid => 24,
+            DataType::Text => 40,
+            DataType::Bytes => 72,
+        })
+        .sum::<u64>()
+        .max(8)
+}
+
+/// (rows, bytes) estimate for a join input.
+fn estimated_size(plan: &Plan) -> (u64, u64) {
+    let rows = plan.estimate_rows().unwrap_or(UNKNOWN_ROWS);
+    (
+        rows,
+        rows.saturating_mul(estimated_row_width(&plan.schema())),
+    )
+}
+
+/// Cost (bytes moved) of a hash join: scan both sides plus the build side
+/// handled twice more (hashing, table residency); if the build cannot fit
+/// the memory grant, both sides additionally round-trip through spill
+/// partitions.
+fn hash_join_cost(build_bytes: u64, probe_bytes: u64, mem_limit: Option<u64>) -> u64 {
+    let spill = match mem_limit {
+        Some(limit) if build_bytes > limit => 2 * (build_bytes + probe_bytes),
+        _ => 0,
+    };
+    3 * build_bytes + probe_bytes + spill
+}
+
+/// Cost of sorting both inputs then merging: each side pays its scan plus
+/// an n·log2(n) comparison-and-move term (damped — comparisons are
+/// cheaper than byte moves).
+fn sort_merge_cost(l: (u64, u64), r: (u64, u64)) -> u64 {
+    let sort = |(rows, bytes): (u64, u64)| {
+        let log2 = 63 - u64::from(rows.max(2).leading_zeros());
+        bytes + bytes.saturating_mul(log2) / 4
+    };
+    sort(l) + sort(r)
+}
+
+/// Wrap a plan in an explicit ascending sort on its join keys (the forced
+/// merge-join path over unordered input).
+fn sort_on_keys(plan: Plan, keys: &[Expr]) -> Plan {
+    Plan::Sort {
+        input: Box::new(plan),
+        keys: keys.iter().cloned().map(SortKey::asc).collect(),
     }
 }
 
@@ -1239,8 +1316,12 @@ impl Binder<'_> {
                         }
                         _ => None,
                     };
+                    let strategy = self.cfg.join_strategy;
                     plan = match merged {
-                        Some((l, r)) => {
+                        // Pre-ordered inputs: a merge join moves the
+                        // fewest bytes, so the cost model never beats it
+                        // — unless the user forced hashing.
+                        Some((l, r)) if strategy != JoinStrategy::Hash => {
                             let left_plan = match l {
                                 None => plan,
                                 Some(p) => p,
@@ -1258,13 +1339,60 @@ impl Binder<'_> {
                                 dop_hint: self.cfg.max_dop,
                             }
                         }
-                        None => Plan::HashJoin {
-                            build: Box::new(plan),
-                            probe: Box::new(right_plan),
-                            build_keys: left_keys,
-                            probe_keys: right_keys,
-                            schema,
-                        },
+                        _ => {
+                            let l_est = estimated_size(&plan);
+                            let r_est = estimated_size(&right_plan);
+                            let mem_limit = self.cfg.query_mem_limit_kb.map(|kb| kb * 1024);
+                            let build_bytes = l_est.1.min(r_est.1);
+                            let probe_bytes = l_est.1.max(r_est.1);
+                            let use_merge = strategy == JoinStrategy::Merge
+                                || (strategy == JoinStrategy::Auto
+                                    && sort_merge_cost(l_est, r_est)
+                                        < hash_join_cost(build_bytes, probe_bytes, mem_limit));
+                            if use_merge {
+                                // Sort both unordered sides explicitly,
+                                // then merge.
+                                Plan::MergeJoin {
+                                    left: Box::new(sort_on_keys(plan, &left_keys)),
+                                    right: Box::new(sort_on_keys(right_plan, &right_keys)),
+                                    left_keys,
+                                    right_keys,
+                                    schema,
+                                    dop_hint: self.cfg.max_dop,
+                                }
+                            } else {
+                                // Hash join, building on the estimated-
+                                // smaller side; parallel partition phase
+                                // only pays off past the same row
+                                // threshold as parallel aggregation.
+                                let dop = if l_est.0 + r_est.0 >= self.cfg.parallel_threshold {
+                                    self.cfg.max_dop
+                                } else {
+                                    1
+                                };
+                                if r_est.1 < l_est.1 {
+                                    Plan::HashJoin {
+                                        build: Box::new(right_plan),
+                                        probe: Box::new(plan),
+                                        build_keys: right_keys,
+                                        probe_keys: left_keys,
+                                        probe_first: true,
+                                        dop,
+                                        schema,
+                                    }
+                                } else {
+                                    Plan::HashJoin {
+                                        build: Box::new(plan),
+                                        probe: Box::new(right_plan),
+                                        build_keys: left_keys,
+                                        probe_keys: right_keys,
+                                        probe_first: false,
+                                        dop,
+                                        schema,
+                                    }
+                                }
+                            }
+                        }
                     };
                     scope = joint_scope;
                     if let Some(res) = residual {

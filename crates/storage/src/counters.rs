@@ -38,14 +38,19 @@ pub enum WaitClass {
     SpillIo = 2,
     /// Backoff sleeps between FileStream transient-error retries.
     FileStreamRetry = 3,
+    /// Writing or reading hash-join partition files in the temp space.
+    /// Kept separate from [`WaitClass::SpillIo`] so join spills are
+    /// distinguishable from sort/aggregate spills in `DM_OS_WAIT_STATS()`.
+    JoinSpill = 4,
 }
 
 /// All wait classes, in rendering order for `DM_OS_WAIT_STATS()`.
-pub const WAIT_CLASSES: [WaitClass; 4] = [
+pub const WAIT_CLASSES: [WaitClass; 5] = [
     WaitClass::Admission,
     WaitClass::BufferIo,
     WaitClass::SpillIo,
     WaitClass::FileStreamRetry,
+    WaitClass::JoinSpill,
 ];
 
 impl WaitClass {
@@ -56,6 +61,7 @@ impl WaitClass {
             WaitClass::BufferIo => "BUFFER_IO",
             WaitClass::SpillIo => "SPILL_IO",
             WaitClass::FileStreamRetry => "FILESTREAM_RETRY",
+            WaitClass::JoinSpill => "JOIN_SPILL",
         }
     }
 }
@@ -120,8 +126,10 @@ static WAITS: WaitStats = WaitStats {
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
+        AtomicU64::new(0),
     ],
     nanos: [
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
@@ -155,6 +163,11 @@ pub struct StorageCounters {
     pub spill_files: AtomicU64,
     /// Bytes written to spill files in any temp space.
     pub spill_bytes: AtomicU64,
+    /// Hash-join partition files created in any temp space (subset of
+    /// `spill_files`, attributed to the JOIN_SPILL wait class).
+    pub join_spill_files: AtomicU64,
+    /// Bytes written to hash-join partition files (subset of `spill_bytes`).
+    pub join_spill_bytes: AtomicU64,
 }
 
 impl StorageCounters {
@@ -178,6 +191,8 @@ impl StorageCounters {
             ),
             ("spill_files", ld(&self.spill_files)),
             ("spill_bytes", ld(&self.spill_bytes)),
+            ("join_spill_files", ld(&self.join_spill_files)),
+            ("join_spill_bytes", ld(&self.join_spill_bytes)),
         ]
     }
 }
@@ -192,6 +207,8 @@ static STORAGE: StorageCounters = StorageCounters {
     filestream_write_retries: AtomicU64::new(0),
     spill_files: AtomicU64::new(0),
     spill_bytes: AtomicU64::new(0),
+    join_spill_files: AtomicU64::new(0),
+    join_spill_bytes: AtomicU64::new(0),
 };
 
 /// The process-global storage-counter registry.

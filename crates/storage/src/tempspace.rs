@@ -15,9 +15,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
+
 use seqdb_types::Result;
 
 use crate::counters::{storage_counters, waits, SpillTally, WaitClass};
+use crate::fault::FaultClock;
 
 /// A directory of temporary spill files with global byte accounting.
 pub struct TempSpace {
@@ -25,6 +28,7 @@ pub struct TempSpace {
     seq: AtomicU64,
     bytes_written: AtomicU64,
     spill_count: AtomicU64,
+    fault: Mutex<Option<Arc<FaultClock>>>,
 }
 
 impl TempSpace {
@@ -37,6 +41,7 @@ impl TempSpace {
             seq: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             spill_count: AtomicU64::new(0),
+            fault: Mutex::new(None),
         }))
     }
 
@@ -44,6 +49,20 @@ impl TempSpace {
     pub fn system() -> Result<Arc<TempSpace>> {
         let dir = std::env::temp_dir().join(format!("seqdb-tmp-{}", std::process::id()));
         Self::open(dir)
+    }
+
+    /// Share a [`FaultClock`] so spill-file I/O participates in the same
+    /// seeded fault schedule as the data file and WAL (spill writes are raw
+    /// file I/O that bypasses the pager, like the FileStream store).
+    pub fn set_fault_clock(&self, clock: Option<Arc<FaultClock>>) {
+        *self.fault.lock() = clock;
+    }
+
+    fn inject_op(&self) -> Result<()> {
+        if let Some(clock) = self.fault.lock().as_ref() {
+            clock.inject_op()?;
+        }
+        Ok(())
     }
 
     /// Create a new spill file for writing.
@@ -59,6 +78,18 @@ impl TempSpace {
         self: &Arc<Self>,
         tallies: Vec<Arc<SpillTally>>,
     ) -> Result<SpillWriter> {
+        self.create_spill_class(tallies, WaitClass::SpillIo)
+    }
+
+    /// Create a new spill file whose waits are recorded under `class`
+    /// (`SpillIo` for sort/aggregate spills, `JoinSpill` for hash-join
+    /// partition files, which also bump the dedicated join gauges).
+    pub fn create_spill_class(
+        self: &Arc<Self>,
+        tallies: Vec<Arc<SpillTally>>,
+        class: WaitClass,
+    ) -> Result<SpillWriter> {
+        self.inject_op()?;
         let n = self.seq.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("spill-{n}.tmp"));
         let file = File::create(&path)?;
@@ -66,6 +97,11 @@ impl TempSpace {
         storage_counters()
             .spill_files
             .fetch_add(1, Ordering::Relaxed);
+        if class == WaitClass::JoinSpill {
+            storage_counters()
+                .join_spill_files
+                .fetch_add(1, Ordering::Relaxed);
+        }
         for tally in &tallies {
             tally.add_file();
         }
@@ -74,6 +110,7 @@ impl TempSpace {
             path,
             writer: Some(BufWriter::new(file)),
             tallies,
+            class,
         })
     }
 
@@ -114,22 +151,29 @@ pub struct SpillWriter {
     path: PathBuf,
     writer: Option<BufWriter<File>>,
     tallies: Vec<Arc<SpillTally>>,
+    class: WaitClass,
 }
 
 impl SpillWriter {
     pub fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        self.space.inject_op()?;
         let start = Instant::now();
         self.writer
             .as_mut()
             .expect("writer live until finish")
             .write_all(buf)?;
-        waits().record(WaitClass::SpillIo, start.elapsed());
+        waits().record(self.class, start.elapsed());
         self.space
             .bytes_written
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
         storage_counters()
             .spill_bytes
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        if self.class == WaitClass::JoinSpill {
+            storage_counters()
+                .join_spill_bytes
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        }
         for tally in &self.tallies {
             tally.add_bytes(buf.len() as u64);
         }
@@ -145,6 +189,7 @@ impl SpillWriter {
         Ok(SpillReader {
             path: std::mem::take(&mut self.path),
             reader: BufReader::with_capacity(64 * 1024, file),
+            class: self.class,
         })
     }
 }
@@ -161,6 +206,7 @@ impl Drop for SpillWriter {
 pub struct SpillReader {
     path: PathBuf,
     reader: BufReader<File>,
+    class: WaitClass,
 }
 
 impl SpillReader {
@@ -171,7 +217,7 @@ impl SpillReader {
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
             Err(e) => Err(e.into()),
         };
-        waits().record(WaitClass::SpillIo, start.elapsed());
+        waits().record(self.class, start.elapsed());
         res
     }
 
@@ -179,7 +225,7 @@ impl SpillReader {
         let start = Instant::now();
         let mut out = Vec::new();
         self.reader.read_to_end(&mut out)?;
-        waits().record(WaitClass::SpillIo, start.elapsed());
+        waits().record(self.class, start.elapsed());
         Ok(out)
     }
 }
@@ -244,6 +290,51 @@ mod tests {
         }
         let waited = waits().count(WaitClass::SpillIo);
         assert!(waited >= 2, "spill writes must record SPILL_IO waits");
+    }
+
+    #[test]
+    fn join_class_spills_bump_join_gauges_and_wait_class() {
+        let ts = TempSpace::system().unwrap();
+        let files_before = storage_counters().join_spill_files.load(Ordering::Relaxed);
+        let bytes_before = storage_counters().join_spill_bytes.load(Ordering::Relaxed);
+        let waited_before = waits().count(WaitClass::JoinSpill);
+        let mut w = ts
+            .create_spill_class(Vec::new(), WaitClass::JoinSpill)
+            .unwrap();
+        w.write_all(&[9u8; 64]).unwrap();
+        let mut r = w.finish().unwrap();
+        let mut buf = [0u8; 64];
+        assert!(r.read_exact(&mut buf).unwrap());
+        assert_eq!(
+            storage_counters().join_spill_files.load(Ordering::Relaxed),
+            files_before + 1
+        );
+        assert_eq!(
+            storage_counters().join_spill_bytes.load(Ordering::Relaxed),
+            bytes_before + 64
+        );
+        assert!(
+            waits().count(WaitClass::JoinSpill) >= waited_before + 2,
+            "join spill I/O must record JOIN_SPILL waits"
+        );
+    }
+
+    #[test]
+    fn fault_clock_injects_into_spill_writes() {
+        use crate::fault::{FaultClock, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("seqdb-ts-fault-{}", std::process::id()));
+        let ts = TempSpace::open(&dir).unwrap();
+        ts.set_fault_clock(Some(FaultClock::new(FaultPlan {
+            io_error_every: Some(3),
+            ..FaultPlan::none()
+        })));
+        let mut w = ts.create_spill().unwrap(); // op 1
+        w.write_all(b"ok").unwrap(); // op 2
+        let err = w.write_all(b"boom").unwrap_err(); // op 3 fails
+        assert!(matches!(err, seqdb_types::DbError::Io(_)), "{err}");
+        drop(w);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0, "no leaked files");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

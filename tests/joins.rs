@@ -1,0 +1,405 @@
+//! End-to-end tests for the hybrid Grace hash join: cost-based join
+//! selection and `SET JOIN_STRATEGY` forcing, exact results under
+//! budgets that force multi-level partition recursion, `EXPLAIN
+//! ANALYZE` spill attribution on the join node, parallel partition
+//! joins, mid-flight `KILL` cleanliness, and seeded spill-write faults
+//! that must fail typed without ever corrupting results.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use seqdb::engine::{Database, ExecContext, QueryResult, TableFunction, TvfCursor};
+use seqdb::sql::{DatabaseSqlExt, SessionSqlExt};
+use seqdb::storage::{FaultClock, FaultPlan};
+use seqdb::types::{Column, DataType, DbError, Result, Row, Schema, Value};
+
+/// `NUMBERS(n)` emits 0..n — with a huge `n`, an effectively endless
+/// build side for the cross-session KILL test.
+struct Numbers;
+
+struct NumbersCursor {
+    next: i64,
+    limit: i64,
+}
+
+impl TvfCursor for NumbersCursor {
+    fn move_next(&mut self) -> Result<bool> {
+        self.next += 1;
+        Ok(self.next <= self.limit)
+    }
+    fn fill_row(&mut self) -> Result<Row> {
+        Ok(Row::new(vec![Value::Int(self.next - 1)]))
+    }
+}
+
+impl TableFunction for Numbers {
+    fn name(&self) -> &str {
+        "NUMBERS"
+    }
+    fn schema(&self) -> Arc<Schema> {
+        Arc::new(Schema::new(vec![Column::new("n", DataType::Int)]))
+    }
+    fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
+        Ok(Box::new(NumbersCursor {
+            next: 0,
+            limit: args[0].as_int()?,
+        }))
+    }
+}
+
+/// Two heap tables with no useful ordering: `big` and `small`, each
+/// `(k INT, pay INT)` where `k = i % keys` cycles (globally unsorted).
+fn join_db(big: i64, big_keys: i64, small: i64, small_keys: i64) -> Arc<Database> {
+    let db = Database::in_memory();
+    db.execute_sql("CREATE TABLE big (k INT, pay INT)").unwrap();
+    db.execute_sql("CREATE TABLE small (k INT, pay INT)")
+        .unwrap();
+    let rows: Vec<Row> = (0..big)
+        .map(|i| Row::new(vec![Value::Int(i % big_keys), Value::Int(i)]))
+        .collect();
+    db.insert_rows("big", &rows).unwrap();
+    let rows: Vec<Row> = (0..small)
+        .map(|i| Row::new(vec![Value::Int(i % small_keys), Value::Int(i)]))
+        .collect();
+    db.insert_rows("small", &rows).unwrap();
+    db
+}
+
+/// Flatten a plan-text result (one TEXT row per line) back into a string.
+fn plan_text(r: &QueryResult) -> String {
+    r.rows
+        .iter()
+        .map(|row| format!("{}\n", row[0].as_text().unwrap()))
+        .collect()
+}
+
+/// Project every row to `Option<i64>` columns and sort, so join outputs
+/// can be compared independent of emission order.
+fn key_rows(r: &QueryResult) -> Vec<Vec<Option<i64>>> {
+    let mut v: Vec<Vec<Option<i64>>> = r
+        .rows
+        .iter()
+        .map(|row| row.values().iter().map(|c| c.as_int().ok()).collect())
+        .collect();
+    v.sort();
+    v
+}
+
+const Q: &str = "SELECT a.k, a.pay, b.pay FROM big a JOIN small b ON (a.k = b.k)";
+
+// ----------------------------------------------------------------------
+// Cost-based selection and SET JOIN_STRATEGY forcing
+// ----------------------------------------------------------------------
+
+#[test]
+fn cost_based_selection_and_strategy_forcing() {
+    let db = join_db(4000, 1000, 2000, 1000);
+
+    // Heap inputs with no exploitable order: the optimizer picks a hash
+    // join and builds from the smaller (right) side.
+    let p = plan_text(&db.query_sql(&format!("EXPLAIN {Q}")).unwrap());
+    assert!(p.contains("Hash Match (Inner Join)"), "{p}");
+    assert!(p.contains("(build=right)"), "{p}");
+
+    // Forcing merge wraps both unsorted sides in explicit sorts.
+    db.execute_sql("SET JOIN_STRATEGY = 2").unwrap();
+    let p = plan_text(&db.query_sql(&format!("EXPLAIN {Q}")).unwrap());
+    assert!(p.contains("Merge Join (Inner Join)"), "{p}");
+    assert!(p.contains("Sort"), "{p}");
+    let merge_rows = key_rows(&db.query_sql(Q).unwrap());
+
+    // Forcing hash and auto agree with the forced merge result.
+    db.execute_sql("SET JOIN_STRATEGY = 1").unwrap();
+    let p = plan_text(&db.query_sql(&format!("EXPLAIN {Q}")).unwrap());
+    assert!(p.contains("Hash Match (Inner Join)"), "{p}");
+    assert_eq!(key_rows(&db.query_sql(Q).unwrap()), merge_rows);
+    db.execute_sql("SET JOIN_STRATEGY = 0").unwrap();
+    assert_eq!(key_rows(&db.query_sql(Q).unwrap()), merge_rows);
+
+    // Out-of-range values are a typed error, not a silent default.
+    let err = db.execute_sql("SET JOIN_STRATEGY = 9").unwrap_err();
+    assert!(matches!(err, DbError::Unsupported(_)), "{err}");
+
+    // A session-scoped override stays in its session.
+    let s = db.create_session();
+    s.execute_sql("SET JOIN_STRATEGY = 2").unwrap();
+    let p = plan_text(&s.query_sql(&format!("EXPLAIN {Q}")).unwrap());
+    assert!(p.contains("Merge Join (Inner Join)"), "{p}");
+    let p = plan_text(&db.query_sql(&format!("EXPLAIN {Q}")).unwrap());
+    assert!(
+        p.contains("Hash Match (Inner Join)"),
+        "server saw session SET: {p}"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Acceptance: build ≥ 4x budget completes exactly via spilling, and
+// EXPLAIN ANALYZE / DM_OS_WAIT_STATS attribute the spill to the join
+// ----------------------------------------------------------------------
+
+#[test]
+fn spilled_join_is_exact_and_attributes_spill_to_the_join_node() {
+    let db = join_db(6000, 1500, 3000, 1500);
+
+    // Ground truth: forced sort+merge with no memory limit.
+    db.execute_sql("SET JOIN_STRATEGY = 2").unwrap();
+    let expect = key_rows(&db.query_sql(Q).unwrap());
+    assert_eq!(expect.len(), 12_000, "1500 keys x 4 big x 2 small");
+    db.execute_sql("SET JOIN_STRATEGY = 0").unwrap();
+
+    // The 3000-row build side is well over 4x a 16 KiB budget, so the
+    // hash join must partition to disk — and still be exact.
+    db.execute_sql("SET QUERY_MEMORY_LIMIT_KB = 16").unwrap();
+    db.temp().reset_counters();
+    assert_eq!(key_rows(&db.query_sql(Q).unwrap()), expect);
+    assert!(db.temp().spill_count() > 0, "join never spilled");
+    assert_eq!(db.temp().live_files().unwrap(), 0, "leaked partition files");
+
+    // EXPLAIN ANALYZE pins the spill on the join operator itself.
+    let p = plan_text(&db.query_sql(&format!("EXPLAIN ANALYZE {Q}")).unwrap());
+    let join_line = p
+        .lines()
+        .find(|l| l.contains("Hash Match (Inner Join)"))
+        .unwrap_or_else(|| panic!("no hash join in plan:\n{p}"));
+    let files: u64 = join_line
+        .split("spill_files=")
+        .nth(1)
+        .unwrap_or_else(|| panic!("join node has no spill actuals:\n{p}"))
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(files > 0, "{p}");
+
+    // The waits surface under the dedicated JOIN_SPILL class.
+    let r = db
+        .query_sql("SELECT wait_class, wait_count, total_wait_ms FROM DM_OS_WAIT_STATS()")
+        .unwrap();
+    let waits = r
+        .rows
+        .iter()
+        .find(|row| row[0].as_text().unwrap() == "JOIN_SPILL")
+        .expect("JOIN_SPILL wait class missing");
+    assert!(
+        waits[1].as_int().unwrap() > 0,
+        "no JOIN_SPILL waits recorded"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Parallel partition joins agree with serial and merge
+// ----------------------------------------------------------------------
+
+#[test]
+fn parallel_spilled_join_matches_serial_and_merge() {
+    let db = join_db(8000, 2000, 4000, 2000);
+    db.set_max_dop(4);
+
+    // 12k combined input rows cross the parallel threshold, so the plan
+    // advertises the partition-phase DOP.
+    let p = plan_text(&db.query_sql(&format!("EXPLAIN {Q}")).unwrap());
+    assert!(p.contains("[DOP=4]"), "{p}");
+
+    db.execute_sql("SET JOIN_STRATEGY = 2").unwrap();
+    let expect = key_rows(&db.query_sql(Q).unwrap());
+    db.execute_sql("SET JOIN_STRATEGY = 0").unwrap();
+
+    db.execute_sql("SET QUERY_MEMORY_LIMIT_KB = 32").unwrap();
+    db.temp().reset_counters();
+    assert_eq!(key_rows(&db.query_sql(Q).unwrap()), expect);
+    assert!(db.temp().spill_count() > 0, "parallel join never spilled");
+    assert_eq!(db.temp().live_files().unwrap(), 0, "leaked partition files");
+
+    // Dropping to DOP 1 takes the serial partition path, same answer.
+    db.set_max_dop(1);
+    assert_eq!(key_rows(&db.query_sql(Q).unwrap()), expect);
+    assert_eq!(db.temp().live_files().unwrap(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Tight budgets force recursive repartitioning and stay exact
+// ----------------------------------------------------------------------
+
+#[test]
+fn tight_budget_forces_multi_level_recursion_and_stays_exact() {
+    // 600 distinct keys on both sides: ~66 KiB of build entries against
+    // a 4 KiB budget needs several halvings before a partition fits.
+    let db = join_db(600, 600, 600, 600);
+    db.execute_sql("SET JOIN_STRATEGY = 2").unwrap();
+    let expect = key_rows(&db.query_sql(Q).unwrap());
+    assert_eq!(expect.len(), 600);
+
+    // On input this small the cost model would (rightly) prefer sorting,
+    // so force hash: the test is about recursion depth, not selection.
+    db.execute_sql("SET JOIN_STRATEGY = 1").unwrap();
+    db.execute_sql("SET QUERY_MEMORY_LIMIT_KB = 4").unwrap();
+    db.temp().reset_counters();
+    assert_eq!(key_rows(&db.query_sql(Q).unwrap()), expect);
+    // Level-0 partitioning alone creates at most 8 files (4 build + 4
+    // probe); more means partition pairs re-partitioned recursively.
+    assert!(
+        db.temp().spill_count() >= 16,
+        "expected recursive repartitioning, saw {} spill files",
+        db.temp().spill_count()
+    );
+    assert_eq!(db.temp().live_files().unwrap(), 0, "leaked partition files");
+}
+
+// ----------------------------------------------------------------------
+// KILL mid-spill releases files, pins, and budget
+// ----------------------------------------------------------------------
+
+#[test]
+fn kill_mid_spill_join_releases_files_pins_and_budget() {
+    let db = Database::in_memory();
+    db.catalog().register_table_fn(Arc::new(Numbers));
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, grp INT, v INT)")
+        .unwrap();
+    let rows: Vec<Row> = (0..12_000i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 10), Value::Int(i)]))
+        .collect();
+    db.insert_rows("t", &rows).unwrap();
+    let pins_before = db.pool().pinned_frames();
+
+    // The endless TVF estimates cheaper than `t`, so it becomes the
+    // build side: the kill lands while the join is actively
+    // partitioning it to disk under the tiny budget.
+    let victim = db.create_session();
+    victim.execute_sql("SET QUERY_MEMORY_LIMIT_KB = 8").unwrap();
+    let victim_sid = victim.id() as i64;
+    let runner = std::thread::spawn(move || {
+        let start = Instant::now();
+        let err = victim
+            .query_sql("SELECT COUNT(*) FROM t a JOIN NUMBERS(1000000000) n ON (a.id = n.n)")
+            .unwrap_err();
+        (err, start.elapsed())
+    });
+
+    let killer = db.create_session();
+    let statement_id = loop {
+        let r = killer
+            .query_sql("SELECT statement_id, session_id FROM DM_EXEC_REQUESTS()")
+            .unwrap();
+        let found = r
+            .rows
+            .iter()
+            .find_map(|row| (row[1] == Value::Int(victim_sid)).then(|| row[0].as_int().unwrap()));
+        match found {
+            Some(id) => break id,
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
+    };
+    // Let the build phase get properly underway (spilling) first.
+    std::thread::sleep(Duration::from_millis(100));
+    killer.execute_sql(&format!("KILL {statement_id}")).unwrap();
+
+    let (err, elapsed) = runner.join().unwrap();
+    assert!(matches!(err, DbError::Cancelled(_)), "{err}");
+    assert!(elapsed < Duration::from_secs(10), "kill took {elapsed:?}");
+    assert_eq!(db.pool().pinned_frames(), pins_before, "leaked buffer pins");
+    assert_eq!(db.temp().live_files().unwrap(), 0, "leaked partition files");
+    assert_eq!(db.statements().running_count(), 0, "statement still live");
+
+    // The database keeps serving joins afterwards.
+    let r = db
+        .query_sql("SELECT COUNT(*) FROM t a JOIN t b ON (a.id = b.id)")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(12_000));
+}
+
+// ----------------------------------------------------------------------
+// Seeded spill-write faults: typed errors, never wrong results
+// ----------------------------------------------------------------------
+
+fn fault_seed() -> u64 {
+    std::env::var("SEQDB_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+#[test]
+fn spill_write_faults_fail_typed_and_never_corrupt_results() {
+    let seed = fault_seed();
+    let db = join_db(2000, 500, 1000, 500);
+    // Ground truth from the resident path, before any faults are armed.
+    let expect = key_rows(&db.query_sql(Q).unwrap());
+
+    // Force hash so the faults land on join partition files (auto would
+    // route this small spilling case to sort+merge instead).
+    db.execute_sql("SET JOIN_STRATEGY = 1").unwrap();
+    db.execute_sql("SET QUERY_MEMORY_LIMIT_KB = 8").unwrap();
+    for period in [3u64, 7, 23, 101] {
+        // The seed shifts the fault schedule so each CI leg explores a
+        // different alignment of injected failures and partition I/O.
+        let every = period + seed % period;
+        db.temp().set_fault_clock(Some(FaultClock::new(FaultPlan {
+            io_error_every: Some(every),
+            ..FaultPlan::none()
+        })));
+        match db.query_sql(Q) {
+            Ok(r) => assert_eq!(key_rows(&r), expect, "faulted join returned wrong rows"),
+            Err(DbError::Io(msg)) => assert!(msg.contains("injected"), "{msg}"),
+            Err(other) => panic!("expected injected Io error, got {other:?}"),
+        }
+        assert_eq!(
+            db.temp().live_files().unwrap(),
+            0,
+            "leaked files after faulted join (every {every} ops)"
+        );
+    }
+    db.temp().set_fault_clock(None);
+
+    // With the clock disarmed the same spilled join succeeds exactly.
+    assert_eq!(key_rows(&db.query_sql(Q).unwrap()), expect);
+    assert_eq!(db.temp().live_files().unwrap(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Property: hash join ≡ merge join on random inputs (dup + NULL keys)
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn random_joins_agree_with_merge_under_any_budget(
+        left in proptest::collection::vec((0i64..16, -1000i64..1000), 0..150),
+        right in proptest::collection::vec((0i64..16, -1000i64..1000), 0..150),
+        budget_kb in 2i64..8,
+        dop in 1usize..5,
+    ) {
+        let db = Database::in_memory();
+        db.execute_sql("CREATE TABLE big (k INT, pay INT)").unwrap();
+        db.execute_sql("CREATE TABLE small (k INT, pay INT)").unwrap();
+        // Key 0 maps to NULL: NULL never joins, on either side.
+        let to_row = |(k, p): &(i64, i64)| {
+            let key = if *k == 0 { Value::Null } else { Value::Int(*k) };
+            Row::new(vec![key, Value::Int(*p)])
+        };
+        db.insert_rows("big", &left.iter().map(to_row).collect::<Vec<_>>()).unwrap();
+        db.insert_rows("small", &right.iter().map(to_row).collect::<Vec<_>>()).unwrap();
+
+        db.execute_sql("SET JOIN_STRATEGY = 2").unwrap();
+        let expect = key_rows(&db.query_sql(Q).unwrap());
+
+        // Force hash with a budget small enough to spill most cases,
+        // and drop the parallel threshold so the partition phase also
+        // exercises the chosen DOP.
+        let mut cfg = db.config();
+        cfg.join_strategy = seqdb::engine::JoinStrategy::Hash;
+        cfg.query_mem_limit_kb = Some(budget_kb as u64);
+        cfg.parallel_threshold = 0;
+        cfg.max_dop = dop;
+        db.set_config(cfg);
+        match db.query_sql(Q) {
+            Ok(r) => prop_assert_eq!(key_rows(&r), expect),
+            // One key's duplicates can exceed the entire budget; the
+            // join must then fail typed, never silently drop rows.
+            Err(DbError::ResourceExhausted(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+        prop_assert_eq!(db.temp().live_files().unwrap(), 0, "leaked partition files");
+    }
+}

@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `fig7`, `fig8`, `fig9`,
-//! `join`, `fig10`, `binning` (§5.3.2), `consensus` (§5.3.3), `all`.
+//! `join`, `fig10`, `binning` (§5.3.2), `consensus` (§5.3.3), `all`,
+//! plus the wire-server overload experiment `server` (`--clients N`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,6 +34,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
     let mut scale_factor = 1usize;
+    let mut clients = 120usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +45,13 @@ fn main() {
                     .unwrap_or_else(|| die("--scale needs a number"));
                 i += 2;
             }
+            "--clients" => {
+                clients = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--clients needs a number"));
+                i += 2;
+            }
             other if !other.starts_with('-') => {
                 experiment = other.to_string();
                 i += 1;
@@ -50,6 +59,7 @@ fn main() {
             other => die(&format!("unknown flag {other}")),
         }
     }
+    CLIENTS.store(clients, std::sync::atomic::Ordering::Relaxed);
     if let Err(e) = run(&experiment, scale_factor) {
         eprintln!("report failed: {e}");
         std::process::exit(1);
@@ -58,9 +68,13 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|join|fig10|binning|consensus|snp|all] [--scale N]");
+    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|join|fig10|binning|consensus|snp|server|all] [--scale N] [--clients N]");
     std::process::exit(2);
 }
+
+/// `--clients` for the `server` experiment, stashed so `run`'s
+/// signature stays shared with the paper experiments.
+static CLIENTS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(120);
 
 // ------------------------------------------------------------ SNP ext --
 
@@ -107,6 +121,7 @@ fn run(experiment: &str, factor: usize) -> Result<()> {
         "binning" => binning(factor)?,
         "consensus" => consensus(factor)?,
         "snp" => snp(factor)?,
+        "server" => server_bench(factor, CLIENTS.load(std::sync::atomic::Ordering::Relaxed))?,
         "all" => {
             table1(factor)?;
             table2(factor)?;
@@ -633,5 +648,191 @@ fn consensus(factor: usize) -> Result<()> {
         ],
     )?;
     println!("  wrote {}\n", json.display());
+    Ok(())
+}
+
+// ------------------------------------------------------ wire server --
+
+/// The wire-server overload experiment: hundreds of concurrent clients
+/// driving mixed import/query/KILL traffic through the network front
+/// end, with admission queueing soaking the bursts, then a graceful
+/// drain under load. Reported: throughput, p50/p99 statement latency,
+/// peak admission-queue depth and connection gauge — all read over the
+/// wire from the DMVs, the way an operator would watch a shared
+/// genomics server.
+fn server_bench(factor: usize, clients: usize) -> Result<()> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    use seqdb_server::{Client, Server, ServerConfig};
+
+    println!("--- Extension: wire server under {clients} concurrent clients ---");
+    let db = Database::in_memory();
+    db.execute_sql("CREATE TABLE reads (id INT NOT NULL, grp INT, v INT)")?;
+    let rows: Vec<Row> = (0..12_000i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 10), Value::Int(i)]))
+        .collect();
+    db.insert_rows("reads", &rows)?;
+    // A pool four heavy statements fill, with a deep queue behind it:
+    // bursts wait their turn instead of failing or oversubscribing.
+    db.set_admission_pool_kb(Some(256));
+    db.set_admission_wait_ms(30_000);
+    db.set_admission_queue_slots(2 * clients);
+
+    let server = Server::start(
+        db.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: clients + 8,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.addr();
+    let run_for = Duration::from_millis(3_000 * factor as u64);
+    let stop = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(AtomicUsize::new(0));
+
+    // Worker fleet: 1 in 4 clients is "heavy" (a governed, spilling
+    // aggregate that contends for the admission pool); the rest mix
+    // short queries, single-row imports and bogus KILLs (which must
+    // come back typed, not as dropped connections).
+    let mut workers = Vec::new();
+    for who in 0..clients {
+        let stop = stop.clone();
+        let errors = errors.clone();
+        workers.push(std::thread::spawn(move || -> Vec<f64> {
+            let mut lat_ms = Vec::new();
+            let Ok(mut c) = Client::connect(addr) else {
+                return lat_ms;
+            };
+            let _ = c.set_read_timeout(Some(Duration::from_secs(60)));
+            let heavy = who % 4 == 0;
+            if heavy && c.query("SET QUERY_MEMORY_LIMIT_KB = 64").is_err() {
+                return lat_ms;
+            }
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                i += 1;
+                let sql = if heavy {
+                    "SELECT id, COUNT(*) FROM reads GROUP BY id"
+                } else if i.is_multiple_of(11) {
+                    "INSERT INTO reads VALUES (99999, 0, 1)"
+                } else if i.is_multiple_of(17) {
+                    "KILL 987654321"
+                } else {
+                    "SELECT COUNT(*) FROM reads"
+                };
+                let t = Instant::now();
+                match c.query(sql) {
+                    Ok(_) => lat_ms.push(t.elapsed().as_secs_f64() * 1e3),
+                    Err(e) => {
+                        // The bogus KILL must fail typed; anything else
+                        // failing counts against the server.
+                        if sql.starts_with("KILL") {
+                            lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                            if !matches!(e, seqdb_types::DbError::NoSuchStatement(_)) {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        } else {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            }
+            lat_ms
+        }));
+    }
+
+    // Operator thread: watches queue depth and connection count through
+    // the DMVs over its own connection, like a DBA dashboard would.
+    let sampler_stop = stop.clone();
+    let sampler = std::thread::spawn(move || -> (i64, i64) {
+        let (mut max_queue, mut max_conns) = (0i64, 0i64);
+        let Ok(mut c) = Client::connect(addr) else {
+            return (0, 0);
+        };
+        let _ = c.set_read_timeout(Some(Duration::from_secs(10)));
+        while !sampler_stop.load(Ordering::Relaxed) {
+            let Ok(r) = c.query("SELECT counter_name, value FROM DM_OS_PERFORMANCE_COUNTERS()")
+            else {
+                break;
+            };
+            for row in &r.rows {
+                let name = row[0].as_text().unwrap_or_default();
+                let v = row[1].as_int().unwrap_or(0);
+                if name == "admission_queue_depth" {
+                    max_queue = max_queue.max(v);
+                } else if name == "active_connections" {
+                    max_conns = max_conns.max(v);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        (max_queue, max_conns)
+    });
+
+    let bench_start = Instant::now();
+    std::thread::sleep(run_for);
+    stop.store(true, Ordering::Relaxed);
+    let mut lat_ms: Vec<f64> = Vec::new();
+    for w in workers {
+        lat_ms.extend(w.join().unwrap_or_default());
+    }
+    let elapsed = bench_start.elapsed();
+    let (max_queue, max_conns) = sampler.join().unwrap_or((0, 0));
+
+    // Drain while the last stragglers are still connected.
+    let drain_start = Instant::now();
+    let report = server.drain()?;
+    let drain_ms = drain_start.elapsed().as_secs_f64() * 1e3;
+
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| -> f64 {
+        if lat_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat_ms.len() as f64 - 1.0) * p).round() as usize;
+        lat_ms[idx]
+    };
+    let done = lat_ms.len();
+    let throughput = done as f64 / elapsed.as_secs_f64();
+    println!(
+        "  {done} statements from {clients} clients in {} — {throughput:.0}/s",
+        fmt_dur(elapsed)
+    );
+    println!(
+        "  latency p50 {:.2} ms, p99 {:.2} ms; peak queue depth {max_queue}, peak connections {max_conns}",
+        pct(0.50),
+        pct(0.99)
+    );
+    println!(
+        "  drain: {} finished, {} killed, {:.0} ms; client-visible errors {}",
+        report.finished,
+        report.killed,
+        drain_ms,
+        errors.load(std::sync::atomic::Ordering::Relaxed)
+    );
+
+    let path = seqdb_bench::workspace_dir("BENCH_server.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = format!(
+        "{{\n  \"clients\": {clients},\n  \"duration_ms\": {:.0},\n  \"statements_ok\": {done},\n  \
+         \"client_errors\": {},\n  \"throughput_per_s\": {throughput:.1},\n  \"p50_ms\": {:.3},\n  \
+         \"p99_ms\": {:.3},\n  \"max_admission_queue_depth\": {max_queue},\n  \
+         \"max_active_connections\": {max_conns},\n  \"drain_finished\": {},\n  \
+         \"drain_killed\": {},\n  \"drain_ms\": {drain_ms:.0}\n}}\n",
+        elapsed.as_secs_f64() * 1e3,
+        errors.load(std::sync::atomic::Ordering::Relaxed),
+        pct(0.50),
+        pct(0.99),
+        report.finished,
+        report.killed,
+    );
+    std::fs::write(&path, json)?;
+    println!("  wrote {}\n", path.display());
     Ok(())
 }

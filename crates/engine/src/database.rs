@@ -12,6 +12,7 @@ use seqdb_storage::{BufferPool, FilePager, FileStreamStore, MemPager, TempSpace,
 use seqdb_types::{Result, Row, Schema};
 
 use crate::catalog::{Catalog, Table};
+use crate::conn::{ConnectionRegistry, DmExecConnectionsFn};
 use crate::dmv::{DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn};
 use crate::exec::ExecContext;
 use crate::governor::QueryGovernor;
@@ -70,6 +71,12 @@ pub struct DbConfig {
     /// Bounded wait at the admission gate (`SET ADMISSION_WAIT_MS`,
     /// server-wide) before a queued query fails with `AdmissionTimeout`.
     pub admission_wait_ms: u64,
+    /// Queued-statement admission (`SET ADMISSION_QUEUE_SLOTS`,
+    /// server-wide): when > 0, statements blocked at the admission gate
+    /// wait in a bounded FIFO of this many slots (overload degrades to
+    /// ordered latency); a statement arriving at a full queue fails with
+    /// a typed `ServerBusy`. 0 keeps the original free-for-all wait.
+    pub admission_queue_slots: usize,
     /// Join algorithm selection (`SET JOIN_STRATEGY`).
     pub join_strategy: JoinStrategy,
 }
@@ -86,6 +93,7 @@ impl Default for DbConfig {
             query_mem_limit_kb: None,
             admission_pool_kb: None,
             admission_wait_ms: 1000,
+            admission_queue_slots: 0,
             join_strategy: JoinStrategy::Auto,
         }
     }
@@ -100,6 +108,7 @@ pub struct Database {
     config: RwLock<DbConfig>,
     statements: Arc<StatementRegistry>,
     admission: Arc<AdmissionController>,
+    connections: Arc<ConnectionRegistry>,
     query_stats: Arc<QueryStatsHistory>,
     session_seq: AtomicU64,
 }
@@ -161,13 +170,18 @@ impl Database {
         let statements = StatementRegistry::new();
         let query_stats = QueryStatsHistory::new(QueryStatsHistory::DEFAULT_CAPACITY);
         let temp = TempSpace::open(base.join("tempdb"))?;
+        let admission = AdmissionController::new();
+        let connections = ConnectionRegistry::new();
         catalog.register_table_fn(Arc::new(DmExecRequestsFn::new(statements.clone())));
         catalog.register_table_fn(Arc::new(DmOsPerformanceCountersFn::new(
             pool.clone(),
             temp.clone(),
+            admission.clone(),
+            connections.clone(),
         )));
         catalog.register_table_fn(Arc::new(DmOsWaitStatsFn));
         catalog.register_table_fn(Arc::new(DmExecQueryStatsFn::new(query_stats.clone())));
+        catalog.register_table_fn(Arc::new(DmExecConnectionsFn::new(connections.clone())));
         Ok(Arc::new(Database {
             pool,
             catalog,
@@ -175,7 +189,8 @@ impl Database {
             temp,
             config: RwLock::new(DbConfig::default()),
             statements,
-            admission: AdmissionController::new(),
+            admission,
+            connections,
             query_stats,
             session_seq: AtomicU64::new(1),
         }))
@@ -199,6 +214,13 @@ impl Database {
     /// The global admission gate governed session statements pass through.
     pub fn admission(&self) -> &Arc<AdmissionController> {
         &self.admission
+    }
+
+    /// The registry of live client connections (DM_EXEC_CONNECTIONS()
+    /// and the `active_connections` gauge). The wire server registers
+    /// each accepted connection here.
+    pub fn connections(&self) -> &Arc<ConnectionRegistry> {
+        &self.connections
     }
 
     /// The bounded statement history behind `DM_EXEC_QUERY_STATS()`.
@@ -263,6 +285,12 @@ impl Database {
     /// fails with `AdmissionTimeout`. Server-wide.
     pub fn set_admission_wait_ms(&self, ms: u64) {
         self.config.write().admission_wait_ms = ms;
+    }
+
+    /// FIFO queue depth at the admission gate; 0 restores the original
+    /// free-for-all wait. Server-wide, like `SET ADMISSION_QUEUE_SLOTS`.
+    pub fn set_admission_queue_slots(&self, slots: usize) {
+        self.config.write().admission_queue_slots = slots;
     }
 
     /// Build an execution context snapshotting current configuration.

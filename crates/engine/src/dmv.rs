@@ -25,7 +25,9 @@ use std::sync::Arc;
 use seqdb_storage::{storage_counters, waits, BufferPool, TempSpace};
 use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
 
+use crate::conn::ConnectionRegistry;
 use crate::exec::ExecContext;
+use crate::session::AdmissionController;
 use crate::stats::{engine_counters, QueryStatsHistory};
 use crate::udx::{TableFunction, TvfCursor};
 
@@ -66,15 +68,28 @@ fn no_args(args: &[Value], name: &str) -> Result<()> {
 }
 
 /// `SELECT * FROM DM_OS_PERFORMANCE_COUNTERS()` — the merged engine and
-/// storage counter registries plus this database's buffer-pool stats.
+/// storage counter registries plus this database's buffer-pool,
+/// admission-gate and connection gauges.
 pub struct DmOsPerformanceCountersFn {
     pool: Arc<BufferPool>,
     temp: Arc<TempSpace>,
+    admission: Arc<AdmissionController>,
+    connections: Arc<ConnectionRegistry>,
 }
 
 impl DmOsPerformanceCountersFn {
-    pub fn new(pool: Arc<BufferPool>, temp: Arc<TempSpace>) -> DmOsPerformanceCountersFn {
-        DmOsPerformanceCountersFn { pool, temp }
+    pub fn new(
+        pool: Arc<BufferPool>,
+        temp: Arc<TempSpace>,
+        admission: Arc<AdmissionController>,
+        connections: Arc<ConnectionRegistry>,
+    ) -> DmOsPerformanceCountersFn {
+        DmOsPerformanceCountersFn {
+            pool,
+            temp,
+            admission,
+            connections,
+        }
     }
 }
 
@@ -111,6 +126,22 @@ impl TableFunction for DmOsPerformanceCountersFn {
             (
                 "tempspace_live_files".into(),
                 self.temp.live_files()? as u64,
+            ),
+            // Gauges for the overload-protection surface: bytes currently
+            // reserved at the admission gate, statements blocked waiting
+            // there, and live client connections. All read 0 on an idle
+            // server, so connection/budget leak checks are one-line SQL.
+            (
+                "admission_reserved_bytes".into(),
+                self.admission.reserved() as u64,
+            ),
+            (
+                "admission_queue_depth".into(),
+                self.admission.queue_depth() as u64,
+            ),
+            (
+                "active_connections".into(),
+                self.connections.active_count() as u64,
             ),
         ];
         pairs.extend(
@@ -238,7 +269,12 @@ mod tests {
     #[test]
     fn performance_counters_cover_all_registries() {
         let ctx = test_context();
-        let f = DmOsPerformanceCountersFn::new(ctx.catalog.pool().clone(), ctx.temp.clone());
+        let f = DmOsPerformanceCountersFn::new(
+            ctx.catalog.pool().clone(),
+            ctx.temp.clone(),
+            AdmissionController::new(),
+            ConnectionRegistry::new(),
+        );
         let rows = drain(&f);
         let names: Vec<String> = rows.iter().map(|r| format!("{:?}", r[0])).collect();
         let has = |n: &str| names.iter().any(|x| x.contains(n));
@@ -248,6 +284,9 @@ mod tests {
         assert!(has("spill_bytes"));
         assert!(has("admission_waits"));
         assert!(has("udx_panics"));
+        assert!(has("admission_reserved_bytes"));
+        assert!(has("admission_queue_depth"));
+        assert!(has("active_connections"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod builtins;
 pub mod catalog;
+pub mod conn;
 pub mod database;
 pub mod dmv;
 pub mod exec;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod udx;
 
 pub use catalog::{Catalog, Table, TableIndex};
+pub use conn::{ConnState, ConnectionHandle, ConnectionInfo, ConnectionRegistry};
 pub use database::{Database, DbConfig, JoinStrategy};
 pub use dmv::{DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn};
 pub use exec::{BoxedIter, ExecContext, RowIterator};

@@ -20,7 +20,7 @@
 //!   [`DbError::AdmissionTimeout`] instead of running the server out of
 //!   memory.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex as StdMutex};
@@ -155,6 +155,8 @@ impl Session {
             budget.unwrap_or(0),
             cfg.admission_pool_kb.map(|kb| kb as usize * 1024),
             Duration::from_millis(cfg.admission_wait_ms),
+            cfg.admission_queue_slots,
+            Some(&gov),
         )?;
         guard.registry.mark_admitted(statement_id);
         guard.slot = Some(slot);
@@ -278,8 +280,8 @@ impl RunningStatement {
 
 /// Registry of running statements, shared by every session of a
 /// [`Database`]. Statement ids are process-unique and never reused, so a
-/// `KILL` racing with statement completion can only miss (NotFound),
-/// never hit an unrelated newer statement.
+/// `KILL` racing with statement completion can only miss (a typed
+/// [`DbError::NoSuchStatement`]), never hit an unrelated newer statement.
 pub struct StatementRegistry {
     next_id: AtomicI64,
     running: Mutex<HashMap<i64, StatementInfo>>,
@@ -322,7 +324,9 @@ impl StatementRegistry {
     /// `KILL <statement id>`: request cancellation of a running
     /// statement. The victim fails with [`DbError::Cancelled`] at its
     /// next cooperative check; a statement that already finished (or
-    /// never existed) reports [`DbError::NotFound`].
+    /// never existed) reports the typed [`DbError::NoSuchStatement`] —
+    /// a clean miss the wire server surfaces as a protocol-level error
+    /// without dropping the issuing connection.
     pub fn kill(&self, id: i64) -> Result<()> {
         let running = self.running.lock();
         match running.get(&id) {
@@ -331,8 +335,28 @@ impl StatementRegistry {
                 engine_counters().kills.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
-            None => Err(DbError::NotFound(format!("running statement {id}"))),
+            None => Err(DbError::NoSuchStatement(id)),
         }
+    }
+
+    /// Cancel every statement a session has in flight — the wire
+    /// server's cleanup path when a client disconnects mid-statement.
+    /// Returns how many statements were cancelled. Each victim unwinds
+    /// at its next cooperative check (statements queued at the
+    /// admission gate poll their governor and unwind there), releasing
+    /// pins, temp files and its admission reservation through the usual
+    /// guard drops.
+    pub fn kill_session(&self, session_id: u64) -> usize {
+        let running = self.running.lock();
+        let mut killed = 0;
+        for info in running.values() {
+            if info.session_id == session_id && !info.gov.is_aborted() {
+                info.gov.cancel();
+                engine_counters().kills.fetch_add(1, Ordering::Relaxed);
+                killed += 1;
+            }
+        }
+        killed
     }
 
     /// Point-in-time view of every running statement, ordered by id.
@@ -368,6 +392,15 @@ impl StatementRegistry {
 struct PoolState {
     /// Bytes of the global pool currently reserved by admitted queries.
     in_use: usize,
+    /// FIFO tickets of statements waiting at the gate when queued
+    /// admission is on (`queue_slots > 0`). Only the front ticket may
+    /// admit, so a small query cannot starve a big one that arrived
+    /// first.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+    /// Statements currently blocked at the gate, in either mode — the
+    /// `admission_queue_depth` gauge.
+    waiting: usize,
 }
 
 /// Gate in front of query startup: each *governed* query (one with a
@@ -381,6 +414,16 @@ struct PoolState {
 /// Ungoverned queries (no budget) bypass the gate: with no declared
 /// ceiling there is nothing meaningful to reserve, exactly like SQL
 /// Server's small-query bypass.
+///
+/// Two waiting disciplines, selected per call by `queue_slots`:
+///
+/// * `queue_slots == 0` — the original free-for-all: every waiter
+///   re-checks the pool on each wakeup and whoever fits first wins.
+/// * `queue_slots > 0` — **queued admission**: waiters take a FIFO
+///   ticket and only the front of the queue may admit, so overload
+///   degrades to ordered latency instead of errors; only once the
+///   queue itself is full (`queue_slots` waiters deep) does the next
+///   arrival get a typed [`DbError::ServerBusy`] rejection.
 pub struct AdmissionController {
     state: StdMutex<PoolState>,
     freed: Condvar,
@@ -389,7 +432,12 @@ pub struct AdmissionController {
 impl AdmissionController {
     pub fn new() -> Arc<AdmissionController> {
         Arc::new(AdmissionController {
-            state: StdMutex::new(PoolState { in_use: 0 }),
+            state: StdMutex::new(PoolState {
+                in_use: 0,
+                queue: VecDeque::new(),
+                next_ticket: 1,
+                waiting: 0,
+            }),
             freed: Condvar::new(),
         })
     }
@@ -397,11 +445,18 @@ impl AdmissionController {
     /// Reserve `bytes` from a pool of `pool_limit` bytes, waiting up to
     /// `wait` for other queries to finish. `bytes == 0` (ungoverned
     /// query) or `pool_limit == None` (admission off) admit immediately.
+    ///
+    /// With `queue_slots > 0` the wait is FIFO-ordered (see the type
+    /// docs). A `gov`, if given, is polled while blocked so `KILL` (or
+    /// a client disconnect) evicts a statement still waiting at the
+    /// gate instead of letting it run after its session died.
     pub fn admit(
         self: &Arc<Self>,
         bytes: usize,
         pool_limit: Option<usize>,
         wait: Duration,
+        queue_slots: usize,
+        gov: Option<&QueryGovernor>,
     ) -> Result<AdmissionSlot> {
         let Some(limit) = pool_limit else {
             return Ok(AdmissionSlot {
@@ -426,9 +481,26 @@ impl AdmissionController {
         // per statement that had to wait at all, and timed whether the
         // statement eventually got in or timed out.
         let mut wait_start: Option<Instant> = None;
+        let mut ticket: Option<u64> = None;
         let outcome = loop {
-            if state.in_use + bytes <= limit {
+            // In FIFO mode only the front of the queue may admit; a
+            // newcomer with an empty queue is its own front.
+            let at_head = match ticket {
+                Some(t) => state.queue.front() == Some(&t),
+                None => queue_slots == 0 || state.queue.is_empty(),
+            };
+            if at_head && state.in_use + bytes <= limit {
+                if ticket.take().is_some() {
+                    state.queue.pop_front();
+                    // The new front may already fit alongside us.
+                    self.freed.notify_all();
+                }
                 break Ok(());
+            }
+            if let Some(g) = gov {
+                if let Err(e) = g.check() {
+                    break Err(e);
+                }
             }
             let now = Instant::now();
             if now >= deadline {
@@ -439,18 +511,48 @@ impl AdmissionController {
                     wait.as_millis()
                 )));
             }
+            if ticket.is_none() && queue_slots > 0 {
+                if state.queue.len() >= queue_slots {
+                    break Err(DbError::ServerBusy(format!(
+                        "admission queue full ({} statements already waiting; \
+                         limit {queue_slots})",
+                        state.queue.len()
+                    )));
+                }
+                let t = state.next_ticket;
+                state.next_ticket += 1;
+                state.queue.push_back(t);
+                ticket = Some(t);
+            }
             if wait_start.is_none() {
                 wait_start = Some(now);
+                state.waiting += 1;
                 engine_counters()
                     .admission_waits
                     .fetch_add(1, Ordering::Relaxed);
             }
+            // With a governor to poll, wake at least every 10ms so a
+            // queued statement notices KILL promptly; otherwise sleep
+            // until the deadline (wakeups still arrive via `freed`).
+            let mut interval = deadline - now;
+            if gov.is_some() {
+                interval = interval.min(Duration::from_millis(10));
+            }
             let (guard, _timeout) = self
                 .freed
-                .wait_timeout(state, deadline - now)
+                .wait_timeout(state, interval)
                 .map_err(|_| DbError::Execution("admission pool lock poisoned".into()))?;
             state = guard;
         };
+        if let Some(t) = ticket {
+            // Error exit while still queued: give the slot back and let
+            // the statement behind us advance to the front.
+            state.queue.retain(|&q| q != t);
+            self.freed.notify_all();
+        }
+        if wait_start.is_some() {
+            state.waiting -= 1;
+        }
         if let Some(start) = wait_start {
             waits().record(WaitClass::Admission, start.elapsed());
         }
@@ -466,6 +568,12 @@ impl AdmissionController {
     /// probe used by tests).
     pub fn reserved(&self) -> usize {
         self.state.lock().map(|s| s.in_use).unwrap_or(usize::MAX)
+    }
+
+    /// Statements currently blocked at the admission gate — the
+    /// `admission_queue_depth` gauge in `DM_OS_PERFORMANCE_COUNTERS()`.
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().map(|s| s.waiting).unwrap_or(usize::MAX)
     }
 
     fn release(&self, bytes: usize) {
@@ -628,7 +736,24 @@ mod tests {
         assert!(reg.snapshot()[0].aborted);
         reg.deregister(id);
         assert_eq!(reg.running_count(), 0);
-        assert!(matches!(reg.kill(id), Err(DbError::NotFound(_))));
+        assert!(matches!(reg.kill(id), Err(DbError::NoSuchStatement(k)) if k == id));
+    }
+
+    #[test]
+    fn kill_session_cancels_only_that_sessions_statements() {
+        let reg = StatementRegistry::new();
+        let g1 = QueryGovernor::unlimited();
+        let g2 = QueryGovernor::unlimited();
+        let g3 = QueryGovernor::unlimited();
+        reg.register(7, "SELECT 1", g1.clone());
+        reg.register(7, "SELECT 2", g2.clone());
+        reg.register(9, "SELECT 3", g3.clone());
+        assert_eq!(reg.kill_session(7), 2);
+        assert!(g1.is_aborted() && g2.is_aborted());
+        assert!(!g3.is_aborted(), "other sessions are untouched");
+        // Idempotent: already-aborted statements are not re-counted.
+        assert_eq!(reg.kill_session(7), 0);
+        assert_eq!(reg.kill_session(42), 0, "unknown session is a no-op");
     }
 
     #[test]
@@ -653,23 +778,23 @@ mod tests {
         let limit = Some(1000);
         let wait = Duration::from_millis(50);
         // Ungoverned and admission-off queries bypass the pool.
-        let free = ctrl.admit(0, limit, wait).unwrap();
-        let off = ctrl.admit(800, None, wait).unwrap();
+        let free = ctrl.admit(0, limit, wait, 0, None).unwrap();
+        let off = ctrl.admit(800, None, wait, 0, None).unwrap();
         assert_eq!(ctrl.reserved(), 0);
         drop((free, off));
 
-        let a = ctrl.admit(600, limit, wait).unwrap();
-        let b = ctrl.admit(400, limit, wait).unwrap();
+        let a = ctrl.admit(600, limit, wait, 0, None).unwrap();
+        let b = ctrl.admit(400, limit, wait, 0, None).unwrap();
         assert_eq!(ctrl.reserved(), 1000);
         // Pool full: a third governed query times out, typed.
-        let err = ctrl.admit(100, limit, wait).unwrap_err();
+        let err = ctrl.admit(100, limit, wait, 0, None).unwrap_err();
         assert!(matches!(err, DbError::AdmissionTimeout(_)), "{err}");
         // A budget bigger than the whole pool can never be admitted.
-        let err = ctrl.admit(2000, limit, wait).unwrap_err();
+        let err = ctrl.admit(2000, limit, wait, 0, None).unwrap_err();
         assert!(matches!(err, DbError::AdmissionTimeout(_)), "{err}");
         drop(a);
         // Freed capacity admits the next query.
-        let c = ctrl.admit(100, limit, wait).unwrap();
+        let c = ctrl.admit(100, limit, wait, 0, None).unwrap();
         drop((b, c));
         assert_eq!(ctrl.reserved(), 0);
     }
@@ -678,16 +803,114 @@ mod tests {
     fn admission_wait_succeeds_when_capacity_frees_in_time() {
         let ctrl = AdmissionController::new();
         let limit = Some(1000);
-        let a = ctrl.admit(1000, limit, Duration::from_millis(10)).unwrap();
+        let a = ctrl
+            .admit(1000, limit, Duration::from_millis(10), 0, None)
+            .unwrap();
         let ctrl2 = ctrl.clone();
         let releaser = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
             drop(a);
         });
         // Waits past the release and gets in, well before the bound.
-        let b = ctrl2.admit(1000, limit, Duration::from_secs(5)).unwrap();
+        let b = ctrl2
+            .admit(1000, limit, Duration::from_secs(5), 0, None)
+            .unwrap();
         releaser.join().unwrap();
         drop(b);
+        assert_eq!(ctrl.reserved(), 0);
+    }
+
+    #[test]
+    fn queued_admission_is_fifo_ordered() {
+        let ctrl = AdmissionController::new();
+        let limit = Some(1000);
+        let first = ctrl
+            .admit(950, limit, Duration::from_secs(5), 8, None)
+            .unwrap();
+        // `big` queues first and needs the whole pool; `small` queues
+        // second and would fit *right now* (950 + 50 ≤ 1000) under the
+        // free-for-all discipline — FIFO makes it wait its turn.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (c1, o1) = (ctrl.clone(), order.clone());
+        let big = std::thread::spawn(move || {
+            let s = c1
+                .admit(1000, Some(1000), Duration::from_secs(5), 8, None)
+                .unwrap();
+            o1.lock().push("big");
+            std::thread::sleep(Duration::from_millis(30));
+            drop(s);
+        });
+        // Make sure `big` is enqueued before `small` arrives.
+        while ctrl.queue_depth() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (c2, o2) = (ctrl.clone(), order.clone());
+        let small = std::thread::spawn(move || {
+            let s = c2
+                .admit(50, Some(1000), Duration::from_secs(5), 8, None)
+                .unwrap();
+            o2.lock().push("small");
+            drop(s);
+        });
+        while ctrl.queue_depth() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Small fits but is not at the front: it must still be waiting.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(order.lock().is_empty(), "nobody admits past a full head");
+        drop(first);
+        big.join().unwrap();
+        small.join().unwrap();
+        assert_eq!(*order.lock(), vec!["big", "small"], "FIFO, not size-based");
+        assert_eq!(ctrl.reserved(), 0);
+        assert_eq!(ctrl.queue_depth(), 0);
+    }
+
+    #[test]
+    fn full_admission_queue_rejects_with_server_busy() {
+        let ctrl = AdmissionController::new();
+        let limit = Some(100);
+        let slot = ctrl
+            .admit(100, limit, Duration::from_secs(5), 1, None)
+            .unwrap();
+        let c = ctrl.clone();
+        let waiter =
+            std::thread::spawn(move || c.admit(100, Some(100), Duration::from_secs(5), 1, None));
+        while ctrl.queue_depth() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The single queue slot is taken: the next arrival is rejected
+        // immediately with the typed overload error, not a timeout.
+        let err = ctrl
+            .admit(100, limit, Duration::from_secs(5), 1, None)
+            .unwrap_err();
+        assert!(matches!(err, DbError::ServerBusy(_)), "{err}");
+        drop(slot);
+        assert!(waiter.join().unwrap().is_ok(), "queued waiter still admits");
+        assert_eq!(ctrl.reserved(), 0);
+    }
+
+    #[test]
+    fn kill_evicts_a_statement_queued_at_the_gate() {
+        let ctrl = AdmissionController::new();
+        let limit = Some(100);
+        let slot = ctrl
+            .admit(100, limit, Duration::from_secs(30), 4, None)
+            .unwrap();
+        let gov = QueryGovernor::unlimited();
+        let (c, g) = (ctrl.clone(), gov.clone());
+        let queued = std::thread::spawn(move || {
+            c.admit(100, Some(100), Duration::from_secs(30), 4, Some(&g))
+        });
+        while ctrl.queue_depth() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        gov.cancel();
+        let err = queued.join().unwrap().unwrap_err();
+        assert!(matches!(err, DbError::Cancelled(_)), "{err}");
+        // The dead waiter left the queue; capacity and depth are clean.
+        assert_eq!(ctrl.queue_depth(), 0);
+        drop(slot);
         assert_eq!(ctrl.reserved(), 0);
     }
 }

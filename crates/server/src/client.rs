@@ -1,0 +1,92 @@
+//! Minimal client for the seqdb wire protocol.
+//!
+//! One blocking request/response exchange per [`Client::query`] call.
+//! Typed engine errors come back as the same [`DbError`] variants the
+//! server raised (see [`crate::protocol`]); transport failures surface
+//! as [`DbError::Io`] / [`DbError::Protocol`]. Used by `report server`
+//! and the integration suite; small enough to embed anywhere.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use seqdb_engine::QueryResult;
+use seqdb_types::{DbError, Result, Row, Schema};
+
+use crate::protocol::{
+    decode_done, decode_error, decode_rows, decode_schema, encode_query, read_frame, write_frame,
+    RESP_DONE, RESP_ERR, RESP_ROWS, RESP_SCHEMA,
+};
+
+/// A connection to a seqdb wire server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (anything `ToSocketAddrs`, e.g. the value of
+    /// [`Server::addr`](crate::Server::addr)).
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Connect with a bound on the TCP handshake itself.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Bound how long [`Client::query`] may block reading the response
+    /// (`None` = forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// The underlying stream (tests use this to shut the socket down
+    /// abruptly, simulating a vanished client).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Execute one statement and collect the whole result. A typed
+    /// error frame becomes that same `Err(DbError)` locally; the
+    /// connection stays usable after any *typed* error (`ServerBusy`,
+    /// `NoSuchStatement`, `Cancelled`, ...), matching the server's
+    /// promise not to drop the connection for statement-level failures.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        write_frame(&mut self.stream, &encode_query(sql))?;
+        let mut schema: Option<Schema> = None;
+        let mut rows: Vec<Row> = Vec::new();
+        loop {
+            let payload = match read_frame(&mut self.stream)? {
+                Some(p) => p,
+                None => {
+                    return Err(DbError::Io(
+                        "server closed the connection mid response".into(),
+                    ))
+                }
+            };
+            match payload.first().copied() {
+                Some(RESP_SCHEMA) => schema = Some(decode_schema(&payload)?),
+                Some(RESP_ROWS) => rows.extend(decode_rows(&payload)?),
+                Some(RESP_DONE) => {
+                    let affected = decode_done(&payload)?;
+                    return Ok(QueryResult {
+                        schema: std::sync::Arc::new(schema.unwrap_or_else(Schema::empty)),
+                        rows,
+                        affected,
+                    });
+                }
+                Some(RESP_ERR) => return Err(decode_error(&payload)?),
+                other => {
+                    return Err(DbError::Protocol(format!(
+                        "unexpected response tag {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}

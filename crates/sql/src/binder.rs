@@ -97,6 +97,7 @@ pub fn execute_statement_on(
                 // of one session: these stay server-wide.
                 "ADMISSION_POOL_KB" => db.set_admission_pool_kb(v),
                 "ADMISSION_WAIT_MS" => db.set_admission_wait_ms(*value as u64),
+                "ADMISSION_QUEUE_SLOTS" => db.set_admission_queue_slots(*value as usize),
                 other => {
                     return Err(DbError::Unsupported(format!("unknown SET option {other}")));
                 }
@@ -232,6 +233,7 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
                 }
                 "ADMISSION_POOL_KB" => db.set_admission_pool_kb(v),
                 "ADMISSION_WAIT_MS" => db.set_admission_wait_ms(*value as u64),
+                "ADMISSION_QUEUE_SLOTS" => db.set_admission_queue_slots(*value as usize),
                 other => {
                     return Err(DbError::Unsupported(format!("unknown SET option {other}")));
                 }

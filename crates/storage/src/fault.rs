@@ -55,6 +55,23 @@ pub struct FaultPlan {
     pub torn_write_every: Option<u64>,
     /// The first `n` syncs succeed; the next one crashes the device.
     pub crash_after_syncs: Option<u64>,
+    /// Every `n`th network stream operation delivers at most one byte,
+    /// the way a congested socket hands back less than was asked for.
+    /// Counted on the network clock (separate from storage ops, so
+    /// adding a network wrapper never shifts a disk fault schedule).
+    pub net_short_read_every: Option<u64>,
+    /// Every `n`th network stream operation accepts only a seeded-random
+    /// prefix of the buffer, forcing callers to handle split writes.
+    pub net_partial_write_every: Option<u64>,
+    /// Every `n`th network stream operation stalls for
+    /// [`FaultPlan::net_stall_ms`] before proceeding — a peer that went
+    /// quiet, as seen by deadline-based connection logic.
+    pub net_stall_every: Option<u64>,
+    /// How long an injected network stall lasts.
+    pub net_stall_ms: u64,
+    /// The first `n` network operations succeed; every later one fails
+    /// with `ConnectionReset`, the abrupt mid-statement disconnect.
+    pub net_reset_after_ops: Option<u64>,
 }
 
 impl FaultPlan {
@@ -80,6 +97,11 @@ pub struct FaultClock {
     writes: AtomicU64,
     syncs: AtomicU64,
     crashed: AtomicBool,
+    /// Network stream operations, counted separately from storage ops so
+    /// the two schedules never perturb each other.
+    net_ops: AtomicU64,
+    /// The simulated peer reset the connection (sticky, like `crashed`).
+    net_reset: AtomicBool,
     rng: Mutex<u64>,
 }
 
@@ -92,6 +114,8 @@ impl FaultClock {
             writes: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
+            net_ops: AtomicU64::new(0),
+            net_reset: AtomicBool::new(false),
             rng: Mutex::new(rng_seed),
         })
     }
@@ -141,6 +165,67 @@ impl FaultClock {
         Ok(())
     }
 
+    /// Total network stream operations observed.
+    pub fn net_op_count(&self) -> u64 {
+        self.net_ops.load(Ordering::Relaxed)
+    }
+
+    /// Has the simulated peer reset the connection?
+    pub fn is_net_reset(&self) -> bool {
+        self.net_reset.load(Ordering::Acquire)
+    }
+
+    /// True once the schedule has reached (or passed) its reset point:
+    /// either a reset already fired, or the op budget is exhausted and
+    /// the *next* operation will fail. Connection-lifecycle code uses
+    /// this to treat the peer as gone without burning a schedule op.
+    pub fn net_reset_pending(&self) -> bool {
+        self.is_net_reset()
+            || self
+                .plan
+                .net_reset_after_ops
+                .is_some_and(|k| self.net_op_count() >= k)
+    }
+
+    /// Refund one network op. Used by [`FaultInjectingStream`] when the
+    /// inner read returns `WouldBlock`/`TimedOut`: timeout polls happen
+    /// a timing-dependent number of times, so counting them would make
+    /// the "same seed, same schedule" invariant time-sensitive.
+    fn net_unop(&self) {
+        self.net_ops.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Advance the network schedule by one operation and report what the
+    /// plan wants done to it. Used by [`FaultInjectingStream`]; public so
+    /// custom transports can share the same seeded schedule.
+    pub fn net_fate(&self) -> NetFate {
+        let n = self.net_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut fate = NetFate::default();
+        if let Some(limit) = self.plan.net_reset_after_ops {
+            if n > limit {
+                self.net_reset.store(true, Ordering::Release);
+            }
+        }
+        if self.is_net_reset() {
+            fate.reset = true;
+            return fate;
+        }
+        let hits = |every: Option<u64>| every.is_some_and(|k| n.is_multiple_of(k));
+        if hits(self.plan.net_stall_every) {
+            fate.stall_ms = self.plan.net_stall_ms;
+        }
+        fate.short_read = hits(self.plan.net_short_read_every);
+        fate.partial_write = hits(self.plan.net_partial_write_every);
+        fate
+    }
+
+    /// A seeded pseudo-random value in `1..=n` (used for partial-write
+    /// prefix lengths; consuming the shared stream keeps the whole
+    /// schedule a pure function of the seed).
+    pub fn rand_cut(&self, n: usize) -> usize {
+        1 + (self.next_rand() as usize) % n.max(1)
+    }
+
     fn is_torn_write(&self) -> bool {
         let Some(k) = self.plan.torn_write_every else {
             return false;
@@ -163,6 +248,108 @@ impl FaultClock {
             }
         }
         SyncOutcome::Ok
+    }
+}
+
+/// What the fault schedule dictates for one network stream operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetFate {
+    /// Sleep this long before performing the operation (0 = no stall).
+    pub stall_ms: u64,
+    /// Deliver at most one byte even if more is available.
+    pub short_read: bool,
+    /// Accept only a seeded-random prefix of the buffer.
+    pub partial_write: bool,
+    /// Fail with `ConnectionReset` (sticky: the peer is gone for good).
+    pub reset: bool,
+}
+
+/// A byte-stream wrapper (socket, pipe, in-memory channel) that injects
+/// network faults according to a shared [`FaultClock`]: short reads,
+/// partial writes, stalls, and abrupt connection resets, all at seeded
+/// points. The connection-lifecycle analogue of
+/// [`FaultInjectingPageStore`] — a server accepting connections through
+/// this wrapper sees the same deterministic misbehavior on every run
+/// with the same seed.
+pub struct FaultInjectingStream<S> {
+    inner: S,
+    clock: Arc<FaultClock>,
+}
+
+impl<S> FaultInjectingStream<S> {
+    pub fn new(inner: S, clock: Arc<FaultClock>) -> FaultInjectingStream<S> {
+        FaultInjectingStream { inner, clock }
+    }
+
+    pub fn clock(&self) -> &Arc<FaultClock> {
+        &self.clock
+    }
+
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+fn net_reset_err() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::ConnectionReset,
+        "injected connection reset",
+    )
+}
+
+impl<S: std::io::Read> std::io::Read for FaultInjectingStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let fate = self.clock.net_fate();
+        if fate.reset {
+            return Err(net_reset_err());
+        }
+        if fate.stall_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(fate.stall_ms));
+        }
+        let cap = if fate.short_read {
+            buf.len().min(1)
+        } else {
+            buf.len()
+        };
+        match self.inner.read(&mut buf[..cap]) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A timed-out poll moved no bytes; refund the op so the
+                // schedule stays a pure function of data transferred.
+                self.clock.net_unop();
+                Err(e)
+            }
+            other => other,
+        }
+    }
+}
+
+impl<S: std::io::Write> std::io::Write for FaultInjectingStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let fate = self.clock.net_fate();
+        if fate.reset {
+            return Err(net_reset_err());
+        }
+        if fate.stall_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(fate.stall_ms));
+        }
+        let cap = if fate.partial_write && buf.len() > 1 {
+            self.clock.rand_cut(buf.len() - 1)
+        } else {
+            buf.len()
+        };
+        self.inner.write(&buf[..cap])
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.clock.is_net_reset() {
+            return Err(net_reset_err());
+        }
+        self.inner.flush()
     }
 }
 
@@ -447,6 +634,91 @@ mod tests {
         store.read_page(id, &mut back).unwrap();
         assert_ne!(back, img, "write should have been torn");
         assert_eq!(back[0], 0xAB, "some prefix must have landed");
+    }
+
+    #[test]
+    fn stream_short_reads_follow_the_schedule() {
+        use std::io::Read;
+        let clock = FaultClock::new(FaultPlan {
+            net_short_read_every: Some(2),
+            ..FaultPlan::none()
+        });
+        let data = [9u8; 64];
+        let mut s = FaultInjectingStream::new(&data[..], clock);
+        let mut buf = [0u8; 16];
+        assert_eq!(s.read(&mut buf).unwrap(), 16, "op 1 reads in full");
+        assert_eq!(s.read(&mut buf).unwrap(), 1, "op 2 is short");
+        assert_eq!(s.read(&mut buf).unwrap(), 16, "op 3 reads in full");
+    }
+
+    #[test]
+    fn stream_partial_writes_are_seeded_and_deterministic() {
+        use std::io::Write;
+        let run = |seed: u64| {
+            let clock = FaultClock::new(FaultPlan {
+                seed,
+                net_partial_write_every: Some(1),
+                ..FaultPlan::none()
+            });
+            let mut s = FaultInjectingStream::new(Vec::new(), clock);
+            let mut accepted = Vec::new();
+            for _ in 0..8 {
+                accepted.push(s.write(&[7u8; 100]).unwrap());
+            }
+            accepted
+        };
+        let a = run(11);
+        assert!(a.iter().all(|&n| (1..100).contains(&n)), "{a:?}");
+        assert_eq!(a, run(11), "same seed, same prefix lengths");
+        assert_ne!(a, run(12), "different seeds diverge");
+    }
+
+    #[test]
+    fn stream_reset_is_sticky_and_counts_ops() {
+        use std::io::{Read, Write};
+        let clock = FaultClock::new(FaultPlan {
+            net_reset_after_ops: Some(2),
+            ..FaultPlan::none()
+        });
+        let data = [1u8; 8];
+        let mut s = FaultInjectingStream::new(&data[..], clock.clone());
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read(&mut buf).unwrap(), 4); // op 1
+        assert_eq!(s.read(&mut buf).unwrap(), 4); // op 2
+        let err = s.read(&mut buf).unwrap_err(); // op 3: reset
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        assert!(clock.is_net_reset());
+        // Writes through the same clock are dead too.
+        let mut w = FaultInjectingStream::new(Vec::new(), clock.clone());
+        assert!(w.write(&[0u8; 4]).is_err());
+        assert!(clock.net_op_count() >= 4);
+    }
+
+    #[test]
+    fn stream_faults_do_not_shift_the_storage_schedule() {
+        use std::io::Read;
+        // The same storage workload, with and without interleaved network
+        // traffic on the shared clock, must produce the same op count —
+        // i.e. network ops never consume storage schedule slots.
+        let clock = FaultClock::new(FaultPlan {
+            io_error_every: Some(3),
+            net_short_read_every: Some(1),
+            ..FaultPlan::none()
+        });
+        let store = FaultInjectingPageStore::new(Arc::new(MemPager::new()), clock.clone());
+        let id = store.allocate().unwrap(); // storage op 1
+        let data = [0u8; 8];
+        let mut s = FaultInjectingStream::new(&data[..], clock.clone());
+        let mut buf = [0u8; 4];
+        for _ in 0..5 {
+            let _ = s.read(&mut buf); // net ops, storage clock untouched
+        }
+        let img = vec![1u8; PAGE_SIZE];
+        store.write_page(id, &img).unwrap(); // storage op 2
+        let err = store.write_page(id, &img).unwrap_err(); // storage op 3
+        assert!(matches!(err, DbError::Io(_)), "{err}");
+        assert_eq!(clock.op_count(), 3);
+        assert_eq!(clock.net_op_count(), 5);
     }
 
     #[test]

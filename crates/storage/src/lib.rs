@@ -38,7 +38,7 @@ pub use buffer::BufferPool;
 pub use counters::{
     storage_counters, waits, SpillTally, StorageCounters, WaitClass, WaitSnapshot, WaitStats,
 };
-pub use fault::{FaultClock, FaultInjectingPageStore, FaultPlan};
+pub use fault::{FaultClock, FaultInjectingPageStore, FaultInjectingStream, FaultPlan, NetFate};
 pub use filestream::{FileStreamReader, FileStreamStore};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};

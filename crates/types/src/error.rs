@@ -59,6 +59,26 @@ pub enum DbError {
     /// fails. The payload is stringified because panic payloads are neither
     /// `Clone` nor `PartialEq`.
     UdxPanic { name: String, payload: String },
+    /// `KILL <id>` named a statement that does not exist or already
+    /// finished. Statement ids are never reused, so this is always a
+    /// clean miss — the kill raced with completion or the id was wrong —
+    /// never a hit on an unrelated newer statement. Distinct from
+    /// [`DbError::NotFound`] so clients (and the wire server) can report
+    /// "nothing to kill" without dropping the connection.
+    NoSuchStatement(i64),
+    /// The server refused new work because a hard capacity bound was
+    /// reached (connection limit, admission queue full). The client is
+    /// expected to back off and retry; nothing about the request itself
+    /// was wrong.
+    ServerBusy(String),
+    /// The server is draining for shutdown: it finishes in-flight
+    /// statements but rejects new ones. Like [`DbError::ServerBusy`] a
+    /// retry against another (or restarted) server is the right response.
+    ServerDraining(String),
+    /// The wire protocol was violated (bad frame tag, oversized frame,
+    /// truncated payload). The offending connection is closed; the server
+    /// and every other connection survive.
+    Protocol(String),
 }
 
 impl DbError {
@@ -89,6 +109,15 @@ impl fmt::Display for DbError {
             DbError::UdxPanic { name, payload } => {
                 write!(f, "panic in user function {name}: {payload}")
             }
+            DbError::NoSuchStatement(id) => {
+                write!(
+                    f,
+                    "no such statement: {id} is not running (already finished or never existed)"
+                )
+            }
+            DbError::ServerBusy(m) => write!(f, "server busy: {m}"),
+            DbError::ServerDraining(m) => write!(f, "server draining: {m}"),
+            DbError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
@@ -149,6 +178,19 @@ mod tests {
                 payload: "boom".into()
             }
         );
+    }
+
+    #[test]
+    fn server_errors_display_their_cause() {
+        let e = DbError::NoSuchStatement(42);
+        assert!(e.to_string().contains("42"), "{e}");
+        assert_ne!(e, DbError::NoSuchStatement(43));
+        let e = DbError::ServerBusy("connection limit of 4 reached".into());
+        assert!(e.to_string().contains("server busy"), "{e}");
+        let e = DbError::ServerDraining("shutting down".into());
+        assert!(e.to_string().contains("draining"), "{e}");
+        let e = DbError::Protocol("frame of 99 MiB exceeds the 32 MiB cap".into());
+        assert!(e.to_string().contains("protocol error"), "{e}");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! * [`storage`] — pages, heap files, B+-trees, compression, FileStream
 //! * [`engine`] — iterator-model query processor and UDX contracts
 //! * [`sql`] — T-SQL-subset parser and binder
+//! * [`server`] — SQL wire server (length-prefixed protocol) and client
 //! * [`bio`] — genomics substrate (FASTQ, simulation, alignment, consensus)
 //! * [`core`] — the paper's platform: schemas, physical designs, queries
 //!
@@ -31,6 +32,7 @@
 pub use seqdb_bio as bio;
 pub use seqdb_core as core;
 pub use seqdb_engine as engine;
+pub use seqdb_server as server;
 pub use seqdb_sql as sql;
 pub use seqdb_storage as storage;
 pub use seqdb_types as types;

@@ -1,0 +1,673 @@
+//! End-to-end tests for the wire server: query roundtrips, per-session
+//! `SET` isolation, the typed overload rejections, idle timeouts,
+//! auto-`KILL` on client disconnect (through every spill path), seeded
+//! network fault injection, slow-reader backpressure and graceful
+//! drain. Everything a deployment would hit before lunch.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use seqdb::engine::{Database, ExecContext, TableFunction, TvfCursor};
+use seqdb::server::protocol::read_frame;
+use seqdb::server::{Client, Server, ServerConfig};
+use seqdb::sql::DatabaseSqlExt;
+use seqdb::storage::{FaultClock, FaultPlan};
+use seqdb::types::{Column, DataType, DbError, Result, Row, Schema, Value};
+
+/// `NUMBERS(n)` emits 0..n — with a huge `n`, an effectively endless
+/// stream for the disconnect-mid-statement tests.
+struct Numbers;
+
+struct NumbersCursor {
+    next: i64,
+    limit: i64,
+}
+
+impl TvfCursor for NumbersCursor {
+    fn move_next(&mut self) -> Result<bool> {
+        self.next += 1;
+        Ok(self.next <= self.limit)
+    }
+    fn fill_row(&mut self) -> Result<Row> {
+        Ok(Row::new(vec![Value::Int(self.next - 1)]))
+    }
+}
+
+impl TableFunction for Numbers {
+    fn name(&self) -> &str {
+        "NUMBERS"
+    }
+    fn schema(&self) -> Arc<Schema> {
+        Arc::new(Schema::new(vec![Column::new("n", DataType::Int)]))
+    }
+    fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
+        Ok(Box::new(NumbersCursor {
+            next: 0,
+            limit: args[0].as_int()?,
+        }))
+    }
+}
+
+/// 12k distinct ids: over the parallel threshold, and far more groups
+/// than a tight budget holds resident, so tiny budgets must spill.
+fn setup_db() -> Arc<Database> {
+    let db = Database::in_memory();
+    db.catalog().register_table_fn(Arc::new(Numbers));
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, grp INT, v INT)")
+        .unwrap();
+    let rows: Vec<Row> = (0..12_000i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 10), Value::Int(i)]))
+        .collect();
+    db.insert_rows("t", &rows).unwrap();
+    db
+}
+
+fn quick_cfg() -> ServerConfig {
+    ServerConfig {
+        poll_interval: Duration::from_millis(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn start(db: &Arc<Database>, cfg: ServerConfig) -> Server {
+    Server::start(db.clone(), "127.0.0.1:0", cfg).unwrap()
+}
+
+/// The CI fault seed, so the `server-robustness` matrix exercises
+/// different short-read cut points per job.
+fn fault_seed() -> u64 {
+    std::env::var("SEQDB_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+// ----------------------------------------------------------------------
+// Roundtrips, DMVs over the wire, typed statement errors
+// ----------------------------------------------------------------------
+
+#[test]
+fn wire_roundtrip_dmvs_and_typed_errors() {
+    let db = setup_db();
+    let server = start(&db, quick_cfg());
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    // DML and a result set with every step typed end to end.
+    let r = c.query("INSERT INTO t VALUES (90001, 1, 7)").unwrap();
+    assert_eq!(r.affected, 1);
+    let r = c.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(12_001));
+    assert_eq!(r.schema.columns().len(), 1);
+
+    // A result wider than one frame (ROWS_PER_FRAME = 512) arrives
+    // complete and ordered.
+    let r = c.query("SELECT id FROM t ORDER BY id").unwrap();
+    assert_eq!(r.rows.len(), 12_001);
+    assert_eq!(r.rows[0][0], Value::Int(0));
+    assert_eq!(r.rows[12_000][0], Value::Int(90_001));
+
+    // Parse errors come back typed; the connection survives them.
+    let err = c.query("SELEKT garbage FROM nowhere").unwrap_err();
+    assert!(matches!(err, DbError::Parse(_)), "{err}");
+    let err = c.query("SELECT nope FROM missing_table").unwrap_err();
+    assert!(
+        matches!(err, DbError::NotFound(_) | DbError::Schema(_)),
+        "{err}"
+    );
+    assert!(c.query("SELECT COUNT(*) FROM t").is_ok());
+
+    // DM_EXEC_CONNECTIONS sees this connection, executing, with a peer.
+    let mut probe = Client::connect(server.addr()).unwrap();
+    let r = probe
+        .query("SELECT connection_id, peer_addr, session_id, state, idle_ms FROM DM_EXEC_CONNECTIONS()")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2, "both live connections visible");
+    let states: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| row[3].as_text().unwrap().to_string())
+        .collect();
+    assert!(
+        states.iter().any(|s| s == "executing"),
+        "the probing connection itself is executing: {states:?}"
+    );
+    assert!(r
+        .rows
+        .iter()
+        .all(|row| row[1].as_text().unwrap().contains("127.0.0.1")));
+
+    // ...and the gauge agrees.
+    let r = probe
+        .query("SELECT counter_name, value FROM DM_OS_PERFORMANCE_COUNTERS()")
+        .unwrap();
+    let gauge = r
+        .rows
+        .iter()
+        .find(|row| row[0].as_text().unwrap() == "active_connections")
+        .expect("active_connections gauge missing");
+    assert_eq!(gauge[1], Value::Int(2));
+
+    let report = server.drain().unwrap();
+    assert_eq!(report.killed, 0);
+    assert_eq!(db.connections().active_count(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Per-connection SET state
+// ----------------------------------------------------------------------
+
+#[test]
+fn set_state_is_per_connection() {
+    let db = setup_db();
+    let server = start(&db, quick_cfg());
+    let mut a = Client::connect(server.addr()).unwrap();
+    let mut b = Client::connect(server.addr()).unwrap();
+
+    a.query("SET QUERY_MEMORY_LIMIT_KB = 8").unwrap();
+
+    // Behavioural proof: the same aggregate spills on `a`'s tight
+    // budget and not on `b`'s unlimited one.
+    db.temp().reset_counters();
+    let rb = b.query("SELECT id, COUNT(*) FROM t GROUP BY id").unwrap();
+    assert_eq!(rb.rows.len(), 12_000);
+    assert_eq!(db.temp().spill_count(), 0, "unlimited session spilled");
+    let ra = a.query("SELECT id, COUNT(*) FROM t GROUP BY id").unwrap();
+    assert_eq!(ra.rows.len(), 12_000);
+    assert!(db.temp().spill_count() > 0, "governed session must spill");
+    assert_eq!(db.temp().live_files().unwrap(), 0, "leaked temp files");
+
+    server.drain().unwrap();
+}
+
+// ----------------------------------------------------------------------
+// Typed overload rejection at the connection cap
+// ----------------------------------------------------------------------
+
+#[test]
+fn connection_cap_rejects_typed_and_recovers() {
+    let db = setup_db();
+    let server = start(
+        &db,
+        ServerConfig {
+            max_connections: 2,
+            ..quick_cfg()
+        },
+    );
+
+    let mut c1 = Client::connect(server.addr()).unwrap();
+    let mut c2 = Client::connect(server.addr()).unwrap();
+    // A completed query proves each connection is fully registered
+    // (registration happens on the connection thread, not in accept).
+    c1.query("SELECT COUNT(*) FROM t").unwrap();
+    c2.query("SELECT COUNT(*) FROM t").unwrap();
+
+    // The third connection gets a typed refusal, not a silent close.
+    let mut c3 = Client::connect(server.addr()).unwrap();
+    c3.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let err = c3.query("SELECT COUNT(*) FROM t").unwrap_err();
+    assert!(matches!(err, DbError::ServerBusy(_)), "{err}");
+
+    // Freeing a slot lets a new connection in (the close is noticed at
+    // the next poll, so retry briefly).
+    drop(c1);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut c4 = Client::connect(server.addr()).unwrap();
+        c4.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        match c4.query("SELECT COUNT(*) FROM t") {
+            Ok(r) => {
+                assert_eq!(r.rows[0][0], Value::Int(12_000));
+                break;
+            }
+            Err(DbError::ServerBusy(_)) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    }
+    server.drain().unwrap();
+}
+
+// ----------------------------------------------------------------------
+// KILL of a nonexistent statement: typed error, connection survives
+// ----------------------------------------------------------------------
+
+#[test]
+fn kill_of_missing_statement_is_typed_and_keeps_the_connection() {
+    let db = setup_db();
+    let server = start(&db, quick_cfg());
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let err = c.query("KILL 424242").unwrap_err();
+    assert!(matches!(err, DbError::NoSuchStatement(424242)), "{err}");
+
+    // The protocol error did not cost us the connection.
+    let r = c.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(12_000));
+    server.drain().unwrap();
+}
+
+// ----------------------------------------------------------------------
+// Idle timeout: typed close after the deadline
+// ----------------------------------------------------------------------
+
+#[test]
+fn idle_connection_is_closed_with_a_typed_timeout_frame() {
+    let db = setup_db();
+    let server = start(
+        &db,
+        ServerConfig {
+            idle_timeout: Duration::from_millis(150),
+            ..quick_cfg()
+        },
+    );
+    let c = Client::connect(server.addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // Without sending anything, the courtesy frame arrives after the
+    // idle deadline, then EOF.
+    let mut stream = c.stream();
+    let payload = read_frame(&mut stream)
+        .unwrap()
+        .expect("typed frame before close");
+    let err = seqdb::server::protocol::decode_error(&payload).unwrap();
+    assert!(matches!(err, DbError::Timeout(_)), "{err}");
+    assert_eq!(read_frame(&mut stream).unwrap(), None, "then clean EOF");
+
+    // The reaped connection deregistered.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.connections().active_count() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(db.connections().active_count(), 0);
+    server.drain().unwrap();
+}
+
+// ----------------------------------------------------------------------
+// Disconnect mid-statement: auto-KILL through every spill path
+// ----------------------------------------------------------------------
+
+/// Drop the client while its statement is actively spilling, then
+/// assert from a *second connection* (per the DMV contract) that the
+/// statement died and nothing leaked: zero live temp files, zero
+/// admission bytes, pins back to baseline.
+fn disconnect_during(sql: &str) {
+    let db = setup_db();
+    db.set_admission_pool_kb(Some(256));
+    let pins_before = db.pool().pinned_frames();
+    let server = start(&db, quick_cfg());
+
+    let mut probe = Client::connect(server.addr()).unwrap();
+    let mut victim = Client::connect(server.addr()).unwrap();
+    victim.query("SET QUERY_MEMORY_LIMIT_KB = 8").unwrap();
+
+    // Fire the statement from a thread; it will never finish on its
+    // own, so the thread ends when the server kills it and closes. A
+    // cloned handle stays behind so the main thread can sever the
+    // socket while the query is in flight.
+    let sock = victim.stream().try_clone().unwrap();
+    let sql_owned = sql.to_string();
+    let runner = std::thread::spawn(move || victim.query(&sql_owned));
+
+    // Watch DM_EXEC_REQUESTS from the probe until the victim is
+    // actually spilling — the disconnect must land mid-spill.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let victim_sid = loop {
+        assert!(Instant::now() < deadline, "victim never started spilling");
+        let r = probe
+            .query("SELECT session_id, wait_state FROM DM_EXEC_REQUESTS()")
+            .unwrap();
+        let spilling = r
+            .rows
+            .iter()
+            .find(|row| row[1].as_text().unwrap() == "spilling");
+        match spilling {
+            Some(row) => break row[0].as_int().unwrap(),
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
+    };
+
+    // Sever the client abruptly. The server's liveness poll sees EOF,
+    // kills the session, and waits for the statement to unwind; the
+    // runner's pending read then fails, never having seen a result.
+    sock.shutdown(std::net::Shutdown::Both).unwrap();
+    assert!(runner.join().unwrap().is_err(), "no result after the cut");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "killed statement never drained");
+        let r = probe
+            .query("SELECT session_id FROM DM_EXEC_REQUESTS()")
+            .unwrap();
+        if !r.rows.iter().any(|row| row[0] == Value::Int(victim_sid)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Leak gauges, read over the wire from the second connection.
+    let r = probe
+        .query("SELECT counter_name, value FROM DM_OS_PERFORMANCE_COUNTERS()")
+        .unwrap();
+    let gauge = |name: &str| -> i64 {
+        r.rows
+            .iter()
+            .find(|row| row[0].as_text().unwrap() == name)
+            .unwrap_or_else(|| panic!("{name} gauge missing"))[1]
+            .as_int()
+            .unwrap()
+    };
+    assert_eq!(gauge("tempspace_live_files"), 0, "leaked spill files");
+    assert_eq!(gauge("admission_reserved_bytes"), 0, "leaked admission");
+    assert_eq!(
+        gauge("bufferpool_pinned_frames"),
+        pins_before as i64,
+        "leaked buffer pins"
+    );
+
+    // The victim's connection fully deregistered (probe remains).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.connections().active_count() > 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(db.connections().active_count(), 1);
+    server.drain().unwrap();
+}
+
+#[test]
+fn disconnect_during_spilling_sort_leaks_nothing() {
+    disconnect_during("SELECT n FROM t CROSS APPLY NUMBERS(1000000000) ORDER BY n DESC");
+}
+
+#[test]
+fn disconnect_during_spilling_hash_aggregate_leaks_nothing() {
+    disconnect_during("SELECT n, COUNT(*) FROM t CROSS APPLY NUMBERS(1000000000) GROUP BY n");
+}
+
+#[test]
+fn disconnect_during_spilling_grace_join_leaks_nothing() {
+    disconnect_during("SELECT COUNT(*) FROM t a JOIN NUMBERS(1000000000) n ON (a.id = n.n)");
+}
+
+// ----------------------------------------------------------------------
+// Seeded network faults
+// ----------------------------------------------------------------------
+
+#[test]
+fn short_reads_partial_writes_and_stalls_never_corrupt_results() {
+    let db = setup_db();
+    let clock = FaultClock::new(FaultPlan {
+        seed: fault_seed(),
+        net_short_read_every: Some(3),
+        net_partial_write_every: Some(2),
+        net_stall_every: Some(7),
+        net_stall_ms: 2,
+        ..FaultPlan::none()
+    });
+    let server = start(
+        &db,
+        ServerConfig {
+            fault: Some(clock),
+            ..quick_cfg()
+        },
+    );
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    // Dozens of statements over a stream whose reads and writes are
+    // constantly chopped up and delayed: framing must hold exactly.
+    for i in 0..20 {
+        let r = c.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(12_000), "iteration {i}");
+        let r = c.query("SELECT id FROM t ORDER BY id").unwrap();
+        assert_eq!(r.rows.len(), 12_000, "iteration {i}");
+        assert_eq!(r.rows[7][0], Value::Int(7), "iteration {i}");
+    }
+    let report = server.drain().unwrap();
+    assert_eq!(report.killed, 0);
+}
+
+#[test]
+fn abrupt_reset_mid_statement_kills_it_and_the_server_survives() {
+    let db = setup_db();
+    db.set_admission_pool_kb(Some(256));
+    let pins_before = db.pool().pinned_frames();
+    // Exactly two network ops — the request header and payload reads —
+    // then the reset point is behind us: the server must treat the
+    // connection as doomed *while the statement runs* and kill it.
+    let clock = FaultClock::new(FaultPlan {
+        seed: fault_seed(),
+        net_reset_after_ops: Some(2),
+        ..FaultPlan::none()
+    });
+    let server = start(
+        &db,
+        ServerConfig {
+            fault: Some(clock.clone()),
+            ..quick_cfg()
+        },
+    );
+
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let start_t = Instant::now();
+    let err = c
+        .query("SELECT n, COUNT(*) FROM NUMBERS(1000000000) GROUP BY n")
+        .unwrap_err();
+    // The server kills the statement and closes without a response —
+    // from the client that is a transport failure, not a typed error.
+    assert!(
+        matches!(err, DbError::Io(_) | DbError::Protocol(_)),
+        "{err}"
+    );
+    assert!(
+        start_t.elapsed() < Duration::from_secs(20),
+        "doomed statement not killed promptly: {:?}",
+        start_t.elapsed()
+    );
+    assert!(
+        clock.net_reset_pending(),
+        "the reset point must have passed"
+    );
+
+    // Nothing leaked, and the server still serves fresh connections
+    // (the fault schedule is spent, so this one runs clean).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while db.statements().running_count() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(db.statements().running_count(), 0);
+    assert_eq!(db.temp().live_files().unwrap(), 0, "leaked spill files");
+    assert_eq!(db.admission().reserved(), 0, "leaked admission bytes");
+    assert_eq!(db.pool().pinned_frames(), pins_before, "leaked pins");
+    server.drain().unwrap();
+}
+
+// ----------------------------------------------------------------------
+// Slow-reader backpressure
+// ----------------------------------------------------------------------
+
+#[test]
+fn slow_reader_hits_the_write_timeout_not_unbounded_buffering() {
+    let db = setup_db();
+    let server = start(
+        &db,
+        ServerConfig {
+            write_timeout: Duration::from_millis(300),
+            ..quick_cfg()
+        },
+    );
+
+    // Ask for ~45 MB of rows and never read a byte: once the socket
+    // buffers fill, the server's write must time out and the
+    // connection must be dropped — memory stays bounded by the socket
+    // buffer, not the result size.
+    let c = Client::connect(server.addr()).unwrap();
+    use seqdb::server::protocol::{encode_query, write_frame};
+    let mut w = c.stream();
+    write_frame(&mut w, &encode_query("SELECT n FROM NUMBERS(4000000)")).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while db.connections().active_count() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        db.connections().active_count(),
+        0,
+        "wedged reader never reaped"
+    );
+    drop(c);
+
+    // The statement itself completed before the write stalled; nothing
+    // leaked and new clients are served.
+    assert_eq!(db.temp().live_files().unwrap(), 0);
+    let mut c2 = Client::connect(server.addr()).unwrap();
+    let r = c2.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(12_000));
+    server.drain().unwrap();
+}
+
+// ----------------------------------------------------------------------
+// Graceful drain under load
+// ----------------------------------------------------------------------
+
+#[test]
+fn drain_finishes_short_statements_kills_stragglers_and_checkpoints() {
+    let db = setup_db();
+    let server = start(
+        &db,
+        ServerConfig {
+            drain_deadline: Duration::from_secs(1),
+            ..quick_cfg()
+        },
+    );
+    let addr = server.addr();
+
+    // Background load: three clients looping short statements...
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut loopers = Vec::new();
+    for _ in 0..3 {
+        let stop = stop.clone();
+        loopers.push(std::thread::spawn(move || {
+            let Ok(mut c) = Client::connect(addr) else {
+                return 0usize;
+            };
+            let _ = c.set_read_timeout(Some(Duration::from_secs(10)));
+            let mut done = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                match c.query("SELECT COUNT(*) FROM t") {
+                    Ok(_) => done += 1,
+                    Err(_) => break, // drain refusal or close: expected
+                }
+            }
+            done
+        }));
+    }
+    // ...plus one statement that cannot finish inside the deadline.
+    let straggler = std::thread::spawn(move || {
+        let Ok(mut c) = Client::connect(addr) else {
+            return None;
+        };
+        let _ = c.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = c.query("SET QUERY_MEMORY_LIMIT_KB = 8");
+        Some(c.query("SELECT n, COUNT(*) FROM t CROSS APPLY NUMBERS(1000000000) GROUP BY n"))
+    });
+
+    // Let the load get going, with the straggler definitely in flight.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while db.statements().running_count() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+
+    let report = server.drain().unwrap();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+    assert!(report.killed >= 1, "the endless statement had to be killed");
+    assert!(
+        report.elapsed < Duration::from_secs(8),
+        "drain blew through its deadline: {:?}",
+        report.elapsed
+    );
+
+    // The straggler observed a kill or a close, not a result.
+    match straggler.join().unwrap() {
+        Some(Ok(_)) => panic!("endless statement cannot have finished"),
+        Some(Err(e)) => assert!(
+            matches!(
+                e,
+                DbError::Cancelled(_)
+                    | DbError::Io(_)
+                    | DbError::Protocol(_)
+                    | DbError::ServerDraining(_)
+            ),
+            "{e}"
+        ),
+        None => {} // never connected: acceptable under races
+    }
+    for l in loopers {
+        let _ = l.join();
+    }
+
+    // Post-drain invariants: empty engine, no leaks, no listener.
+    assert_eq!(db.statements().running_count(), 0);
+    assert_eq!(db.connections().active_count(), 0);
+    assert_eq!(db.temp().live_files().unwrap(), 0);
+    assert_eq!(db.admission().reserved(), 0);
+    assert!(
+        Client::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener must be gone after drain"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Queued admission over the wire
+// ----------------------------------------------------------------------
+
+#[test]
+fn queued_admission_holds_a_wire_statement_then_runs_it() {
+    let db = setup_db();
+    // Pool fits exactly one 64 KiB statement; excess statements queue.
+    db.set_admission_pool_kb(Some(64));
+    db.set_admission_wait_ms(20_000);
+    db.set_admission_queue_slots(4);
+    let server = start(&db, quick_cfg());
+    let addr = server.addr();
+
+    // A direct engine session holds the whole pool...
+    let holder = db.create_session();
+    holder.set_query_memory_limit_kb(Some(64));
+    let guard = holder.begin_statement("hold the pool").unwrap();
+    assert_eq!(db.admission().reserved(), 64 * 1024);
+
+    // ...so the wire statement queues at the gate instead of failing.
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        c.query("SET QUERY_MEMORY_LIMIT_KB = 64").unwrap();
+        c.query("SELECT id, COUNT(*) FROM t GROUP BY id")
+    });
+
+    // The waiter shows up in the queue-depth gauge and as `queued` in
+    // DM_EXEC_REQUESTS while it blocks.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "statement never queued");
+        if db.admission().queue_depth() == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued_visible = db
+        .statements()
+        .snapshot()
+        .iter()
+        .any(|s| s.wait_state() == "queued");
+    assert!(queued_visible, "queued statement missing from DMV");
+
+    // Releasing the pool admits the waiter; it completes exactly.
+    drop(guard);
+    let r = queued.join().unwrap().expect("queued statement must run");
+    assert_eq!(r.rows.len(), 12_000);
+    assert_eq!(db.admission().queue_depth(), 0);
+    server.drain().unwrap();
+}

@@ -206,7 +206,10 @@ fn kill_from_another_session_stops_a_spilling_query_without_leaks() {
     let err = killer
         .execute_sql(&format!("KILL {statement_id}"))
         .unwrap_err();
-    assert!(matches!(err, DbError::NotFound(_)), "{err}");
+    assert!(
+        matches!(err, DbError::NoSuchStatement(id) if id == statement_id),
+        "{err}"
+    );
 
     // The database keeps serving both sessions' successors.
     let r = killer.query_sql("SELECT COUNT(*) FROM t").unwrap();

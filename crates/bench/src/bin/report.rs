@@ -68,7 +68,7 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|join|fig10|binning|consensus|snp|server|all] [--scale N] [--clients N]");
+    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|join|fig10|binning|consensus|snp|server|scrub|all] [--scale N] [--clients N]");
     std::process::exit(2);
 }
 
@@ -122,6 +122,7 @@ fn run(experiment: &str, factor: usize) -> Result<()> {
         "consensus" => consensus(factor)?,
         "snp" => snp(factor)?,
         "server" => server_bench(factor, CLIENTS.load(std::sync::atomic::Ordering::Relaxed))?,
+        "scrub" => scrub_bench(factor)?,
         "all" => {
             table1(factor)?;
             table2(factor)?;
@@ -834,5 +835,176 @@ fn server_bench(factor: usize, clients: usize) -> Result<()> {
     );
     std::fs::write(&path, json)?;
     println!("  wrote {}\n", path.display());
+    Ok(())
+}
+
+// --------------------------------------------------------------- scrub --
+
+/// The integrity-scrub experiment: how fast does a full `CHECK DATABASE`
+/// pass walk a checkpointed database, and what does a continuous scrub
+/// do to query latency under a 32-client read load? Reported: scrub
+/// throughput in pages/s, blobs verified, and p50/p99 statement latency
+/// with and without the scrubber running.
+fn scrub_bench(factor: usize) -> Result<()> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    use seqdb_server::{Client, Server, ServerConfig};
+
+    const CLIENTS: usize = 32;
+    println!("--- Extension: scrub throughput vs query latency ({CLIENTS} clients) ---");
+    let dir = std::env::temp_dir().join(format!("seqdb-bench-scrub-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let db = Database::open(&dir)?;
+    db.execute_sql("CREATE TABLE reads (id INT NOT NULL, grp INT, seq VARCHAR(64))")?;
+    let n = 120_000usize * factor.max(1);
+    let rows: Vec<Row> = (0..n as i64)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 10),
+                Value::text(format!("ACGTACGTACGTACGTACGTACGT-{i:08}")),
+            ])
+        })
+        .collect();
+    db.insert_rows("reads", &rows)?;
+    for lane in 0..4u8 {
+        db.filestream().insert(&vec![lane; 256 * 1024])?;
+    }
+    db.checkpoint()?;
+
+    let server = Server::start(
+        db.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: CLIENTS + 8,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrubbing = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(AtomicUsize::new(0));
+
+    // Reader fleet: point lookups and a grouped aggregate, tagged by
+    // whether the scrubber was running when the statement started.
+    let mut workers = Vec::new();
+    for who in 0..CLIENTS {
+        let (stop, scrubbing, errors) = (stop.clone(), scrubbing.clone(), errors.clone());
+        workers.push(std::thread::spawn(move || -> (Vec<f64>, Vec<f64>) {
+            let (mut quiet, mut under) = (Vec::new(), Vec::new());
+            let Ok(mut c) = Client::connect(addr) else {
+                return (quiet, under);
+            };
+            let _ = c.set_read_timeout(Some(Duration::from_secs(60)));
+            let mut i = who;
+            while !stop.load(Ordering::Relaxed) {
+                i += 1;
+                let sql = if i.is_multiple_of(5) {
+                    "SELECT grp, COUNT(*) FROM reads GROUP BY grp".to_string()
+                } else {
+                    format!("SELECT COUNT(*) FROM reads WHERE grp = {}", i % 10)
+                };
+                let during_scrub = scrubbing.load(Ordering::Relaxed);
+                let t = Instant::now();
+                match c.query(&sql) {
+                    Ok(_) => {
+                        let ms = t.elapsed().as_secs_f64() * 1e3;
+                        if during_scrub {
+                            under.push(ms);
+                        } else {
+                            quiet.push(ms);
+                        }
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            (quiet, under)
+        }));
+    }
+
+    // Phase 1: quiet baseline. Phase 2: continuous CHECK DATABASE passes
+    // on this thread while the fleet keeps querying.
+    let phase = Duration::from_millis(1_500 * factor as u64);
+    std::thread::sleep(phase);
+    scrubbing.store(true, Ordering::Relaxed);
+    let scrub_start = Instant::now();
+    let (mut passes, mut pages, mut blobs) = (0u64, 0u64, 0u64);
+    while scrub_start.elapsed() < phase || passes == 0 {
+        let report = db.check_database(false)?;
+        assert_eq!(report.unhealthy(), 0, "bench database must scrub clean");
+        passes += 1;
+        pages += report.pages_checked;
+        blobs += report.blobs_checked;
+    }
+    let scrub_wall = scrub_start.elapsed();
+    scrubbing.store(false, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed);
+
+    let (mut quiet, mut under) = (Vec::new(), Vec::new());
+    for w in workers {
+        let (q, u) = w.join().unwrap_or_default();
+        quiet.extend(q);
+        under.extend(u);
+    }
+    server.drain()?;
+
+    let sortf = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    };
+    sortf(&mut quiet);
+    sortf(&mut under);
+    let pct = |v: &[f64], p: f64| -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        v[((v.len() as f64 - 1.0) * p).round() as usize]
+    };
+    let pages_per_s = pages as f64 / scrub_wall.as_secs_f64().max(1e-9);
+    println!(
+        "  scrub: {passes} full passes, {pages} pages + {blobs} blobs in {} — {pages_per_s:.0} pages/s",
+        fmt_dur(scrub_wall)
+    );
+    println!(
+        "  query latency quiet   : {} stmts, p50 {:.2} ms, p99 {:.2} ms",
+        quiet.len(),
+        pct(&quiet, 0.50),
+        pct(&quiet, 0.99)
+    );
+    println!(
+        "  query latency w/ scrub: {} stmts, p50 {:.2} ms, p99 {:.2} ms; client errors {}",
+        under.len(),
+        pct(&under, 0.50),
+        pct(&under, 0.99),
+        errors.load(Ordering::Relaxed)
+    );
+
+    let path = seqdb_bench::workspace_dir("BENCH_scrub.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = format!(
+        "{{\n  \"clients\": {CLIENTS},\n  \"scrub_passes\": {passes},\n  \"pages_checked\": {pages},\n  \
+         \"blobs_checked\": {blobs},\n  \"scrub_wall_ms\": {:.0},\n  \"pages_per_s\": {pages_per_s:.1},\n  \
+         \"quiet_stmts\": {},\n  \"quiet_p50_ms\": {:.3},\n  \"quiet_p99_ms\": {:.3},\n  \
+         \"scrub_stmts\": {},\n  \"scrub_p50_ms\": {:.3},\n  \"scrub_p99_ms\": {:.3},\n  \
+         \"client_errors\": {}\n}}\n",
+        scrub_wall.as_secs_f64() * 1e3,
+        quiet.len(),
+        pct(&quiet, 0.50),
+        pct(&quiet, 0.99),
+        under.len(),
+        pct(&under, 0.50),
+        pct(&under, 0.99),
+        errors.load(Ordering::Relaxed)
+    );
+    std::fs::write(&path, json)?;
+    println!("  wrote {}", path.display());
+    std::fs::remove_dir_all(&dir).ok();
+    println!();
     Ok(())
 }

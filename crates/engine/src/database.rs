@@ -8,15 +8,20 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use seqdb_storage::rowfmt::Compression;
-use seqdb_storage::{BufferPool, FilePager, FileStreamStore, MemPager, TempSpace, WriteAheadLog};
+use seqdb_storage::{
+    BufferPool, FilePager, FileStreamStore, MemPager, Quarantine, TempSpace, WriteAheadLog,
+};
 use seqdb_types::{Result, Row, Schema};
 
 use crate::catalog::{Catalog, Table};
 use crate::conn::{ConnectionRegistry, DmExecConnectionsFn};
-use crate::dmv::{DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn};
+use crate::dmv::{
+    DmDbScrubStatusFn, DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn,
+};
 use crate::exec::ExecContext;
 use crate::governor::QueryGovernor;
 use crate::plan::{Plan, QueryResult};
+use crate::scrub::ScrubState;
 use crate::session::{AdmissionController, DmExecRequestsFn, Session, StatementRegistry};
 use crate::stats::QueryStatsHistory;
 
@@ -110,6 +115,7 @@ pub struct Database {
     admission: Arc<AdmissionController>,
     connections: Arc<ConnectionRegistry>,
     query_stats: Arc<QueryStatsHistory>,
+    scrub: Arc<ScrubState>,
     session_seq: AtomicU64,
 }
 
@@ -126,7 +132,7 @@ impl Database {
                 .map(|d| d.as_nanos())
                 .unwrap_or(0)
         ));
-        Self::assemble(pool, &base).expect("temp-dir backed stores")
+        Self::assemble(pool, &base, Quarantine::in_memory()).expect("temp-dir backed stores")
     }
 
     /// Disk-backed database rooted at `dir` (data file, write-ahead log,
@@ -140,10 +146,17 @@ impl Database {
         let wal = Arc::new(WriteAheadLog::open_file(&dir.join("seqdb.wal"))?);
         wal.recover_into(pager.as_ref())?;
         let pool = BufferPool::with_wal(pager, BufferPool::DEFAULT_CAPACITY, wal);
-        Self::assemble(pool, dir)
+        // The quarantine list must survive restarts: a reboot would
+        // otherwise silently un-fence known-bad objects.
+        let quarantine = Quarantine::open(dir.join("quarantine.list"))?;
+        Self::assemble(pool, dir, quarantine)
     }
 
-    fn assemble(pool: Arc<BufferPool>, base: &Path) -> Result<Arc<Database>> {
+    fn assemble(
+        pool: Arc<BufferPool>,
+        base: &Path,
+        quarantine: Arc<Quarantine>,
+    ) -> Result<Arc<Database>> {
         let catalog = Catalog::new(pool.clone());
         for f in crate::builtins::all_builtins() {
             catalog.register_scalar(f);
@@ -153,6 +166,9 @@ impl Database {
             catalog.register_aggregate(agg);
         }
         let filestream = Arc::new(FileStreamStore::open(base.join("filestream"))?);
+        // Blob reads consult the quarantine before handing out paths.
+        filestream.set_quarantine(Some(quarantine.clone()));
+        let scrub = ScrubState::new(quarantine);
         // FileStream-aware scalar functions (the T-SQL `col.PathName()`
         // method and DATALENGTH over a FILESTREAM column resolve to
         // these; they need the store handle).
@@ -182,6 +198,7 @@ impl Database {
         catalog.register_table_fn(Arc::new(DmOsWaitStatsFn));
         catalog.register_table_fn(Arc::new(DmExecQueryStatsFn::new(query_stats.clone())));
         catalog.register_table_fn(Arc::new(DmExecConnectionsFn::new(connections.clone())));
+        catalog.register_table_fn(Arc::new(DmDbScrubStatusFn::new(scrub.clone())));
         Ok(Arc::new(Database {
             pool,
             catalog,
@@ -192,6 +209,7 @@ impl Database {
             admission,
             connections,
             query_stats,
+            scrub,
             session_seq: AtomicU64::new(1),
         }))
     }
@@ -230,6 +248,28 @@ impl Database {
 
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// Scrub progress and the quarantine handle (`DM_DB_SCRUB_STATUS()`,
+    /// `CHECK`). The periodic server scrub shares this state.
+    pub fn scrub_state(&self) -> &Arc<ScrubState> {
+        &self.scrub
+    }
+
+    /// The persisted list of objects fenced off for unrepaired
+    /// corruption.
+    pub fn quarantine(&self) -> &Arc<Quarantine> {
+        self.scrub.quarantine()
+    }
+
+    /// Resolve a table for a statement, failing with the typed
+    /// `DbError::Quarantined` if the object is fenced for unrepaired
+    /// corruption. Every SQL chokepoint (SELECT FROM, INSERT, UPDATE,
+    /// DELETE, index DDL) comes through here; `CHECK` itself resolves
+    /// through the catalog directly so repair can reach fenced objects.
+    pub fn resolve_table(&self, name: &str) -> Result<Arc<Table>> {
+        self.quarantine().check(&name.to_ascii_lowercase())?;
+        self.catalog.table(name)
     }
 
     pub fn pool(&self) -> &Arc<BufferPool> {

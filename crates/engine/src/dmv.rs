@@ -27,6 +27,7 @@ use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
 
 use crate::conn::ConnectionRegistry;
 use crate::exec::ExecContext;
+use crate::scrub::ScrubState;
 use crate::session::AdmissionController;
 use crate::stats::{engine_counters, QueryStatsHistory};
 use crate::udx::{TableFunction, TvfCursor};
@@ -249,6 +250,63 @@ impl TableFunction for DmExecQueryStatsFn {
     }
 }
 
+/// `SELECT * FROM DM_DB_SCRUB_STATUS()` — scrub progress plus the
+/// current quarantine list. The first row summarizes the pass (state
+/// `idle` or `running` and the monotonic counters); each further row is
+/// one quarantined `(object, page)` entry, so "is anything fenced?" is a
+/// one-line SQL check.
+pub struct DmDbScrubStatusFn {
+    state: Arc<ScrubState>,
+}
+
+impl DmDbScrubStatusFn {
+    pub fn new(state: Arc<ScrubState>) -> DmDbScrubStatusFn {
+        DmDbScrubStatusFn { state }
+    }
+}
+
+impl TableFunction for DmDbScrubStatusFn {
+    fn name(&self) -> &str {
+        "DM_DB_SCRUB_STATUS"
+    }
+    fn schema(&self) -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
+            Column::new("state", DataType::Text).not_null(),
+            Column::new("object", DataType::Text),
+            Column::new("page", DataType::Int),
+            Column::new("pages_checked", DataType::Int),
+            Column::new("blobs_checked", DataType::Int),
+            Column::new("corruptions_found", DataType::Int),
+            Column::new("pages_repaired", DataType::Int),
+        ]))
+    }
+    fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
+        no_args(args, self.name())?;
+        let s = self.state.status();
+        let mut rows = vec![Row::new(vec![
+            Value::text(if s.running { "running" } else { "idle" }),
+            Value::Null,
+            Value::Null,
+            Value::Int(s.pages_checked as i64),
+            Value::Int(s.blobs_checked as i64),
+            Value::Int(s.corruptions_found as i64),
+            Value::Int(s.pages_repaired as i64),
+        ])];
+        for (object, page) in s.quarantined {
+            rows.push(Row::new(vec![
+                Value::text("quarantined"),
+                Value::text(object),
+                Value::Int(page as i64),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ]));
+        }
+        Ok(RowsCursor::boxed(rows))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +370,19 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][1], Value::Int(1), "executions");
         assert_eq!(rows[0][2], Value::Int(3), "total_rows");
+    }
+
+    #[test]
+    fn scrub_status_renders_summary_then_quarantine_rows() {
+        let q = seqdb_storage::Quarantine::in_memory();
+        q.add("reads", 9);
+        let state = ScrubState::new(q);
+        let rows = drain(&DmDbScrubStatusFn::new(state));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::text("idle"));
+        assert_eq!(rows[1][0], Value::text("quarantined"));
+        assert_eq!(rows[1][1], Value::text("reads"));
+        assert_eq!(rows[1][2], Value::Int(9));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod expr;
 pub mod governor;
 pub mod parallel;
 pub mod plan;
+pub mod scrub;
 pub mod session;
 pub mod stats;
 pub mod udx;
@@ -41,11 +42,12 @@ pub mod udx;
 pub use catalog::{Catalog, Table, TableIndex};
 pub use conn::{ConnState, ConnectionHandle, ConnectionInfo, ConnectionRegistry};
 pub use database::{Database, DbConfig, JoinStrategy};
-pub use dmv::{DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn};
+pub use dmv::{DmDbScrubStatusFn, DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn};
 pub use exec::{BoxedIter, ExecContext, RowIterator};
 pub use expr::{BinOp, Expr};
 pub use governor::{GovernedIter, MemCharge, QueryGovernor};
 pub use plan::{Plan, QueryResult};
+pub use scrub::{ScrubFinding, ScrubReport, ScrubState, ScrubStatus};
 pub use session::{
     AdmissionController, RunningStatement, Session, SessionSettings, StatementGuard,
     StatementRegistry,

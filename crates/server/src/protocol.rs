@@ -368,6 +368,9 @@ fn error_code(e: &DbError) -> (u8, i64, String) {
         DbError::ServerBusy(m) => (18, 0, m.clone()),
         DbError::ServerDraining(m) => (19, 0, m.clone()),
         DbError::Protocol(m) => (20, 0, m.clone()),
+        // The aux carries the page, the message the object name.
+        DbError::Quarantined { object, page } => (21, *page as i64, object.clone()),
+        DbError::DiskFull(m) => (22, 0, m.clone()),
     }
 }
 
@@ -416,6 +419,11 @@ pub fn decode_error(payload: &[u8]) -> Result<DbError> {
         18 => DbError::ServerBusy(msg),
         19 => DbError::ServerDraining(msg),
         20 => DbError::Protocol(msg),
+        21 => DbError::Quarantined {
+            object: msg,
+            page: aux as u64,
+        },
+        22 => DbError::DiskFull(msg),
         other => {
             return Err(DbError::Protocol(format!(
                 "unknown error kind code {other}"
@@ -507,6 +515,11 @@ mod tests {
                 name: "F".into(),
                 payload: "boom".into(),
             },
+            DbError::Quarantined {
+                object: "reads".into(),
+                page: 42,
+            },
+            DbError::DiskFull("no space left on device".into()),
         ] {
             let back = decode_error(&encode_error(&e)).unwrap();
             assert_eq!(back, e);

@@ -66,6 +66,10 @@ pub struct ServerConfig {
     /// Wrap every accepted stream in a [`FaultInjectingStream`] driven
     /// by this clock (tests only; `None` in production).
     pub fault: Option<Arc<FaultClock>>,
+    /// Run `CHECK DATABASE REPAIR` on a background thread this often;
+    /// `None` (the default) disables the periodic scrub. The thread
+    /// stops cleanly at drain.
+    pub scrub_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +81,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             drain_deadline: Duration::from_secs(5),
             fault: None,
+            scrub_interval: None,
         }
     }
 }
@@ -109,6 +114,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    scrub_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -130,10 +136,23 @@ impl Server {
             .name("seqdb-accept".into())
             .spawn(move || accept_loop(listener, s2))
             .map_err(DbError::io)?;
+        let scrub_thread = match shared.cfg.scrub_interval {
+            Some(interval) => {
+                let s3 = shared.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("seqdb-scrub".into())
+                        .spawn(move || scrub_loop(s3, interval))
+                        .map_err(DbError::io)?,
+                )
+            }
+            None => None,
+        };
         Ok(Server {
             shared,
             addr,
             accept_thread: Some(accept_thread),
+            scrub_thread,
         })
     }
 
@@ -154,6 +173,12 @@ impl Server {
         let started = Instant::now();
         self.shared.draining.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // The scrub thread polls the drain flag between slices and exits
+        // at the next wakeup; a scrub pass never blocks the drain past
+        // its current slice.
+        if let Some(t) = self.scrub_thread.take() {
             let _ = t.join();
         }
         let deadline = started + self.shared.cfg.drain_deadline;
@@ -180,6 +205,25 @@ impl Server {
             killed,
             elapsed: started.elapsed(),
         })
+    }
+}
+
+/// The periodic integrity scrub: every `interval`, run a full
+/// `CHECK DATABASE REPAIR` pass. Sleeps in `poll_interval` steps so the
+/// drain flag is noticed promptly; scrub failures (e.g. an I/O error on
+/// a dying disk) are recorded in the scrub counters by the engine and
+/// must not take the thread down — the next pass retries.
+fn scrub_loop(shared: Arc<Shared>, interval: Duration) {
+    let mut next_pass = Instant::now() + interval;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        if Instant::now() >= next_pass {
+            let _ = shared.db.check_database(true);
+            next_pass = Instant::now() + interval;
+        }
+        std::thread::sleep(shared.cfg.poll_interval.min(interval));
     }
 }
 

@@ -44,6 +44,15 @@ pub enum Statement {
     /// `KILL <statement-id>` — cancel a running statement in any session
     /// (T-SQL's `KILL <session id>`, at statement granularity).
     Kill(i64),
+    /// `CHECK TABLE <t> [REPAIR]` / `CHECK DATABASE [REPAIR]` — integrity
+    /// scrub (the `DBCC CHECKDB` analogue): verify every page and blob,
+    /// with `REPAIR` rewrite corrupt pages from the buffer pool or WAL
+    /// and quarantine what has no good image.
+    Check {
+        /// `Some(name)` for one table, `None` for the whole database.
+        table: Option<String>,
+        repair: bool,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]

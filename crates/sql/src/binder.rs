@@ -244,15 +244,25 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
             db.statements().kill(*id)?;
             Ok(QueryResult::empty())
         }
+        Statement::Check { table, repair } => {
+            let report = match table {
+                Some(name) => db.check_table(name, *repair)?,
+                None => db.check_database(*repair)?,
+            };
+            Ok(report.into_result())
+        }
         Statement::CreateTable(ct) => create_table(db, ct),
         Statement::CreateIndex(ci) => create_index(db, ci),
         Statement::DropTable { name } => {
             db.catalog().drop_table(name)?;
+            // The object is gone; a later table of the same name must not
+            // inherit its fence.
+            db.quarantine().clear_object(&name.to_ascii_lowercase());
             Ok(QueryResult::empty())
         }
         Statement::Insert(ins) => insert(db, ins),
         Statement::Delete { table, predicate } => {
-            let t = db.catalog().table(table)?;
+            let t = db.resolve_table(table)?;
             let b = Binder::new(db);
             let scope = Scope::from_schema(&t.schema, Some(&t.name));
             let bound = match predicate {
@@ -274,7 +284,7 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
             assignments,
             predicate,
         } => {
-            let t = db.catalog().table(table)?;
+            let t = db.resolve_table(table)?;
             let b = Binder::new(db);
             let scope = Scope::from_schema(&t.schema, Some(&t.name));
             let bound_pred = match predicate {
@@ -373,7 +383,9 @@ fn create_table(db: &Arc<Database>, ct: &CreateTable) -> Result<QueryResult> {
 }
 
 fn create_index(db: &Arc<Database>, ci: &CreateIndex) -> Result<QueryResult> {
-    let table = db.catalog().table(&ci.table)?;
+    // An index build scans the heap: fenced tables must fail typed here
+    // too, not surface a checksum error halfway through the backfill.
+    let table = db.resolve_table(&ci.table)?;
     let mut cols = Vec::with_capacity(ci.columns.len());
     for c in &ci.columns {
         cols.push(table.schema.resolve(c)?);
@@ -388,7 +400,7 @@ fn create_index(db: &Arc<Database>, ci: &CreateIndex) -> Result<QueryResult> {
 // ----------------------------------------------------------------------
 
 fn insert(db: &Arc<Database>, ins: &Insert) -> Result<QueryResult> {
-    let table = db.catalog().table(&ins.table)?;
+    let table = db.resolve_table(&ins.table)?;
     // Map provided columns to table positions.
     let positions: Vec<usize> = match &ins.columns {
         None => (0..table.schema.len()).collect(),
@@ -1438,7 +1450,7 @@ impl Binder<'_> {
     fn plan_table_ref(&self, tr: &TableRef) -> Result<(Plan, Scope)> {
         match tr {
             TableRef::Named { name, alias } => {
-                let table = self.db.catalog().table(name)?;
+                let table = self.db.resolve_table(name)?;
                 let qualifier = alias.clone().unwrap_or_else(|| name.clone());
                 let scope = Scope::from_schema(&table.schema, Some(&qualifier));
                 let schema = table.schema.clone();

@@ -170,6 +170,16 @@ impl Parser {
         if self.kw("checkpoint") {
             return Ok(Statement::Checkpoint);
         }
+        if self.kw("check") {
+            let table = if self.kw("database") {
+                None
+            } else {
+                self.expect_kw("table")?;
+                Some(self.ident()?)
+            };
+            let repair = self.kw("repair");
+            return Ok(Statement::Check { table, repair });
+        }
         if self.kw("set") {
             let name = self.ident()?.to_ascii_uppercase();
             self.expect(&Token::Eq, "'=' in SET")?;
@@ -220,7 +230,7 @@ impl Parser {
                 predicate,
             });
         }
-        Err(self.unexpected("a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/EXPLAIN)"))
+        Err(self.unexpected("a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/CHECK/EXPLAIN)"))
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -927,6 +937,40 @@ mod tests {
             parse("checkpoint").unwrap(),
             Statement::Checkpoint
         ));
+    }
+
+    #[test]
+    fn parses_check_statements() {
+        assert_eq!(
+            parse("CHECK TABLE reads").unwrap(),
+            Statement::Check {
+                table: Some("reads".into()),
+                repair: false
+            }
+        );
+        assert_eq!(
+            parse("CHECK TABLE reads REPAIR").unwrap(),
+            Statement::Check {
+                table: Some("reads".into()),
+                repair: true
+            }
+        );
+        assert_eq!(
+            parse("check database repair").unwrap(),
+            Statement::Check {
+                table: None,
+                repair: true
+            }
+        );
+        assert_eq!(
+            parse("CHECK DATABASE").unwrap(),
+            Statement::Check {
+                table: None,
+                repair: false
+            }
+        );
+        // CHECK alone is not a statement.
+        assert!(parse("CHECK").is_err());
     }
 
     #[test]

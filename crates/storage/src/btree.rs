@@ -189,6 +189,24 @@ impl BTree {
         Ok(count)
     }
 
+    /// Every page reachable from the root, for the integrity scrubber.
+    /// Unlike [`BTree::page_count`] this tolerates unreadable pages: a
+    /// corrupt internal node is still *listed* (so the scrubber can try to
+    /// repair it) — its subtree is simply not descended into until a later
+    /// scrub pass after repair.
+    pub fn pages(&self) -> Vec<PageId> {
+        let latch = self.root.read();
+        let mut out = Vec::new();
+        let mut stack = vec![*latch];
+        while let Some(pid) = stack.pop() {
+            out.push(pid);
+            if let Ok(Node::Internal { children, .. }) = self.read_node(pid) {
+                stack.extend(children);
+            }
+        }
+        out
+    }
+
     /// Insert or replace. Returns the previous value under `key`, if any.
     pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
         if key.len() + value.len() > MAX_ENTRY {

@@ -287,6 +287,62 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Repair path 1: if page `id` is cached, rewrite the durable copy
+    /// from the in-memory image (WAL-before-data, like an eviction
+    /// writeback) and return `true`. A cached frame is always at least as
+    /// fresh as disk — corrupt images never enter the cache, because
+    /// [`BufferPool::fetch`] verifies the checksum before inserting — so
+    /// this is the preferred source for scrub repairs. Deliberately does
+    /// NOT fall back to reading the store: the caller only wants the
+    /// in-memory copy.
+    pub fn rewrite_from_cache(&self, id: PageId) -> Result<bool> {
+        let frame = {
+            let t = self.frames.lock();
+            t.map.get(&id).cloned()
+        };
+        let Some(frame) = frame else {
+            return Ok(false);
+        };
+        let page = frame.page.read();
+        let image = page.to_bytes();
+        if let Some(wal) = &self.wal {
+            wal.log_page(id, &image)?;
+            wal.commit()?;
+            wal.sync()?;
+        }
+        self.store.write_page(id, &image)?;
+        self.store.sync()?;
+        frame.dirty.store(false, Ordering::Release);
+        Ok(true)
+    }
+
+    /// Repair path 2: rewrite page `id` in place from `image` (a verified
+    /// last-committed copy recovered from the WAL). The image is logged
+    /// and synced before the in-place write, so a crash mid-repair is
+    /// itself recoverable. Any *clean* cached frame for the page is
+    /// dropped defensively; readers re-fetch and see the repaired image.
+    /// (A dirty or pinned frame is left alone — it is newer than the
+    /// repair source and will overwrite it on its own writeback.)
+    pub fn restore_page(&self, id: PageId, image: &[u8]) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.log_page(id, image)?;
+            wal.commit()?;
+            wal.sync()?;
+        }
+        self.store.write_page(id, image)?;
+        self.store.sync()?;
+        let mut t = self.frames.lock();
+        let drop_it = t
+            .map
+            .get(&id)
+            .is_some_and(|f| !f.is_dirty() && Arc::strong_count(f) == 1);
+        if drop_it {
+            t.map.remove(&id);
+            t.lru.retain(|&pid| pid != id);
+        }
+        Ok(())
+    }
+
     pub fn cached_frames(&self) -> usize {
         self.frames.lock().map.len()
     }

@@ -42,15 +42,21 @@ pub enum WaitClass {
     /// Kept separate from [`WaitClass::SpillIo`] so join spills are
     /// distinguishable from sort/aggregate spills in `DM_OS_WAIT_STATS()`.
     JoinSpill = 4,
+    /// Page reads and blob re-hashing performed by the integrity scrubber
+    /// (`CHECK TABLE` / `CHECK DATABASE` / the background scrub thread).
+    /// Separate from [`WaitClass::BufferIo`] so scrub overhead is
+    /// attributable independently of query-driven page reads.
+    ScrubIo = 5,
 }
 
 /// All wait classes, in rendering order for `DM_OS_WAIT_STATS()`.
-pub const WAIT_CLASSES: [WaitClass; 5] = [
+pub const WAIT_CLASSES: [WaitClass; 6] = [
     WaitClass::Admission,
     WaitClass::BufferIo,
     WaitClass::SpillIo,
     WaitClass::FileStreamRetry,
     WaitClass::JoinSpill,
+    WaitClass::ScrubIo,
 ];
 
 impl WaitClass {
@@ -62,6 +68,7 @@ impl WaitClass {
             WaitClass::SpillIo => "SPILL_IO",
             WaitClass::FileStreamRetry => "FILESTREAM_RETRY",
             WaitClass::JoinSpill => "JOIN_SPILL",
+            WaitClass::ScrubIo => "SCRUB_IO",
         }
     }
 }
@@ -127,8 +134,10 @@ static WAITS: WaitStats = WaitStats {
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
+        AtomicU64::new(0),
     ],
     nanos: [
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
@@ -168,6 +177,19 @@ pub struct StorageCounters {
     pub join_spill_files: AtomicU64,
     /// Bytes written to hash-join partition files (subset of `spill_bytes`).
     pub join_spill_bytes: AtomicU64,
+    /// Table/index pages verified by the integrity scrubber.
+    pub scrub_pages_checked: AtomicU64,
+    /// FileStream blobs re-hashed by the integrity scrubber.
+    pub scrub_blobs_checked: AtomicU64,
+    /// Corrupt pages and blobs found by the scrubber (whether or not a
+    /// repair succeeded).
+    pub corruptions_found: AtomicU64,
+    /// Corrupt pages rewritten from a good in-memory or WAL image and
+    /// re-verified.
+    pub pages_repaired: AtomicU64,
+    /// Orphaned tempspace spill files and stale FileStream `.tmp`/sidecar
+    /// files removed during `Database::open` startup hygiene.
+    pub startup_orphans_removed: AtomicU64,
 }
 
 impl StorageCounters {
@@ -193,6 +215,11 @@ impl StorageCounters {
             ("spill_bytes", ld(&self.spill_bytes)),
             ("join_spill_files", ld(&self.join_spill_files)),
             ("join_spill_bytes", ld(&self.join_spill_bytes)),
+            ("scrub_pages_checked", ld(&self.scrub_pages_checked)),
+            ("scrub_blobs_checked", ld(&self.scrub_blobs_checked)),
+            ("corruptions_found", ld(&self.corruptions_found)),
+            ("pages_repaired", ld(&self.pages_repaired)),
+            ("startup_orphans_removed", ld(&self.startup_orphans_removed)),
         ]
     }
 }
@@ -209,6 +236,11 @@ static STORAGE: StorageCounters = StorageCounters {
     spill_bytes: AtomicU64::new(0),
     join_spill_files: AtomicU64::new(0),
     join_spill_bytes: AtomicU64::new(0),
+    scrub_pages_checked: AtomicU64::new(0),
+    scrub_blobs_checked: AtomicU64::new(0),
+    corruptions_found: AtomicU64::new(0),
+    pages_repaired: AtomicU64::new(0),
+    startup_orphans_removed: AtomicU64::new(0),
 };
 
 /// The process-global storage-counter registry.

@@ -72,6 +72,25 @@ pub struct FaultPlan {
     /// The first `n` network operations succeed; every later one fails
     /// with `ConnectionReset`, the abrupt mid-statement disconnect.
     pub net_reset_after_ops: Option<u64>,
+    /// The first `n` I/O operations succeed; every later *write* fails
+    /// with [`DbError::DiskFull`] — the device filled up. Reads keep
+    /// working (a full disk still serves existing data), which is what
+    /// makes degrade-don't-die testable: queries that only read proceed
+    /// while spills and imports fail typed.
+    pub disk_full_after_ops: Option<u64>,
+    /// Seeded bit-rot schedule: when page `page` is read for the
+    /// `at_read`th time through the wrapper, one seeded byte of its
+    /// *at-rest* image is flipped first, so the corruption persists until
+    /// something rewrites the page. Models media decay surfacing on access.
+    pub rot_pages: Vec<PageRot>,
+}
+
+/// One entry of the bit-rot schedule: flip a byte in `page` just before
+/// its `at_read`th read (1-based) through the fault wrapper.
+#[derive(Debug, Clone)]
+pub struct PageRot {
+    pub page: PageId,
+    pub at_read: u64,
 }
 
 impl FaultPlan {
@@ -79,6 +98,41 @@ impl FaultPlan {
     pub fn none() -> FaultPlan {
         FaultPlan::default()
     }
+}
+
+/// The splitmix64 step shared by [`FaultClock`] and [`rot_file`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Flip one seeded byte of `path` within `[offset, offset + len)`, at
+/// rest, and return the absolute file position flipped. The xor mask is
+/// never zero, so the byte always changes. End-to-end tests use this to
+/// plant bit rot directly in a data file (`offset = page * PAGE_SIZE`,
+/// `len = PAGE_SIZE`) or a FileStream blob while the database has it open
+/// through another descriptor — exactly the decayed-medium scenario the
+/// scrubber exists to catch.
+pub fn rot_file(path: &std::path::Path, seed: u64, offset: u64, len: u64) -> Result<u64> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut state = seed;
+    let pos = offset + splitmix64(&mut state) % len.max(1);
+    let mask = (splitmix64(&mut state) % 255) as u8 + 1;
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
+    f.seek(SeekFrom::Start(pos))?;
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b)?;
+    b[0] ^= mask;
+    f.seek(SeekFrom::Start(pos))?;
+    f.write_all(&b)?;
+    f.sync_data()?;
+    Ok(pos)
 }
 
 enum SyncOutcome {
@@ -136,12 +190,7 @@ impl FaultClock {
     }
 
     fn next_rand(&self) -> u64 {
-        let mut state = self.rng.lock();
-        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = *state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        splitmix64(&mut self.rng.lock())
     }
 
     /// Count one I/O operation against the schedule, failing if the plan
@@ -150,6 +199,28 @@ impl FaultClock {
     /// can share the clock's fault schedule.
     pub fn inject_op(&self) -> Result<()> {
         self.check_op()
+    }
+
+    /// Like [`FaultClock::inject_op`], for *write* paths: also subject to
+    /// the disk-full schedule. TempSpace spills, WAL appends and
+    /// FileStream imports route through this so a single
+    /// [`FaultPlan::disk_full_after_ops`] threshold starves every write
+    /// path at once, the way a full filesystem does.
+    pub fn inject_write(&self) -> Result<()> {
+        self.check_op()?;
+        self.check_disk_full()
+    }
+
+    fn check_disk_full(&self) -> Result<()> {
+        if let Some(k) = self.plan.disk_full_after_ops {
+            let n = self.ops.load(Ordering::Relaxed);
+            if n > k {
+                return Err(DbError::DiskFull(format!(
+                    "injected ENOSPC: write at operation {n} exceeds the {k}-op device budget"
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn check_op(&self) -> Result<()> {
@@ -360,6 +431,8 @@ pub struct FaultInjectingPageStore {
     inner: Arc<dyn PageStore>,
     clock: Arc<FaultClock>,
     pending: Mutex<HashMap<PageId, Box<[u8]>>>,
+    /// Per-page read counts driving [`FaultPlan::rot_pages`].
+    page_reads: Mutex<HashMap<PageId, u64>>,
 }
 
 impl FaultInjectingPageStore {
@@ -368,6 +441,7 @@ impl FaultInjectingPageStore {
             inner,
             clock,
             pending: Mutex::new(HashMap::new()),
+            page_reads: Mutex::new(HashMap::new()),
         }
     }
 
@@ -398,6 +472,45 @@ impl FaultInjectingPageStore {
         pending
     }
 
+    /// Advance the bit-rot schedule for one read of page `id`: if this is
+    /// the scheduled read, flip a seeded byte of the *at-rest* image (the
+    /// pending write if one is buffered, else the durable copy directly —
+    /// bypassing the op counter, because decay is not an I/O operation).
+    /// A later rewrite of the page genuinely heals it.
+    fn maybe_rot(&self, id: PageId) {
+        let plan = &self.clock.plan;
+        if plan.rot_pages.is_empty() {
+            return;
+        }
+        let n = {
+            let mut reads = self.page_reads.lock();
+            let n = reads.entry(id).or_insert(0);
+            *n += 1;
+            *n
+        };
+        if !plan
+            .rot_pages
+            .iter()
+            .any(|r| r.page == id && r.at_read == n)
+        {
+            return;
+        }
+        let pos = (self.clock.next_rand() as usize) % PAGE_SIZE;
+        let mask = (self.clock.next_rand() % 255) as u8 + 1;
+        let mut pending = self.pending.lock();
+        if let Some(img) = pending.get_mut(&id) {
+            img[pos] ^= mask;
+            return;
+        }
+        drop(pending);
+        let mut img = vec![0u8; PAGE_SIZE];
+        if self.inner.read_page(id, &mut img).is_err() {
+            return;
+        }
+        img[pos] ^= mask;
+        let _ = self.inner.write_page(id, &img);
+    }
+
     /// Overlay a pseudo-random-length prefix of `new` onto the current
     /// page contents — the effect of a write interrupted partway.
     fn tear(&self, id: PageId, new: &[u8]) -> Box<[u8]> {
@@ -412,6 +525,7 @@ impl FaultInjectingPageStore {
 impl PageStore for FaultInjectingPageStore {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         self.clock.check_op()?;
+        self.maybe_rot(id);
         if let Some(img) = self.pending.lock().get(&id) {
             buf.copy_from_slice(img);
             return Ok(());
@@ -420,7 +534,7 @@ impl PageStore for FaultInjectingPageStore {
     }
 
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
-        self.clock.check_op()?;
+        self.clock.inject_write()?;
         let image = if self.clock.is_torn_write() {
             self.tear(id, buf)
         } else {
@@ -497,7 +611,7 @@ impl WalBackend for FaultInjectingWalBackend {
     }
 
     fn append(&self, buf: &[u8]) -> Result<()> {
-        self.clock.check_op()?;
+        self.clock.inject_write()?;
         self.pending.lock().extend_from_slice(buf);
         Ok(())
     }
@@ -719,6 +833,79 @@ mod tests {
         assert!(matches!(err, DbError::Io(_)), "{err}");
         assert_eq!(clock.op_count(), 3);
         assert_eq!(clock.net_op_count(), 5);
+    }
+
+    #[test]
+    fn disk_full_fails_writes_typed_but_reads_survive() {
+        let store = plan_store(FaultPlan {
+            disk_full_after_ops: Some(3),
+            ..FaultPlan::none()
+        });
+        let id = store.allocate().unwrap(); // op 1
+        let img = vec![4u8; PAGE_SIZE];
+        store.write_page(id, &img).unwrap(); // op 2
+        store.sync().unwrap();
+        store.write_page(id, &img).unwrap(); // op 3: at the budget edge
+        let err = store.write_page(id, &img).unwrap_err(); // op 4: full
+        assert!(matches!(err, DbError::DiskFull(_)), "{err:?}");
+        // Reads still work on a full disk.
+        let mut back = vec![0u8; PAGE_SIZE];
+        store.read_page(id, &mut back).unwrap();
+        assert_eq!(back, img);
+        // The WAL backend starves on the same clock.
+        let wal = FaultInjectingWalBackend::new(
+            Arc::new(crate::wal::MemWalBackend::new()),
+            store.clock().clone(),
+        );
+        let err = wal.append(b"x").unwrap_err();
+        assert!(matches!(err, DbError::DiskFull(_)), "{err:?}");
+    }
+
+    #[test]
+    fn bit_rot_fires_at_the_scheduled_read_and_persists() {
+        let store = plan_store(FaultPlan {
+            seed: 9,
+            rot_pages: vec![PageRot {
+                page: 0,
+                at_read: 2,
+            }],
+            ..FaultPlan::none()
+        });
+        let id = store.allocate().unwrap();
+        let img = vec![0x11u8; PAGE_SIZE];
+        store.write_page(id, &img).unwrap();
+        store.sync().unwrap();
+        let mut back = vec![0u8; PAGE_SIZE];
+        store.read_page(id, &mut back).unwrap(); // read 1: clean
+        assert_eq!(back, img);
+        store.read_page(id, &mut back).unwrap(); // read 2: rotted
+        assert_ne!(back, img, "scheduled read must surface the flip");
+        let rotted = back.clone();
+        store.read_page(id, &mut back).unwrap(); // read 3: still rotted
+        assert_eq!(back, rotted, "rot is at-rest, not transient");
+        // A rewrite genuinely heals the page.
+        store.write_page(id, &img).unwrap();
+        store.sync().unwrap();
+        store.read_page(id, &mut back).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn rot_file_flips_one_seeded_byte_in_range() {
+        let dir = std::env::temp_dir().join(format!("seqdb-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        let base = vec![0xC3u8; 4096];
+        std::fs::write(&path, &base).unwrap();
+        let pos = rot_file(&path, 21, 1024, 2048).unwrap();
+        assert!((1024..3072).contains(&pos), "flip at {pos} out of range");
+        let after = std::fs::read(&path).unwrap();
+        let diffs: Vec<usize> = (0..base.len()).filter(|&i| after[i] != base[i]).collect();
+        assert_eq!(diffs, vec![pos as usize], "exactly one byte changes");
+        // Same seed flips the same position in a fresh copy.
+        std::fs::write(&path, &base).unwrap();
+        assert_eq!(rot_file(&path, 21, 1024, 2048).unwrap(), pos);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -40,6 +40,8 @@ use seqdb_types::{DbError, Result, Value};
 
 use crate::counters::{storage_counters, waits, WaitClass};
 use crate::fault::FaultClock;
+use crate::scrub::Quarantine;
+use crate::sha256::{self, Sha256};
 
 /// Default read-ahead chunk for sequential access (64 KiB, matching the
 /// paper's observation that chunked reads beat per-line reads).
@@ -66,6 +68,24 @@ pub struct FileStreamStore {
     /// Total transient-error retries burned by `write_atomic` across the
     /// store's lifetime (observability for import-under-fault tests).
     write_retries: AtomicU64,
+    /// Optional quarantine list shared with the scrubber. When set,
+    /// `path_name` (and everything built on it: reads, `DATALENGTH`,
+    /// external-tool opens) refuses quarantined blobs with the typed
+    /// [`DbError::Quarantined`].
+    quarantine: Mutex<Option<Arc<Quarantine>>>,
+}
+
+/// Outcome of re-hashing one blob against its recorded import hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlobCheck {
+    /// Hash matches the sidecar: the blob is byte-identical to its import.
+    Ok,
+    /// No sidecar exists (blob created by an external tool, or the sidecar
+    /// was invalidated by an external-tool open). Nothing to verify
+    /// against — reported, not treated as corruption.
+    Unhashed,
+    /// Hash differs from the sidecar: the blob decayed at rest.
+    Mismatch,
 }
 
 impl FileStreamStore {
@@ -77,16 +97,36 @@ impl FileStreamStore {
         let root = dir.into();
         fs::create_dir_all(&root)?;
         let mut blobs = 0u64;
+        let mut blob_stems = std::collections::HashSet::new();
+        let mut sidecars = Vec::new();
         for entry in fs::read_dir(&root)? {
             let path = entry?.path();
             match path.extension().and_then(|e| e.to_str()) {
                 // An orphaned temp file is an insert that never completed;
                 // its GUID was never returned to anyone, so drop it.
-                Some("tmp") => {
-                    let _ = fs::remove_file(&path);
+                Some("tmp") if fs::remove_file(&path).is_ok() => {
+                    storage_counters()
+                        .startup_orphans_removed
+                        .fetch_add(1, Ordering::Relaxed);
                 }
-                Some("blob") => blobs += 1,
+                Some("blob") => {
+                    blobs += 1;
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        blob_stems.insert(stem.to_string());
+                    }
+                }
+                Some("sha256") => sidecars.push(path),
                 _ => {}
+            }
+        }
+        // A hash sidecar whose blob never made it (crash between sidecar
+        // write and rename) certifies nothing; sweep it too.
+        for sc in sidecars {
+            let stem = sc.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if !blob_stems.contains(stem) && fs::remove_file(&sc).is_ok() {
+                storage_counters()
+                    .startup_orphans_removed
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(FileStreamStore {
@@ -94,6 +134,7 @@ impl FileStreamStore {
             guid_seq: AtomicU64::new(blobs + 1),
             fault: Mutex::new(None),
             write_retries: AtomicU64::new(0),
+            quarantine: Mutex::new(None),
         })
     }
 
@@ -132,8 +173,24 @@ impl FileStreamStore {
         }
     }
 
+    /// Attach (or detach) the scrubber's quarantine list. With a list
+    /// attached, every access that resolves a blob path first checks it.
+    pub fn set_quarantine(&self, quarantine: Option<Arc<Quarantine>>) {
+        *self.quarantine.lock() = quarantine;
+    }
+
+    /// The quarantine key for a blob: `filestream:<guid-string>`.
+    pub fn object_key(guid: u128) -> String {
+        format!("filestream:{}", Value::guid_string(guid))
+    }
+
     fn path(&self, guid: u128) -> PathBuf {
         self.root.join(format!("{}.blob", Value::guid_string(guid)))
+    }
+
+    fn sidecar(&self, guid: u128) -> PathBuf {
+        self.root
+            .join(format!("{}.sha256", Value::guid_string(guid)))
     }
 
     /// Store a BLOB from memory; returns its GUID.
@@ -219,18 +276,32 @@ impl FileStreamStore {
         fill: &mut impl FnMut(&mut File) -> Result<()>,
     ) -> Result<()> {
         if let Some(clock) = fault {
-            clock.inject_op()?;
+            clock.inject_write()?;
         }
-        let mut f = OpenOptions::new().write(true).create_new(true).open(tmp)?;
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(tmp)
+            .map_err(DbError::io_write)?;
         let written = fill(&mut f).and_then(|()| {
             if let Some(clock) = fault {
-                clock.inject_op()?;
+                clock.inject_write()?;
             }
             f.sync_data()?;
             Ok(())
         });
         drop(f);
         written?;
+        // Record the content hash before the blob becomes visible, so a
+        // complete blob always carries its import-time digest. (A crash
+        // here leaves an orphan sidecar, swept on reopen.)
+        let digest = hash_file(tmp)?;
+        let stem = tmp.file_stem().and_then(|s| s.to_str()).unwrap_or("blob");
+        fs::write(
+            self.root.join(format!("{stem}.sha256")),
+            sha256::to_hex(&digest),
+        )
+        .map_err(DbError::io_write)?;
         fs::rename(tmp, path)?;
         sync_dir(&self.root)?;
         storage_counters()
@@ -239,8 +310,14 @@ impl FileStreamStore {
         Ok(())
     }
 
-    /// `column.PathName()`: the filesystem path of a BLOB.
+    /// `column.PathName()`: the filesystem path of a BLOB. Quarantined
+    /// blobs are refused here — the chokepoint every read path goes
+    /// through — so a statement touching a known-corrupt blob fails typed
+    /// instead of serving rotted bytes.
     pub fn path_name(&self, guid: u128) -> Result<PathBuf> {
+        if let Some(q) = self.quarantine.lock().as_ref() {
+            q.check(&Self::object_key(guid))?;
+        }
         let p = self.path(guid);
         if p.exists() {
             Ok(p)
@@ -282,9 +359,12 @@ impl FileStreamStore {
 
     /// Direct file-handle access for external tools (the Win32
     /// `WriteFile()`/`ReadFile()` path). Opens read-write so a tool can
-    /// also produce its output into DBMS-managed storage.
+    /// also produce its output into DBMS-managed storage. The import-time
+    /// hash sidecar is invalidated: an external tool may legitimately
+    /// rewrite the blob, after which the old digest certifies nothing.
     pub fn open_for_external_tool(&self, guid: u128) -> Result<File> {
         let path = self.path_name(guid)?;
+        let _ = fs::remove_file(self.sidecar(guid));
         Ok(OpenOptions::new().read(true).write(true).open(path)?)
     }
 
@@ -301,10 +381,67 @@ impl FileStreamStore {
         Ok((guid, file))
     }
 
-    /// Delete a BLOB.
+    /// Delete a BLOB. Goes straight to the path (not through the
+    /// quarantine check): deleting a quarantined blob is how an operator
+    /// clears it for re-import, so the delete clears the quarantine entry.
     pub fn delete(&self, guid: u128) -> Result<()> {
-        fs::remove_file(self.path_name(guid)?)?;
+        let p = self.path(guid);
+        if !p.exists() {
+            return Err(DbError::NotFound(format!(
+                "filestream blob {}",
+                Value::guid_string(guid)
+            )));
+        }
+        fs::remove_file(p)?;
+        let _ = fs::remove_file(self.sidecar(guid));
+        if let Some(q) = self.quarantine.lock().as_ref() {
+            q.clear_object(&Self::object_key(guid));
+        }
         Ok(())
+    }
+
+    /// GUID strings of every blob in the store, by directory listing (the
+    /// scrubber's enumeration — file names are authoritative, no catalog
+    /// needed).
+    pub fn blob_names(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "blob") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    out.push(stem.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Re-hash the named blob (a stem from [`Self::blob_names`]) against
+    /// its import-time sidecar. Reads the file directly — quarantined
+    /// blobs must stay verifiable, or a repaired/re-imported blob could
+    /// never clear its entry.
+    pub fn verify_blob(&self, name: &str) -> Result<BlobCheck> {
+        let blob = self.root.join(format!("{name}.blob"));
+        let sidecar = self.root.join(format!("{name}.sha256"));
+        let start = Instant::now();
+        let result = (|| {
+            let expected = match fs::read_to_string(&sidecar) {
+                Ok(hex) => hex.trim().to_string(),
+                Err(_) => return Ok(BlobCheck::Unhashed),
+            };
+            let digest = hash_file(&blob)?;
+            if sha256::to_hex(&digest) == expected {
+                Ok(BlobCheck::Ok)
+            } else {
+                Ok(BlobCheck::Mismatch)
+            }
+        })();
+        waits().record(WaitClass::ScrubIo, start.elapsed());
+        storage_counters()
+            .scrub_blobs_checked
+            .fetch_add(1, Ordering::Relaxed);
+        result
     }
 
     /// Total bytes of all BLOBs in the store (for the storage-efficiency
@@ -460,6 +597,21 @@ impl FileStreamReader {
         out.truncate(pos);
         Ok(out)
     }
+}
+
+/// SHA-256 of a file's contents, streamed in 64 KiB chunks.
+fn hash_file(path: &Path) -> Result<[u8; 32]> {
+    let mut f = File::open(path)?;
+    let mut hasher = Sha256::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        hasher.update(&buf[..n]);
+    }
+    Ok(hasher.finalize())
 }
 
 /// Sync a directory so a just-completed rename inside it is durable.
@@ -777,6 +929,93 @@ mod tests {
         s.set_fault_clock(None);
         let guid = s.insert(b"lands now").unwrap();
         assert_eq!(s.len(guid).unwrap(), 9);
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn imports_record_a_hash_that_verifies_and_catches_rot() {
+        let s = store("sha");
+        let guid = s.insert(b"precious genomic payload").unwrap();
+        let name = Value::guid_string(guid);
+        assert!(
+            s.root().join(format!("{name}.sha256")).exists(),
+            "import must record a sidecar"
+        );
+        assert_eq!(s.verify_blob(&name).unwrap(), BlobCheck::Ok);
+        // Rot one byte of the blob at rest; verification catches it.
+        crate::fault::rot_file(&s.path(guid), 77, 0, 24).unwrap();
+        assert_eq!(s.verify_blob(&name).unwrap(), BlobCheck::Mismatch);
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn external_tool_open_invalidates_the_hash() {
+        let s = store("sha-ext");
+        let guid = s.insert(b"tool input").unwrap();
+        let name = Value::guid_string(guid);
+        let mut f = s.open_for_external_tool(guid).unwrap();
+        f.write_all(b"rewritten").unwrap();
+        drop(f);
+        // The old digest certifies nothing now; the blob is unhashed, not
+        // corrupt.
+        assert_eq!(s.verify_blob(&name).unwrap(), BlobCheck::Unhashed);
+        fs::remove_dir_all(s.root()).unwrap();
+    }
+
+    #[test]
+    fn blob_names_enumerates_and_reopen_sweeps_orphan_sidecars() {
+        let s = store("sha-sweep");
+        let root = s.root().to_path_buf();
+        let a = s.insert(b"one").unwrap();
+        let b = s.insert(b"two").unwrap();
+        let mut names = vec![Value::guid_string(a), Value::guid_string(b)];
+        names.sort();
+        assert_eq!(s.blob_names().unwrap(), names);
+        // A sidecar with no blob (crash between sidecar write and rename).
+        fs::write(root.join("deadbeef.sha256"), "00").unwrap();
+        drop(s);
+        let before = storage_counters()
+            .startup_orphans_removed
+            .load(Ordering::Relaxed);
+        let s = FileStreamStore::open(&root).unwrap();
+        assert!(!root.join("deadbeef.sha256").exists());
+        assert!(
+            storage_counters()
+                .startup_orphans_removed
+                .load(Ordering::Relaxed)
+                > before
+        );
+        // Real sidecars survive the sweep.
+        assert_eq!(
+            s.verify_blob(&Value::guid_string(a)).unwrap(),
+            BlobCheck::Ok
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn quarantined_blobs_fail_typed_until_cleared() {
+        let s = store("quarantine");
+        let guid = s.insert(b"fenced").unwrap();
+        let q = crate::scrub::Quarantine::in_memory();
+        s.set_quarantine(Some(q.clone()));
+        let key = FileStreamStore::object_key(guid);
+        q.add(&key, 0);
+        for result in [
+            s.path_name(guid).map(|_| ()),
+            s.len(guid).map(|_| ()),
+            s.open_reader(guid, false).map(|_| ()),
+            s.open_for_external_tool(guid).map(|_| ()),
+        ] {
+            assert!(
+                matches!(result, Err(DbError::Quarantined { .. })),
+                "{result:?}"
+            );
+        }
+        // Delete is allowed (that's how an operator clears for re-import)
+        // and clears the quarantine entry.
+        s.delete(guid).unwrap();
+        assert!(q.check(&key).is_ok(), "delete cleared the entry");
         fs::remove_dir_all(s.root()).unwrap();
     }
 

@@ -29,6 +29,8 @@ pub mod page;
 pub mod pagec;
 pub mod pager;
 pub mod rowfmt;
+pub mod scrub;
+pub mod sha256;
 pub mod tempspace;
 pub mod varint;
 pub mod wal;
@@ -38,12 +40,16 @@ pub use buffer::BufferPool;
 pub use counters::{
     storage_counters, waits, SpillTally, StorageCounters, WaitClass, WaitSnapshot, WaitStats,
 };
-pub use fault::{FaultClock, FaultInjectingPageStore, FaultInjectingStream, FaultPlan, NetFate};
-pub use filestream::{FileStreamReader, FileStreamStore};
+pub use fault::{
+    rot_file, FaultClock, FaultInjectingPageStore, FaultInjectingStream, FaultPlan, NetFate,
+    PageRot,
+};
+pub use filestream::{BlobCheck, FileStreamReader, FileStreamStore};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagec::PageContext;
 pub use pager::{FilePager, MemPager, PageStore};
 pub use rowfmt::Compression;
+pub use scrub::Quarantine;
 pub use tempspace::TempSpace;
 pub use wal::WriteAheadLog;

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use seqdb_types::Result;
+use seqdb_types::{DbError, Result};
 
 use crate::counters::{storage_counters, waits, SpillTally, WaitClass};
 use crate::fault::FaultClock;
@@ -32,10 +32,26 @@ pub struct TempSpace {
 }
 
 impl TempSpace {
-    /// Create a temp space under `dir` (created if missing).
+    /// Create a temp space under `dir` (created if missing). Spill files
+    /// left behind by a hard crash — writers delete on drop, but a killed
+    /// process never drops — are swept here and counted in the
+    /// `startup_orphans_removed` counter. Temp dirs are per-database, so
+    /// anything present at open time is garbage by construction.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Arc<TempSpace>> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("spill-")
+                && name.ends_with(".tmp")
+                && fs::remove_file(&path).is_ok()
+            {
+                storage_counters()
+                    .startup_orphans_removed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Ok(Arc::new(TempSpace {
             dir,
             seq: AtomicU64::new(0),
@@ -58,9 +74,12 @@ impl TempSpace {
         *self.fault.lock() = clock;
     }
 
-    fn inject_op(&self) -> Result<()> {
+    /// Consult the attached fault clock as a write: spill creation and
+    /// writes are both on the shared op schedule and the first things a
+    /// filling disk starves.
+    fn inject_write(&self) -> Result<()> {
         if let Some(clock) = self.fault.lock().as_ref() {
-            clock.inject_op()?;
+            clock.inject_write()?;
         }
         Ok(())
     }
@@ -89,10 +108,10 @@ impl TempSpace {
         tallies: Vec<Arc<SpillTally>>,
         class: WaitClass,
     ) -> Result<SpillWriter> {
-        self.inject_op()?;
+        self.inject_write()?;
         let n = self.seq.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("spill-{n}.tmp"));
-        let file = File::create(&path)?;
+        let file = File::create(&path).map_err(DbError::io_write)?;
         self.spill_count.fetch_add(1, Ordering::Relaxed);
         storage_counters()
             .spill_files
@@ -156,12 +175,13 @@ pub struct SpillWriter {
 
 impl SpillWriter {
     pub fn write_all(&mut self, buf: &[u8]) -> Result<()> {
-        self.space.inject_op()?;
+        self.space.inject_write()?;
         let start = Instant::now();
         self.writer
             .as_mut()
             .expect("writer live until finish")
-            .write_all(buf)?;
+            .write_all(buf)
+            .map_err(DbError::io_write)?;
         waits().record(self.class, start.elapsed());
         self.space
             .bytes_written
@@ -334,6 +354,28 @@ mod tests {
         assert!(matches!(err, seqdb_types::DbError::Io(_)), "{err}");
         drop(w);
         assert_eq!(fs::read_dir(&dir).unwrap().count(), 0, "no leaked files");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_spill_files() {
+        let dir = std::env::temp_dir().join(format!("seqdb-ts-sweep-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("spill-0.tmp"), b"orphan").unwrap();
+        fs::write(dir.join("spill-7.tmp"), b"orphan").unwrap();
+        fs::write(dir.join("unrelated.dat"), b"keep").unwrap();
+        let before = storage_counters()
+            .startup_orphans_removed
+            .load(Ordering::Relaxed);
+        let ts = TempSpace::open(&dir).unwrap();
+        assert_eq!(ts.live_files().unwrap(), 1, "only the orphans go");
+        assert!(dir.join("unrelated.dat").exists());
+        assert!(
+            storage_counters()
+                .startup_orphans_removed
+                .load(Ordering::Relaxed)
+                >= before + 2
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

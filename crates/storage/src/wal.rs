@@ -111,7 +111,8 @@ impl WalBackend for FileWalBackend {
     }
 
     fn append(&self, buf: &[u8]) -> Result<()> {
-        (&self.file).write_all(buf)?;
+        // A real ENOSPC surfaces as the typed DiskFull, not a device fault.
+        (&self.file).write_all(buf).map_err(DbError::io_write)?;
         Ok(())
     }
 

@@ -79,12 +79,38 @@ pub enum DbError {
     /// truncated payload). The offending connection is closed; the server
     /// and every other connection survive.
     Protocol(String),
+    /// The named object (table, or `filestream:<guid>` blob) holds
+    /// corruption the scrubber could not repair and was fenced off on the
+    /// persisted quarantine list. Only statements touching the object see
+    /// this error; the rest of the database stays online. A successful
+    /// repair or re-import clears the entry. `page` is one quarantined
+    /// page id (0 for blobs).
+    Quarantined { object: String, page: u64 },
+    /// A write path ran out of disk space (injected ENOSPC from the fault
+    /// schedule, or a real `ENOSPC` from the OS). Distinct from
+    /// [`DbError::Io`] so callers can degrade deliberately — fail the one
+    /// spilling statement, keep the server up — instead of treating it as
+    /// a device fault.
+    DiskFull(String),
 }
 
 impl DbError {
     /// Helper used by storage code to wrap `std::io::Error`.
     pub fn io(e: std::io::Error) -> Self {
         DbError::Io(e.to_string())
+    }
+
+    /// Wrap an `std::io::Error` from a *write* path: a real `ENOSPC`
+    /// becomes the typed [`DbError::DiskFull`] so out-of-space degrades
+    /// deliberately instead of surfacing as a generic I/O fault.
+    pub fn io_write(e: std::io::Error) -> Self {
+        // 28 == ENOSPC on every unix; io::ErrorKind::StorageFull is not
+        // stable on the toolchains we support, so match the raw code.
+        if e.raw_os_error() == Some(28) {
+            DbError::DiskFull(e.to_string())
+        } else {
+            DbError::Io(e.to_string())
+        }
     }
 }
 
@@ -118,6 +144,14 @@ impl fmt::Display for DbError {
             DbError::ServerBusy(m) => write!(f, "server busy: {m}"),
             DbError::ServerDraining(m) => write!(f, "server draining: {m}"),
             DbError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DbError::Quarantined { object, page } => {
+                write!(
+                    f,
+                    "object quarantined: {object} holds unrepaired corruption (page {page}); \
+                     run CHECK ... REPAIR or re-import to restore it"
+                )
+            }
+            DbError::DiskFull(m) => write!(f, "disk full: {m}"),
         }
     }
 }
@@ -191,6 +225,36 @@ mod tests {
         assert!(e.to_string().contains("draining"), "{e}");
         let e = DbError::Protocol("frame of 99 MiB exceeds the 32 MiB cap".into());
         assert!(e.to_string().contains("protocol error"), "{e}");
+    }
+
+    #[test]
+    fn integrity_errors_display_their_cause() {
+        let e = DbError::Quarantined {
+            object: "reads".into(),
+            page: 7,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("quarantined") && s.contains("reads") && s.contains('7'),
+            "{s}"
+        );
+        assert_ne!(
+            e,
+            DbError::Quarantined {
+                object: "reads".into(),
+                page: 8
+            }
+        );
+        let e = DbError::DiskFull("injected ENOSPC at operation 9".into());
+        assert!(e.to_string().contains("disk full"), "{e}");
+    }
+
+    #[test]
+    fn io_write_maps_enospc_to_disk_full() {
+        let e = DbError::io_write(std::io::Error::from_raw_os_error(28));
+        assert!(matches!(e, DbError::DiskFull(_)), "{e:?}");
+        let e = DbError::io_write(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(matches!(e, DbError::Io(_)), "{e:?}");
     }
 
     #[test]

@@ -314,6 +314,48 @@ fn crash_recovery_at_every_sync_point() {
     }
 }
 
+/// Double crash: the machine dies again *during* WAL replay, at every
+/// workload crash point. The half-applied replay (each replayed page
+/// independently lands whole, torn, or not at all) must be fully
+/// converged by the second, clean replay — recovery is idempotent
+/// because the log is only truncated after the data store syncs.
+#[test]
+fn crash_during_wal_replay_second_replay_converges() {
+    const SEED: u64 = 0xD0B2_2026;
+    let total_syncs = {
+        let data = Arc::new(MemPager::new());
+        let wal = Arc::new(MemWalBackend::new());
+        let run = run_crash_workload(data.clone(), wal.clone(), SEED, 6, 9, None);
+        verify_crash_recovery(data, wal, SEED, &run);
+        run.syncs
+    };
+    for k in 0..total_syncs {
+        let data = Arc::new(MemPager::new());
+        let wal_disk = Arc::new(MemWalBackend::new());
+        let run = run_crash_workload(data.clone(), wal_disk.clone(), SEED, 6, 9, Some(k));
+
+        // First recovery attempt: the replay target crashes on its own
+        // sync, so the replayed pages are scattered — some whole, some
+        // torn, some lost — and the log is left un-truncated.
+        let replay_clock = FaultClock::new(FaultPlan {
+            seed: SEED ^ k,
+            crash_after_syncs: Some(0),
+            ..FaultPlan::none()
+        });
+        let faulty_target = FaultInjectingPageStore::new(data.clone(), replay_clock);
+        let wal = WriteAheadLog::new(Box::new(wal_disk.clone()));
+        match wal.recover_into(&faulty_target) {
+            Ok(n) => assert_eq!(n, 0, "a non-empty replay must hit the crashed sync"),
+            Err(e) => assert!(e.to_string().contains("injected crash"), "{e}"),
+        }
+
+        // Second reboot: the clean replay rewrites every logged page, so
+        // whatever the interrupted replay tore is healed and all the
+        // usual recovery invariants hold.
+        verify_crash_recovery(data, wal_disk, SEED, &run);
+    }
+}
+
 // ----------------------------------------------------------------------
 // Model-based property tests
 // ----------------------------------------------------------------------

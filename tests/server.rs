@@ -11,7 +11,7 @@ use seqdb::engine::{Database, ExecContext, TableFunction, TvfCursor};
 use seqdb::server::protocol::read_frame;
 use seqdb::server::{Client, Server, ServerConfig};
 use seqdb::sql::DatabaseSqlExt;
-use seqdb::storage::{FaultClock, FaultPlan};
+use seqdb::storage::{FaultClock, FaultPlan, PAGE_SIZE};
 use seqdb::types::{Column, DataType, DbError, Result, Row, Schema, Value};
 
 /// `NUMBERS(n)` emits 0..n — with a huge `n`, an effectively endless
@@ -669,5 +669,48 @@ fn queued_admission_holds_a_wire_statement_then_runs_it() {
     let r = queued.join().unwrap().expect("queued statement must run");
     assert_eq!(r.rows.len(), 12_000);
     assert_eq!(db.admission().queue_depth(), 0);
+    server.drain().unwrap();
+}
+
+// ----------------------------------------------------------------------
+// Periodic background scrub thread
+// ----------------------------------------------------------------------
+
+/// With `scrub_interval` set, the server's `seqdb-scrub` thread finds
+/// and repairs planted corruption without any `CHECK` being issued,
+/// and the drain joins the thread cleanly.
+#[test]
+fn periodic_scrub_thread_repairs_rot_in_the_background() {
+    let db = setup_db();
+    db.checkpoint().unwrap();
+    // Corrupt one heap page at rest while the good frame stays cached.
+    let t = db.catalog().table("t").unwrap();
+    let victim = t.heap.pages_snapshot()[0];
+    let store = db.pool().store().clone();
+    let mut buf = vec![0u8; PAGE_SIZE];
+    store.read_page(victim, &mut buf).unwrap();
+    buf[100] ^= 0x40;
+    store.write_page(victim, &buf).unwrap();
+
+    let server = start(
+        &db,
+        ServerConfig {
+            poll_interval: Duration::from_millis(5),
+            scrub_interval: Some(Duration::from_millis(20)),
+            ..ServerConfig::default()
+        },
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while db.scrub_state().status().pages_repaired == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "background scrub never repaired the page"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut c = Client::connect(server.addr()).unwrap();
+    let r = c.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(12_000));
+    assert!(db.quarantine().is_empty(), "nothing should be fenced");
     server.drain().unwrap();
 }

@@ -68,7 +68,7 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|join|fig10|binning|consensus|snp|server|scrub|all] [--scale N] [--clients N]");
+    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|join|fig10|binning|consensus|snp|server|scrub|backup|all] [--scale N] [--clients N]");
     std::process::exit(2);
 }
 
@@ -123,6 +123,7 @@ fn run(experiment: &str, factor: usize) -> Result<()> {
         "snp" => snp(factor)?,
         "server" => server_bench(factor, CLIENTS.load(std::sync::atomic::Ordering::Relaxed))?,
         "scrub" => scrub_bench(factor)?,
+        "backup" => backup_bench(factor)?,
         "all" => {
             table1(factor)?;
             table2(factor)?;
@@ -994,6 +995,206 @@ fn scrub_bench(factor: usize) -> Result<()> {
          \"scrub_stmts\": {},\n  \"scrub_p50_ms\": {:.3},\n  \"scrub_p99_ms\": {:.3},\n  \
          \"client_errors\": {}\n}}\n",
         scrub_wall.as_secs_f64() * 1e3,
+        quiet.len(),
+        pct(&quiet, 0.50),
+        pct(&quiet, 0.99),
+        under.len(),
+        pct(&under, 0.50),
+        pct(&under, 0.99),
+        errors.load(Ordering::Relaxed)
+    );
+    std::fs::write(&path, json)?;
+    println!("  wrote {}", path.display());
+    std::fs::remove_dir_all(&dir).ok();
+    println!();
+    Ok(())
+}
+
+/// Extension: online backup — query latency impact while a backup runs,
+/// plus full vs incremental set size and wall time.
+fn backup_bench(factor: usize) -> Result<()> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    use seqdb_server::{Client, Server, ServerConfig};
+
+    const CLIENTS: usize = 32;
+    println!("--- Extension: online backup vs query latency ({CLIENTS} clients) ---");
+    let dir = std::env::temp_dir().join(format!("seqdb-bench-backup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let db = Database::open(&dir.join("db"))?;
+    db.execute_sql("CREATE TABLE reads (id INT NOT NULL, grp INT, seq VARCHAR(64))")?;
+    let n = 120_000usize * factor.max(1);
+    let rows: Vec<Row> = (0..n as i64)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 10),
+                Value::text(format!("ACGTACGTACGTACGTACGTACGT-{i:08}")),
+            ])
+        })
+        .collect();
+    db.insert_rows("reads", &rows)?;
+    for lane in 0..4u8 {
+        db.filestream().insert(&vec![lane; 256 * 1024])?;
+    }
+    db.checkpoint()?;
+
+    let server = Server::start(
+        db.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: CLIENTS + 8,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let backing_up = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(AtomicUsize::new(0));
+
+    // Reader fleet, latencies tagged by whether a backup was in flight
+    // when the statement started.
+    let mut workers = Vec::new();
+    for who in 0..CLIENTS {
+        let (stop, backing_up, errors) = (stop.clone(), backing_up.clone(), errors.clone());
+        workers.push(std::thread::spawn(move || -> (Vec<f64>, Vec<f64>) {
+            let (mut quiet, mut under) = (Vec::new(), Vec::new());
+            let Ok(mut c) = Client::connect(addr) else {
+                return (quiet, under);
+            };
+            let _ = c.set_read_timeout(Some(Duration::from_secs(60)));
+            c.set_retry_attempts(5);
+            let mut i = who;
+            while !stop.load(Ordering::Relaxed) {
+                i += 1;
+                let sql = if i.is_multiple_of(5) {
+                    "SELECT grp, COUNT(*) FROM reads GROUP BY grp".to_string()
+                } else {
+                    format!("SELECT COUNT(*) FROM reads WHERE grp = {}", i % 10)
+                };
+                let during = backing_up.load(Ordering::Relaxed);
+                let t = Instant::now();
+                match c.query(&sql) {
+                    Ok(_) => {
+                        let ms = t.elapsed().as_secs_f64() * 1e3;
+                        if during {
+                            under.push(ms);
+                        } else {
+                            quiet.push(ms);
+                        }
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            (quiet, under)
+        }));
+    }
+
+    // Phase 1: quiet baseline. Phase 2: full backup under load.
+    let phase = Duration::from_millis(1_500 * factor as u64);
+    std::thread::sleep(phase);
+    backing_up.store(true, Ordering::Relaxed);
+    let full_dir = dir.join("full");
+    let t = Instant::now();
+    let full = db.backup_database(&full_dir, None)?;
+    let full_wall = t.elapsed();
+    backing_up.store(false, Ordering::Relaxed);
+
+    // Mutate ~2% of the data, then take an incremental under load.
+    let delta: Vec<Row> = (n as i64..n as i64 + n as i64 / 50)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 10),
+                Value::text(format!("ACGTACGTACGTACGTACGTACGT-{i:08}")),
+            ])
+        })
+        .collect();
+    db.insert_rows("reads", &delta)?;
+    backing_up.store(true, Ordering::Relaxed);
+    let incr_dir = dir.join("incr");
+    let t = Instant::now();
+    let incr = db.backup_database(&incr_dir, Some(&full_dir))?;
+    let incr_wall = t.elapsed();
+    backing_up.store(false, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed);
+
+    let (mut quiet, mut under) = (Vec::new(), Vec::new());
+    for w in workers {
+        let (q, u) = w.join().unwrap_or_default();
+        quiet.extend(q);
+        under.extend(u);
+    }
+    server.drain()?;
+
+    // The restored set must verify — a backup benchmark over an
+    // unrestorable set would be measuring garbage.
+    seqdb_engine::verify_backup(&incr_dir)?;
+
+    let sortf = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    };
+    sortf(&mut quiet);
+    sortf(&mut under);
+    let pct = |v: &[f64], p: f64| -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        v[((v.len() as f64 - 1.0) * p).round() as usize]
+    };
+    // Compare actual bytes copied, not directory sizes: the skipped
+    // pages of an incremental set are holes in a sparse data file.
+    let (full_bytes, incr_bytes) = (full.bytes_written, incr.bytes_written);
+    let fmt_b = |b: u64| format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0));
+    println!(
+        "  full backup       : {} pages, {} in {}",
+        full.pages_copied,
+        fmt_b(full_bytes),
+        fmt_dur(full_wall)
+    );
+    println!(
+        "  incremental backup: {} pages copied, {} skipped, {} in {} ({:.1}% of full size)",
+        incr.pages_copied,
+        incr.pages_skipped,
+        fmt_b(incr_bytes),
+        fmt_dur(incr_wall),
+        incr_bytes as f64 / full_bytes.max(1) as f64 * 100.0
+    );
+    println!(
+        "  query latency quiet    : {} stmts, p50 {:.2} ms, p99 {:.2} ms",
+        quiet.len(),
+        pct(&quiet, 0.50),
+        pct(&quiet, 0.99)
+    );
+    println!(
+        "  query latency w/ backup: {} stmts, p50 {:.2} ms, p99 {:.2} ms; client errors {}",
+        under.len(),
+        pct(&under, 0.50),
+        pct(&under, 0.99),
+        errors.load(Ordering::Relaxed)
+    );
+
+    let path = seqdb_bench::workspace_dir("BENCH_backup.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = format!(
+        "{{\n  \"clients\": {CLIENTS},\n  \"full_pages\": {},\n  \"full_bytes\": {full_bytes},\n  \
+         \"full_wall_ms\": {:.0},\n  \"incr_pages\": {},\n  \"incr_pages_skipped\": {},\n  \
+         \"incr_bytes\": {incr_bytes},\n  \"incr_wall_ms\": {:.0},\n  \
+         \"quiet_stmts\": {},\n  \"quiet_p50_ms\": {:.3},\n  \"quiet_p99_ms\": {:.3},\n  \
+         \"backup_stmts\": {},\n  \"backup_p50_ms\": {:.3},\n  \"backup_p99_ms\": {:.3},\n  \
+         \"client_errors\": {}\n}}\n",
+        full.pages_copied,
+        full_wall.as_secs_f64() * 1e3,
+        incr.pages_copied,
+        incr.pages_skipped,
+        incr_wall.as_secs_f64() * 1e3,
         quiet.len(),
         pct(&quiet, 0.50),
         pct(&quiet, 0.99),

@@ -312,6 +312,198 @@ impl Catalog {
         v
     }
 
+    // -- durable table metadata ---------------------------------------
+
+    /// Serialize every table's metadata — schema, compression, primary
+    /// key, heap first page and index roots — as a text snapshot. Written
+    /// to `catalog.seqdb` at checkpoint time (metadata durability follows
+    /// data durability: a table created after the last checkpoint is as
+    /// volatile as its rows) and captured into backup sets, so a restored
+    /// or reopened directory can rebuild its tables with
+    /// [`Catalog::load_tables`].
+    pub fn serialize_tables(&self) -> String {
+        let mut out = String::from("seqdb-catalog v1\n");
+        let tables = self.tables.read();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        for key in names {
+            let t = &tables[key];
+            let pk = match &t.primary_key {
+                Some(cols) if !cols.is_empty() => cols
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                _ => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "table\t{}\t{}\t{}\t{}\n",
+                t.name,
+                t.heap.compression().sql_name(),
+                pk,
+                t.heap.first_page()
+            ));
+            for col in t.schema.columns() {
+                out.push_str(&format!(
+                    "col\t{}\t{}\t{}\t{}\n",
+                    col.name,
+                    col.dtype.sql_name(),
+                    u8::from(col.nullable),
+                    u8::from(col.filestream)
+                ));
+            }
+            for idx in t.indexes.read().iter() {
+                let cols = idx
+                    .columns
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push_str(&format!(
+                    "index\t{}\t{}\t{}\t{}\n",
+                    idx.name,
+                    cols,
+                    u8::from(idx.unique),
+                    idx.btree.root_page()
+                ));
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Rebuild tables from a [`Catalog::serialize_tables`] snapshot by
+    /// reopening each heap chain and index tree at its recorded root.
+    /// Returns the number of tables loaded plus the `(name, first_page)`
+    /// of any table whose pages could not be walked (rotted at rest
+    /// since the snapshot): those are skipped so one bad table cannot
+    /// brick the whole database — the caller fences them in the
+    /// quarantine. Fails with [`DbError::Corruption`] on a malformed
+    /// snapshot — a reopened database must not come up silently missing
+    /// tables.
+    pub fn load_tables(&self, text: &str) -> Result<(usize, Vec<(String, u64)>)> {
+        let bad = |m: &str| DbError::Corruption(format!("catalog snapshot: {m}"));
+        let mut lines = text.lines();
+        if lines.next() != Some("seqdb-catalog v1") {
+            return Err(bad("missing or unrecognized header"));
+        }
+        // Parse into per-table groups first so a malformed snapshot loads
+        // nothing rather than half the tables.
+        struct Pending {
+            name: String,
+            compression: Compression,
+            primary_key: Option<Vec<usize>>,
+            first_page: u64,
+            columns: Vec<seqdb_types::Column>,
+            indexes: Vec<(String, Vec<usize>, bool, u64)>,
+        }
+        let parse_cols = |s: &str| -> Result<Vec<usize>> {
+            s.split(',')
+                .map(|c| {
+                    c.parse::<usize>()
+                        .map_err(|_| bad(&format!("bad column list {s:?}")))
+                })
+                .collect()
+        };
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut saw_end = false;
+        for line in lines {
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields.as_slice() {
+                ["table", name, comp, pk, first] => {
+                    let compression = match *comp {
+                        "NONE" => Compression::None,
+                        "ROW" => Compression::Row,
+                        "PAGE" => Compression::Page,
+                        other => return Err(bad(&format!("unknown compression {other:?}"))),
+                    };
+                    let primary_key = if *pk == "-" {
+                        None
+                    } else {
+                        Some(parse_cols(pk)?)
+                    };
+                    let first_page = first
+                        .parse::<u64>()
+                        .map_err(|_| bad(&format!("bad heap page {first:?}")))?;
+                    pending.push(Pending {
+                        name: name.to_string(),
+                        compression,
+                        primary_key,
+                        first_page,
+                        columns: Vec::new(),
+                        indexes: Vec::new(),
+                    });
+                }
+                ["col", name, dtype, nullable, fs] => {
+                    let t = pending.last_mut().ok_or_else(|| bad("col before table"))?;
+                    let dtype = seqdb_types::DataType::from_sql_name(dtype)
+                        .ok_or_else(|| bad(&format!("unknown type {dtype:?}")))?;
+                    let mut col = seqdb_types::Column::new(name.to_string(), dtype);
+                    col.nullable = *nullable == "1";
+                    col.filestream = *fs == "1";
+                    t.columns.push(col);
+                }
+                ["index", name, cols, unique, root] => {
+                    let t = pending
+                        .last_mut()
+                        .ok_or_else(|| bad("index before table"))?;
+                    let root = root
+                        .parse::<u64>()
+                        .map_err(|_| bad(&format!("bad index root {root:?}")))?;
+                    t.indexes
+                        .push((name.to_string(), parse_cols(cols)?, *unique == "1", root));
+                }
+                ["end"] => {
+                    saw_end = true;
+                    break;
+                }
+                _ => return Err(bad(&format!("unrecognized line {line:?}"))),
+            }
+        }
+        if !saw_end {
+            return Err(bad("truncated snapshot (no end marker)"));
+        }
+        let mut count = 0usize;
+        let mut unreadable: Vec<(String, u64)> = Vec::new();
+        for p in pending {
+            let schema = Arc::new(Schema::new(p.columns));
+            let rebuild = || -> Result<Arc<Table>> {
+                let heap = Arc::new(HeapFile::open(
+                    self.pool.clone(),
+                    schema.clone(),
+                    p.compression,
+                    p.first_page,
+                )?);
+                let mut indexes = Vec::new();
+                for (name, columns, unique, root) in &p.indexes {
+                    indexes.push(Arc::new(TableIndex {
+                        name: name.clone(),
+                        columns: columns.clone(),
+                        unique: *unique,
+                        btree: BTree::open(self.pool.clone(), *root)?,
+                    }));
+                }
+                Ok(Arc::new(Table {
+                    name: p.name.clone(),
+                    schema: schema.clone(),
+                    heap,
+                    primary_key: p.primary_key.clone(),
+                    indexes: RwLock::new(indexes),
+                }))
+            };
+            match rebuild() {
+                Ok(table) => {
+                    self.tables
+                        .write()
+                        .insert(p.name.to_ascii_lowercase(), table);
+                    count += 1;
+                }
+                Err(_) => unreadable.push((p.name, p.first_page)),
+            }
+        }
+        Ok((count, unreadable))
+    }
+
     // -- function registries ------------------------------------------
 
     pub fn register_scalar(&self, f: Arc<dyn ScalarUdf>) {

@@ -1,11 +1,11 @@
 //! The database façade: storage, catalog, FileStream store, temp space
 //! and configuration in one handle.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use seqdb_storage::rowfmt::Compression;
 use seqdb_storage::{
@@ -13,10 +13,12 @@ use seqdb_storage::{
 };
 use seqdb_types::{Result, Row, Schema};
 
+use crate::backup::BackupState;
 use crate::catalog::{Catalog, Table};
 use crate::conn::{ConnectionRegistry, DmExecConnectionsFn};
 use crate::dmv::{
-    DmDbScrubStatusFn, DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn,
+    DmDbBackupStatusFn, DmDbScrubStatusFn, DmExecQueryStatsFn, DmOsPerformanceCountersFn,
+    DmOsWaitStatsFn,
 };
 use crate::exec::ExecContext;
 use crate::governor::QueryGovernor;
@@ -116,6 +118,14 @@ pub struct Database {
     connections: Arc<ConnectionRegistry>,
     query_stats: Arc<QueryStatsHistory>,
     scrub: Arc<ScrubState>,
+    backup: Arc<BackupState>,
+    /// The directory this database lives in (`None` for in-memory).
+    root: Option<PathBuf>,
+    /// Serializes checkpoints against each other and against online
+    /// backup: a checkpoint truncates the WAL, and a backup in flight
+    /// needs every data-file write since its first page copy to stay
+    /// replayable from the log.
+    ckpt_lock: Mutex<()>,
     session_seq: AtomicU64,
 }
 
@@ -132,7 +142,7 @@ impl Database {
                 .map(|d| d.as_nanos())
                 .unwrap_or(0)
         ));
-        Self::assemble(pool, &base, Quarantine::in_memory()).expect("temp-dir backed stores")
+        Self::assemble(pool, &base, Quarantine::in_memory(), None).expect("temp-dir backed stores")
     }
 
     /// Disk-backed database rooted at `dir` (data file, write-ahead log,
@@ -149,13 +159,30 @@ impl Database {
         // The quarantine list must survive restarts: a reboot would
         // otherwise silently un-fence known-bad objects.
         let quarantine = Quarantine::open(dir.join("quarantine.list"))?;
-        Self::assemble(pool, dir, quarantine)
+        let db = Self::assemble(pool, dir, quarantine, Some(dir.to_path_buf()))?;
+        // Rebuild tables from the catalog snapshot the last checkpoint
+        // (or a restore) left behind. Directories from before catalog
+        // persistence simply have no snapshot and come up empty, as they
+        // always did.
+        let snapshot = dir.join("catalog.seqdb");
+        if snapshot.exists() {
+            let text = std::fs::read_to_string(&snapshot)?;
+            let (_, unreadable) = db.catalog.load_tables(&text)?;
+            // A table whose chain rotted since the snapshot must not
+            // brick the reopen: it comes up fenced (typed `Quarantined`
+            // on access) while the rest of the database works.
+            for (name, first_page) in unreadable {
+                db.quarantine().add(&name.to_ascii_lowercase(), first_page);
+            }
+        }
+        Ok(db)
     }
 
     fn assemble(
         pool: Arc<BufferPool>,
         base: &Path,
         quarantine: Arc<Quarantine>,
+        root: Option<PathBuf>,
     ) -> Result<Arc<Database>> {
         let catalog = Catalog::new(pool.clone());
         for f in crate::builtins::all_builtins() {
@@ -199,6 +226,8 @@ impl Database {
         catalog.register_table_fn(Arc::new(DmExecQueryStatsFn::new(query_stats.clone())));
         catalog.register_table_fn(Arc::new(DmExecConnectionsFn::new(connections.clone())));
         catalog.register_table_fn(Arc::new(DmDbScrubStatusFn::new(scrub.clone())));
+        let backup = BackupState::new();
+        catalog.register_table_fn(Arc::new(DmDbBackupStatusFn::new(backup.clone())));
         Ok(Arc::new(Database {
             pool,
             catalog,
@@ -210,6 +239,9 @@ impl Database {
             connections,
             query_stats,
             scrub,
+            backup,
+            root,
+            ckpt_lock: Mutex::new(()),
             session_seq: AtomicU64::new(1),
         }))
     }
@@ -254,6 +286,22 @@ impl Database {
     /// `CHECK`). The periodic server scrub shares this state.
     pub fn scrub_state(&self) -> &Arc<ScrubState> {
         &self.scrub
+    }
+
+    /// Backup progress and fault plumbing (`DM_DB_BACKUP_STATUS()`,
+    /// `BACKUP DATABASE`). The periodic server backup shares this state.
+    pub fn backup_state(&self) -> &Arc<BackupState> {
+        &self.backup
+    }
+
+    /// The directory this database lives in (`None` for in-memory).
+    pub fn root(&self) -> Option<&Path> {
+        self.root.as_deref()
+    }
+
+    /// The checkpoint/backup mutual-exclusion lock (see the field docs).
+    pub(crate) fn checkpoint_lock(&self) -> &Mutex<()> {
+        &self.ckpt_lock
     }
 
     /// The persisted list of objects fenced off for unrepaired
@@ -401,9 +449,31 @@ impl Database {
     }
 
     /// Checkpoint: make all dirty pages durable and truncate the
-    /// write-ahead log. Also what the SQL `CHECKPOINT` statement runs.
+    /// write-ahead log, then persist the catalog snapshot alongside the
+    /// data so table metadata is exactly as durable as the rows it
+    /// describes. Also what the SQL `CHECKPOINT` statement runs.
+    /// Serialized against online backup: a backup in flight relies on the
+    /// log not truncating under it.
     pub fn checkpoint(&self) -> Result<()> {
-        self.pool.checkpoint()
+        let _guard = self.ckpt_lock.lock();
+        self.pool.checkpoint()?;
+        self.persist_catalog()
+    }
+
+    /// Write the catalog snapshot to `<root>/catalog.seqdb` via tmp +
+    /// rename. No-op for in-memory databases. `pub(crate)` because the
+    /// backup path runs it directly while already holding the
+    /// checkpoint lock.
+    pub(crate) fn persist_catalog(&self) -> Result<()> {
+        let Some(root) = &self.root else {
+            return Ok(());
+        };
+        let path = root.join("catalog.seqdb");
+        let tmp = root.join("catalog.seqdb.tmp");
+        std::fs::write(&tmp, self.catalog.serialize_tables())
+            .map_err(seqdb_types::DbError::io_write)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
     }
 }
 

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use seqdb_storage::{storage_counters, waits, BufferPool, TempSpace};
 use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
 
+use crate::backup::BackupState;
 use crate::conn::ConnectionRegistry;
 use crate::exec::ExecContext;
 use crate::scrub::ScrubState;
@@ -303,6 +304,58 @@ impl TableFunction for DmDbScrubStatusFn {
                 Value::Null,
             ]));
         }
+        Ok(RowsCursor::boxed(rows))
+    }
+}
+
+/// `DM_DB_BACKUP_STATUS()` — whether an online backup is running, where
+/// it is writing, live progress counters, and the outcome of the last
+/// completed (or failed) backup.
+pub struct DmDbBackupStatusFn {
+    state: Arc<BackupState>,
+}
+
+impl DmDbBackupStatusFn {
+    pub fn new(state: Arc<BackupState>) -> DmDbBackupStatusFn {
+        DmDbBackupStatusFn { state }
+    }
+}
+
+impl TableFunction for DmDbBackupStatusFn {
+    fn name(&self) -> &str {
+        "DM_DB_BACKUP_STATUS"
+    }
+    fn schema(&self) -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
+            Column::new("state", DataType::Text).not_null(),
+            Column::new("destination", DataType::Text),
+            Column::new("pages_copied", DataType::Int).not_null(),
+            Column::new("pages_skipped", DataType::Int).not_null(),
+            Column::new("blobs_copied", DataType::Int).not_null(),
+            Column::new("bytes_written", DataType::Int).not_null(),
+            Column::new("last_outcome", DataType::Text),
+        ]))
+    }
+    fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
+        no_args(args, self.name())?;
+        let s = self.state.status();
+        let rows = vec![Row::new(vec![
+            Value::text(if s.running { "running" } else { "idle" }),
+            if s.destination.is_empty() {
+                Value::Null
+            } else {
+                Value::text(s.destination)
+            },
+            Value::Int(s.pages_copied as i64),
+            Value::Int(s.pages_skipped as i64),
+            Value::Int(s.blobs_copied as i64),
+            Value::Int(s.bytes_written as i64),
+            if s.last_outcome.is_empty() {
+                Value::Null
+            } else {
+                Value::text(s.last_outcome)
+            },
+        ])];
         Ok(RowsCursor::boxed(rows))
     }
 }

@@ -24,6 +24,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod backup;
 pub mod builtins;
 pub mod catalog;
 pub mod conn;
@@ -39,10 +40,16 @@ pub mod session;
 pub mod stats;
 pub mod udx;
 
+pub use backup::{
+    restore_database, verify_backup, BackupReport, BackupState, BackupStatus, RestoreReport,
+};
 pub use catalog::{Catalog, Table, TableIndex};
 pub use conn::{ConnState, ConnectionHandle, ConnectionInfo, ConnectionRegistry};
 pub use database::{Database, DbConfig, JoinStrategy};
-pub use dmv::{DmDbScrubStatusFn, DmExecQueryStatsFn, DmOsPerformanceCountersFn, DmOsWaitStatsFn};
+pub use dmv::{
+    DmDbBackupStatusFn, DmDbScrubStatusFn, DmExecQueryStatsFn, DmOsPerformanceCountersFn,
+    DmOsWaitStatsFn,
+};
 pub use exec::{BoxedIter, ExecContext, RowIterator};
 pub use expr::{BinOp, Expr};
 pub use governor::{GovernedIter, MemCharge, QueryGovernor};

@@ -371,6 +371,7 @@ fn error_code(e: &DbError) -> (u8, i64, String) {
         // The aux carries the page, the message the object name.
         DbError::Quarantined { object, page } => (21, *page as i64, object.clone()),
         DbError::DiskFull(m) => (22, 0, m.clone()),
+        DbError::BackupCorrupt { object } => (23, 0, object.clone()),
     }
 }
 
@@ -424,6 +425,7 @@ pub fn decode_error(payload: &[u8]) -> Result<DbError> {
             page: aux as u64,
         },
         22 => DbError::DiskFull(msg),
+        23 => DbError::BackupCorrupt { object: msg },
         other => {
             return Err(DbError::Protocol(format!(
                 "unknown error kind code {other}"
@@ -520,6 +522,9 @@ mod tests {
                 page: 42,
             },
             DbError::DiskFull("no space left on device".into()),
+            DbError::BackupCorrupt {
+                object: "page 17".into(),
+            },
         ] {
             let back = decode_error(&encode_error(&e)).unwrap();
             assert_eq!(back, e);

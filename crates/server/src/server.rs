@@ -70,6 +70,14 @@ pub struct ServerConfig {
     /// `None` (the default) disables the periodic scrub. The thread
     /// stops cleanly at drain.
     pub scrub_interval: Option<Duration>,
+    /// Take an online backup on a background thread this often; `None`
+    /// (the default) disables periodic backups. Requires `backup_dir`.
+    /// The thread stops cleanly at drain.
+    pub backup_interval: Option<Duration>,
+    /// Where the periodic backup thread writes its sets: numbered
+    /// subdirectories (`1`, `2`, ...), the first full, every later one
+    /// incremental from its predecessor.
+    pub backup_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +90,8 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             fault: None,
             scrub_interval: None,
+            backup_interval: None,
+            backup_dir: None,
         }
     }
 }
@@ -115,6 +125,7 @@ pub struct Server {
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     scrub_thread: Option<JoinHandle<()>>,
+    backup_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -148,11 +159,25 @@ impl Server {
             }
             None => None,
         };
+        let backup_thread = match (&shared.cfg.backup_interval, &shared.cfg.backup_dir) {
+            (Some(interval), Some(dir)) => {
+                let s4 = shared.clone();
+                let (interval, dir) = (*interval, dir.clone());
+                Some(
+                    std::thread::Builder::new()
+                        .name("seqdb-backup".into())
+                        .spawn(move || backup_loop(s4, interval, dir))
+                        .map_err(DbError::io)?,
+                )
+            }
+            _ => None,
+        };
         Ok(Server {
             shared,
             addr,
             accept_thread: Some(accept_thread),
             scrub_thread,
+            backup_thread,
         })
     }
 
@@ -179,6 +204,12 @@ impl Server {
         // at the next wakeup; a scrub pass never blocks the drain past
         // its current slice.
         if let Some(t) = self.scrub_thread.take() {
+            let _ = t.join();
+        }
+        // Same deal for the backup thread: it polls the flag between
+        // passes and a pass in flight finishes (backups are short and
+        // rate-limited) before the thread exits.
+        if let Some(t) = self.backup_thread.take() {
             let _ = t.join();
         }
         let deadline = started + self.shared.cfg.drain_deadline;
@@ -221,6 +252,38 @@ fn scrub_loop(shared: Arc<Shared>, interval: Duration) {
         }
         if Instant::now() >= next_pass {
             let _ = shared.db.check_database(true);
+            next_pass = Instant::now() + interval;
+        }
+        std::thread::sleep(shared.cfg.poll_interval.min(interval));
+    }
+}
+
+/// The periodic online backup: every `interval`, write a new set under
+/// `dir` — `dir/1` full, then `dir/N` incremental from `dir/N-1`. A
+/// failed pass (disk full, crash-injected clock) is recorded in
+/// `DM_DB_BACKUP_STATUS()`'s `last_outcome` by the engine and the next
+/// pass retries into the same slot; the thread itself never dies.
+fn backup_loop(shared: Arc<Shared>, interval: Duration, dir: std::path::PathBuf) {
+    let mut seq: u64 = 1;
+    let mut next_pass = Instant::now() + interval;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        if Instant::now() >= next_pass {
+            let dest = dir.join(seq.to_string());
+            let base = (seq > 1).then(|| dir.join((seq - 1).to_string()));
+            let ok = shared
+                .db
+                .backup_database(&dest, base.as_deref())
+                .map(|_| ())
+                .is_ok();
+            if ok {
+                seq += 1;
+            } else {
+                // Leave nothing half-written in the slot we will retry.
+                let _ = std::fs::remove_dir_all(&dest);
+            }
             next_pass = Instant::now() + interval;
         }
         std::thread::sleep(shared.cfg.poll_interval.min(interval));

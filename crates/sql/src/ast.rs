@@ -53,6 +53,24 @@ pub enum Statement {
         table: Option<String>,
         repair: bool,
     },
+    /// `BACKUP DATABASE TO '<dir>' [INCREMENTAL FROM '<base>']` —
+    /// online, crash-consistent backup into a fresh directory; with
+    /// `INCREMENTAL FROM` only pages/blobs changed since the named base
+    /// set are copied (T-SQL's `BACKUP DATABASE ... WITH DIFFERENTIAL`).
+    Backup {
+        dir: String,
+        incremental_from: Option<String>,
+    },
+    /// `RESTORE DATABASE FROM '<dir>' [TO '<target>'] [VERIFY ONLY]` —
+    /// with `VERIFY ONLY` run every restore-time check without writing
+    /// (T-SQL's `RESTORE VERIFYONLY`); with `TO` materialize the backup
+    /// chain into a fresh directory. Restoring over the live database
+    /// is refused.
+    Restore {
+        dir: String,
+        to: Option<String>,
+        verify_only: bool,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]

@@ -251,6 +251,40 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
             };
             Ok(report.into_result())
         }
+        Statement::Backup {
+            dir,
+            incremental_from,
+        } => {
+            let report = db.backup_database(
+                std::path::Path::new(dir),
+                incremental_from.as_deref().map(std::path::Path::new),
+            )?;
+            Ok(report.into_result())
+        }
+        Statement::Restore {
+            dir,
+            to,
+            verify_only,
+        } => {
+            let backup = std::path::Path::new(dir);
+            let report = if *verify_only {
+                seqdb_engine::verify_backup(backup)?
+            } else {
+                match to {
+                    Some(target) => {
+                        seqdb_engine::restore_database(backup, std::path::Path::new(target))?
+                    }
+                    None => {
+                        return Err(DbError::Unsupported(
+                            "RESTORE DATABASE over the live database; use RESTORE ... TO \
+                             '<dir>' and open the restored directory, or VERIFY ONLY"
+                                .into(),
+                        ))
+                    }
+                }
+            };
+            Ok(report.into_result())
+        }
         Statement::CreateTable(ct) => create_table(db, ct),
         Statement::CreateIndex(ci) => create_index(db, ci),
         Statement::DropTable { name } => {

@@ -180,6 +180,42 @@ impl Parser {
             let repair = self.kw("repair");
             return Ok(Statement::Check { table, repair });
         }
+        if self.kw("backup") {
+            self.expect_kw("database")?;
+            self.expect_kw("to")?;
+            let dir = self.str_literal("backup destination directory")?;
+            let incremental_from = if self.kw("incremental") {
+                self.expect_kw("from")?;
+                Some(self.str_literal("incremental base directory")?)
+            } else {
+                None
+            };
+            return Ok(Statement::Backup {
+                dir,
+                incremental_from,
+            });
+        }
+        if self.kw("restore") {
+            self.expect_kw("database")?;
+            self.expect_kw("from")?;
+            let dir = self.str_literal("backup directory")?;
+            let to = if self.kw("to") {
+                Some(self.str_literal("restore target directory")?)
+            } else {
+                None
+            };
+            let verify_only = if self.kw("verify") {
+                self.expect_kw("only")?;
+                true
+            } else {
+                false
+            };
+            return Ok(Statement::Restore {
+                dir,
+                to,
+                verify_only,
+            });
+        }
         if self.kw("set") {
             let name = self.ident()?.to_ascii_uppercase();
             self.expect(&Token::Eq, "'=' in SET")?;
@@ -230,7 +266,20 @@ impl Parser {
                 predicate,
             });
         }
-        Err(self.unexpected("a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/CHECK/EXPLAIN)"))
+        Err(self.unexpected(
+            "a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP/CHECK/BACKUP/RESTORE/EXPLAIN)",
+        ))
+    }
+
+    /// Consume a `'string'` literal, e.g. a directory path.
+    fn str_literal(&mut self, what: &str) -> Result<String> {
+        match self.next()? {
+            Token::Str(s) => Ok(s),
+            t => Err(DbError::Parse(format!(
+                "expected {what} as a 'string', found {}",
+                t.describe()
+            ))),
+        }
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -937,6 +986,44 @@ mod tests {
             parse("checkpoint").unwrap(),
             Statement::Checkpoint
         ));
+    }
+
+    #[test]
+    fn parses_backup_and_restore() {
+        assert_eq!(
+            parse("BACKUP DATABASE TO '/backups/full'").unwrap(),
+            Statement::Backup {
+                dir: "/backups/full".into(),
+                incremental_from: None
+            }
+        );
+        assert_eq!(
+            parse("BACKUP DATABASE TO '/b/2' INCREMENTAL FROM '/b/1'").unwrap(),
+            Statement::Backup {
+                dir: "/b/2".into(),
+                incremental_from: Some("/b/1".into())
+            }
+        );
+        assert_eq!(
+            parse("RESTORE DATABASE FROM '/b/1' VERIFY ONLY").unwrap(),
+            Statement::Restore {
+                dir: "/b/1".into(),
+                to: None,
+                verify_only: true
+            }
+        );
+        assert_eq!(
+            parse("RESTORE DATABASE FROM '/b/1' TO '/data/db'").unwrap(),
+            Statement::Restore {
+                dir: "/b/1".into(),
+                to: Some("/data/db".into()),
+                verify_only: false
+            }
+        );
+        // The destination must be a string literal, not an identifier.
+        assert!(parse("BACKUP DATABASE TO somewhere").is_err());
+        // VERIFY must be followed by ONLY.
+        assert!(parse("RESTORE DATABASE FROM '/b/1' VERIFY").is_err());
     }
 
     #[test]

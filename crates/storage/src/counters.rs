@@ -47,16 +47,22 @@ pub enum WaitClass {
     /// Separate from [`WaitClass::BufferIo`] so scrub overhead is
     /// attributable independently of query-driven page reads.
     ScrubIo = 5,
+    /// Page and blob copying performed by the online backup path
+    /// (`BACKUP DATABASE` / the background backup thread). Separate from
+    /// [`WaitClass::ScrubIo`] so backup overhead is attributable
+    /// independently of integrity scrubbing.
+    BackupIo = 6,
 }
 
 /// All wait classes, in rendering order for `DM_OS_WAIT_STATS()`.
-pub const WAIT_CLASSES: [WaitClass; 6] = [
+pub const WAIT_CLASSES: [WaitClass; 7] = [
     WaitClass::Admission,
     WaitClass::BufferIo,
     WaitClass::SpillIo,
     WaitClass::FileStreamRetry,
     WaitClass::JoinSpill,
     WaitClass::ScrubIo,
+    WaitClass::BackupIo,
 ];
 
 impl WaitClass {
@@ -69,6 +75,7 @@ impl WaitClass {
             WaitClass::FileStreamRetry => "FILESTREAM_RETRY",
             WaitClass::JoinSpill => "JOIN_SPILL",
             WaitClass::ScrubIo => "SCRUB_IO",
+            WaitClass::BackupIo => "BACKUP_IO",
         }
     }
 }
@@ -135,8 +142,10 @@ static WAITS: WaitStats = WaitStats {
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
+        AtomicU64::new(0),
     ],
     nanos: [
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
@@ -190,6 +199,13 @@ pub struct StorageCounters {
     /// Orphaned tempspace spill files and stale FileStream `.tmp`/sidecar
     /// files removed during `Database::open` startup hygiene.
     pub startup_orphans_removed: AtomicU64,
+    /// Pages copied into backup sets (full and incremental).
+    pub backup_pages_copied: AtomicU64,
+    /// Bytes written into backup sets (pages, blobs, WAL segment,
+    /// catalog snapshot and manifest).
+    pub backup_bytes: AtomicU64,
+    /// Pages verified during `RESTORE DATABASE` (including `VERIFY ONLY`).
+    pub restore_pages_verified: AtomicU64,
 }
 
 impl StorageCounters {
@@ -220,6 +236,9 @@ impl StorageCounters {
             ("corruptions_found", ld(&self.corruptions_found)),
             ("pages_repaired", ld(&self.pages_repaired)),
             ("startup_orphans_removed", ld(&self.startup_orphans_removed)),
+            ("backup_pages_copied", ld(&self.backup_pages_copied)),
+            ("backup_bytes", ld(&self.backup_bytes)),
+            ("restore_pages_verified", ld(&self.restore_pages_verified)),
         ]
     }
 }
@@ -241,6 +260,9 @@ static STORAGE: StorageCounters = StorageCounters {
     corruptions_found: AtomicU64::new(0),
     pages_repaired: AtomicU64::new(0),
     startup_orphans_removed: AtomicU64::new(0),
+    backup_pages_copied: AtomicU64::new(0),
+    backup_bytes: AtomicU64::new(0),
+    restore_pages_verified: AtomicU64::new(0),
 };
 
 /// The process-global storage-counter registry.

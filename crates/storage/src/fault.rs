@@ -211,6 +211,19 @@ impl FaultClock {
         self.check_disk_full()
     }
 
+    /// Count one durability point (fsync) against the crash schedule, for
+    /// components that manage their own raw files outside the injecting
+    /// store/WAL wrappers (e.g. the backup writer). Once the schedule's
+    /// [`FaultPlan::crash_after_syncs`] limit is crossed the clock is
+    /// crashed for good: this and every later injected operation fails,
+    /// exactly as the page-store wrapper behaves.
+    pub fn inject_sync(&self) -> Result<()> {
+        match self.check_sync() {
+            SyncOutcome::Ok => Ok(()),
+            SyncOutcome::JustCrashed(e) | SyncOutcome::Down(e) => Err(e),
+        }
+    }
+
     fn check_disk_full(&self) -> Result<()> {
         if let Some(k) = self.plan.disk_full_after_ops {
             let n = self.ops.load(Ordering::Relaxed);

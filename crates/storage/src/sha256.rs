@@ -229,6 +229,7 @@ pub fn to_hex(digest: &[u8; 32]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn known_vectors() {
@@ -282,6 +283,31 @@ mod tests {
             let mut flipped = base.clone();
             flipped[byte] ^= 0x01;
             assert_ne!(sha256(&flipped), digest, "flip at {byte} undetected");
+        }
+    }
+
+    proptest! {
+        /// Feeding any input through `update` in arbitrarily sized
+        /// chunks digests identically to one shot — the property the
+        /// streamed `hash_file` paths (FileStream sidecars, backup
+        /// verification) depend on. The splits deliberately straddle
+        /// the 64-byte block boundary buffering has to handle.
+        #[test]
+        fn incremental_updates_match_one_shot_digest(
+            data in proptest::collection::vec(any::<u8>(), 0..600),
+            splits in proptest::collection::vec(0usize..600, 0..8),
+        ) {
+            let mut splits = splits;
+            splits.iter_mut().for_each(|s| *s = (*s).min(data.len()));
+            splits.sort_unstable();
+            let mut h = Sha256::new();
+            let mut prev = 0;
+            for s in splits {
+                h.update(&data[prev..s]);
+                prev = s;
+            }
+            h.update(&data[prev..]);
+            prop_assert_eq!(h.finalize(), sha256(&data));
         }
     }
 }

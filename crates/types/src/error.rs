@@ -92,6 +92,13 @@ pub enum DbError {
     /// spilling statement, keep the server up — instead of treating it as
     /// a device fault.
     DiskFull(String),
+    /// A backup set failed verification: a missing or garbled manifest, a
+    /// page whose content no longer matches its manifest CRC, a blob whose
+    /// bytes no longer hash to their recorded SHA-256, or a rotted WAL
+    /// segment. `object` names the damaged piece (`backup.manifest`,
+    /// `page 17`, `filestream:<guid>`, `seqdb.wal`, ...). Restore refuses
+    /// to proceed rather than resurrecting bad data.
+    BackupCorrupt { object: String },
 }
 
 impl DbError {
@@ -152,6 +159,13 @@ impl fmt::Display for DbError {
                 )
             }
             DbError::DiskFull(m) => write!(f, "disk full: {m}"),
+            DbError::BackupCorrupt { object } => {
+                write!(
+                    f,
+                    "backup set corrupt: {object} failed verification; restore refused \
+                     (take a fresh backup or restore from another set)"
+                )
+            }
         }
     }
 }
@@ -247,6 +261,20 @@ mod tests {
         );
         let e = DbError::DiskFull("injected ENOSPC at operation 9".into());
         assert!(e.to_string().contains("disk full"), "{e}");
+        let e = DbError::BackupCorrupt {
+            object: "page 17".into(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("backup set corrupt") && s.contains("page 17"),
+            "{s}"
+        );
+        assert_ne!(
+            e,
+            DbError::BackupCorrupt {
+                object: "page 18".into()
+            }
+        );
     }
 
     #[test]

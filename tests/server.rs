@@ -229,6 +229,65 @@ fn connection_cap_rejects_typed_and_recovers() {
 }
 
 // ----------------------------------------------------------------------
+// Opt-in client retry absorbs busy refusals with backoff + reconnect
+// ----------------------------------------------------------------------
+
+#[test]
+fn client_retry_absorbs_connection_cap_refusals() {
+    let db = setup_db();
+    let server = start(
+        &db,
+        ServerConfig {
+            max_connections: 1,
+            ..quick_cfg()
+        },
+    );
+
+    let mut c1 = Client::connect(server.addr()).unwrap();
+    c1.query("SELECT COUNT(*) FROM t").unwrap();
+
+    // While c1 holds the only slot, a retrying client keeps backing off
+    // and reconnecting; once the slot frees it gets through without
+    // the caller ever seeing ServerBusy.
+    let mut c2 = Client::connect(server.addr()).unwrap();
+    c2.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    c2.set_retry_attempts(30);
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(120));
+        drop(c1);
+    });
+    let r = c2.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(12_000));
+    assert!(
+        c2.retries_performed() > 0,
+        "query succeeded without any refusal to absorb"
+    );
+    release.join().unwrap();
+    server.drain().unwrap();
+}
+
+#[test]
+fn client_without_retry_still_sees_typed_busy() {
+    let db = setup_db();
+    let server = start(
+        &db,
+        ServerConfig {
+            max_connections: 1,
+            ..quick_cfg()
+        },
+    );
+    let mut c1 = Client::connect(server.addr()).unwrap();
+    c1.query("SELECT COUNT(*) FROM t").unwrap();
+
+    let mut c2 = Client::connect(server.addr()).unwrap();
+    c2.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let err = c2.query("SELECT COUNT(*) FROM t").unwrap_err();
+    assert!(matches!(err, DbError::ServerBusy(_)), "{err}");
+    assert_eq!(c2.retries_performed(), 0);
+    server.drain().unwrap();
+}
+
+// ----------------------------------------------------------------------
 // KILL of a nonexistent statement: typed error, connection survives
 // ----------------------------------------------------------------------
 

@@ -68,7 +68,7 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|join|fig10|binning|consensus|snp|server|scrub|backup|all] [--scale N] [--clients N]");
+    eprintln!("usage: report [table1|table2|table3|fig7|fig8|fig9|join|fig10|binning|consensus|snp|server|trace|scrub|backup|all] [--scale N] [--clients N]");
     std::process::exit(2);
 }
 
@@ -122,6 +122,7 @@ fn run(experiment: &str, factor: usize) -> Result<()> {
         "consensus" => consensus(factor)?,
         "snp" => snp(factor)?,
         "server" => server_bench(factor, CLIENTS.load(std::sync::atomic::Ordering::Relaxed))?,
+        "trace" => trace_bench(factor)?,
         "scrub" => scrub_bench(factor)?,
         "backup" => backup_bench(factor)?,
         "all" => {
@@ -833,6 +834,125 @@ fn server_bench(factor: usize, clients: usize) -> Result<()> {
         pct(0.99),
         report.finished,
         report.killed,
+    );
+    std::fs::write(&path, json)?;
+    println!("  wrote {}\n", path.display());
+    Ok(())
+}
+
+// ------------------------------------------------------- trace cost --
+
+/// Extension: the cost of leaving tracing on. The same 32-client wire
+/// workload runs untraced, then with `SET TRACE_EVENTS = 'ALL'`, then
+/// untraced again (the second baseline cancels machine drift), and the
+/// overhead gate asserts the traced run keeps ≥95% of the untraced
+/// throughput — the "cheap enough to leave on" budget from DESIGN.md.
+fn trace_bench(factor: usize) -> Result<()> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    use seqdb_server::{Client, Server, ServerConfig};
+
+    const TRACE_CLIENTS: usize = 32;
+    println!("--- Extension: tracing overhead at {TRACE_CLIENTS} wire clients ---");
+    let db = Database::in_memory();
+    db.execute_sql("CREATE TABLE reads (id INT NOT NULL, grp INT, v INT)")?;
+    let rows: Vec<Row> = (0..12_000i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 10), Value::Int(i)]))
+        .collect();
+    db.insert_rows("reads", &rows)?;
+
+    let server = Server::start(
+        db.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: TRACE_CLIENTS + 8,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.addr();
+    let run_for = Duration::from_millis(2_000 * factor as u64);
+
+    // One measured phase: a fleet of clients looping the short-query /
+    // group-by mix, returning total statements completed.
+    let phase = |label: &str, dur: Duration| -> Result<f64> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let errors = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::new();
+        for who in 0..TRACE_CLIENTS {
+            let stop = stop.clone();
+            let errors = errors.clone();
+            workers.push(std::thread::spawn(move || -> usize {
+                let Ok(mut c) = Client::connect(addr) else {
+                    return 0;
+                };
+                let _ = c.set_read_timeout(Some(Duration::from_secs(30)));
+                let mut done = 0usize;
+                let mut i = who;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let sql = if i.is_multiple_of(7) {
+                        "SELECT grp, COUNT(*) FROM reads GROUP BY grp"
+                    } else {
+                        "SELECT COUNT(*) FROM reads"
+                    };
+                    match c.query(sql) {
+                        Ok(_) => done += 1,
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                done
+            }));
+        }
+        let start = Instant::now();
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+        let done: usize = workers.into_iter().map(|w| w.join().unwrap_or(0)).sum();
+        let elapsed = start.elapsed().as_secs_f64();
+        let rate = done as f64 / elapsed;
+        println!(
+            "  {label}: {done} statements in {elapsed:.2}s — {rate:.0}/s ({} client errors)",
+            errors.load(Ordering::Relaxed)
+        );
+        Ok(rate)
+    };
+
+    let mut ctl = Client::connect(addr)?;
+    ctl.query("SET TRACE_EVENTS = 'OFF'")?;
+    let _ = phase("warmup", run_for / 4)?;
+    let untraced_1 = phase("untraced", run_for)?;
+    ctl.query("SET TRACE_EVENTS = 'ALL'")?;
+    let traced = phase("traced (ALL)", run_for)?;
+    ctl.query("SET TRACE_EVENTS = 'OFF'")?;
+    let untraced_2 = phase("untraced (again)", run_for)?;
+    let untraced = (untraced_1 + untraced_2) / 2.0;
+
+    let overhead_pct = if untraced > 0.0 {
+        ((untraced - traced) / untraced * 100.0).max(0.0)
+    } else {
+        0.0
+    };
+    let gate_ok = overhead_pct <= 5.0;
+    let dropped = seqdb_engine::tracer().dropped();
+    println!(
+        "  tracing overhead {overhead_pct:.2}% (gate <= 5%: {}); ring events dropped {dropped}",
+        if gate_ok { "PASS" } else { "FAIL" }
+    );
+    server.drain()?;
+
+    let path = seqdb_bench::workspace_dir("BENCH_trace.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = format!(
+        "{{\n  \"clients\": {TRACE_CLIENTS},\n  \"phase_ms\": {:.0},\n  \
+         \"untraced_per_s\": {untraced:.1},\n  \"traced_all_per_s\": {traced:.1},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"gate_ok\": {gate_ok},\n  \
+         \"ring_events_dropped\": {dropped}\n}}\n",
+        run_for.as_secs_f64() * 1e3,
     );
     std::fs::write(&path, json)?;
     println!("  wrote {}\n", path.display());

@@ -141,6 +141,14 @@ impl BackupState {
         self.blobs_copied.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         *self.destination.lock() = dest.display().to_string();
+        let dest = dest.display().to_string();
+        crate::trace::emit(
+            crate::trace::TraceClass::Backup,
+            "backup_begin",
+            0,
+            0,
+            || format!("dest={dest}"),
+        );
         Ok(RunningGuard {
             state: self.clone(),
         })
@@ -168,6 +176,14 @@ struct RunningGuard {
 impl Drop for RunningGuard {
     fn drop(&mut self) {
         self.state.running.store(false, Ordering::Release);
+        let state = self.state.clone();
+        crate::trace::emit(crate::trace::TraceClass::Backup, "backup_end", 0, 0, || {
+            format!(
+                "pages_copied={} bytes_written={}",
+                state.pages_copied.load(Ordering::Relaxed),
+                state.bytes_written.load(Ordering::Relaxed)
+            )
+        });
     }
 }
 

@@ -94,6 +94,14 @@ impl ConnectionRegistry {
                 last_activity: Instant::now(),
             },
         );
+        let peer = peer.to_string();
+        crate::trace::emit(
+            crate::trace::TraceClass::Connection,
+            "connection_open",
+            session_id,
+            0,
+            || format!("conn={id} peer={peer}"),
+        );
         ConnectionHandle {
             registry: self.clone(),
             id,
@@ -145,7 +153,16 @@ impl ConnectionRegistry {
     }
 
     fn deregister(&self, id: u64) {
-        self.live.lock().remove(&id);
+        let info = self.live.lock().remove(&id);
+        if let Some(info) = info {
+            crate::trace::emit(
+                crate::trace::TraceClass::Connection,
+                "connection_close",
+                info.session_id,
+                0,
+                || format!("conn={id} peer={}", info.peer),
+            );
+        }
     }
 }
 

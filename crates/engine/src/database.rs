@@ -17,15 +17,17 @@ use crate::backup::BackupState;
 use crate::catalog::{Catalog, Table};
 use crate::conn::{ConnectionRegistry, DmExecConnectionsFn};
 use crate::dmv::{
-    DmDbBackupStatusFn, DmDbScrubStatusFn, DmExecQueryStatsFn, DmOsPerformanceCountersFn,
-    DmOsWaitStatsFn,
+    DmDbBackupStatusFn, DmDbQueryStoreFn, DmDbScrubStatusFn, DmExecQueryStatsFn,
+    DmOsPerformanceCountersFn, DmOsWaitStatsFn,
 };
 use crate::exec::ExecContext;
 use crate::governor::QueryGovernor;
 use crate::plan::{Plan, QueryResult};
+use crate::querystore::QueryStore;
 use crate::scrub::ScrubState;
 use crate::session::{AdmissionController, DmExecRequestsFn, Session, StatementRegistry};
 use crate::stats::QueryStatsHistory;
+use crate::trace::DmOsRingBufferFn;
 
 /// Join algorithm selection (`SET JOIN_STRATEGY`): cost-based by default,
 /// forcible for benchmarks and plan-shape tests.
@@ -86,6 +88,10 @@ pub struct DbConfig {
     pub admission_queue_slots: usize,
     /// Join algorithm selection (`SET JOIN_STRATEGY`).
     pub join_strategy: JoinStrategy,
+    /// Slow-statement threshold (`SET SLOW_QUERY_MS`, server-wide):
+    /// statements running at least this long emit a `slow_statement`
+    /// trace event regardless of the `TRACE_EVENTS` mask; `None` = off.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for DbConfig {
@@ -102,6 +108,7 @@ impl Default for DbConfig {
             admission_wait_ms: 1000,
             admission_queue_slots: 0,
             join_strategy: JoinStrategy::Auto,
+            slow_query_ms: None,
         }
     }
 }
@@ -117,6 +124,7 @@ pub struct Database {
     admission: Arc<AdmissionController>,
     connections: Arc<ConnectionRegistry>,
     query_stats: Arc<QueryStatsHistory>,
+    query_store: Arc<QueryStore>,
     scrub: Arc<ScrubState>,
     backup: Arc<BackupState>,
     /// The directory this database lives in (`None` for in-memory).
@@ -172,8 +180,25 @@ impl Database {
             // brick the reopen: it comes up fenced (typed `Quarantined`
             // on access) while the rest of the database works.
             for (name, first_page) in unreadable {
-                db.quarantine().add(&name.to_ascii_lowercase(), first_page);
+                let key = name.to_ascii_lowercase();
+                db.quarantine().add(&key, first_page);
+                crate::trace::emit(
+                    crate::trace::TraceClass::Quarantine,
+                    "quarantine_add",
+                    0,
+                    0,
+                    || format!("object={key} page={first_page} at=open"),
+                );
             }
+        }
+        // Reload the persistent query store written by the last
+        // checkpoint, so DM_DB_QUERY_STORE()/DM_EXEC_QUERY_STATS() answer
+        // across restarts. A corrupt store must not brick the reopen —
+        // history is advisory; the database comes up with an empty store.
+        let qstore = dir.join("querystore.seqdb");
+        if qstore.exists() {
+            let text = std::fs::read_to_string(&qstore)?;
+            let _ = db.query_store.load(&text);
         }
         Ok(db)
     }
@@ -212,6 +237,10 @@ impl Database {
         // bounded statement history.
         let statements = StatementRegistry::new();
         let query_stats = QueryStatsHistory::new(QueryStatsHistory::DEFAULT_CAPACITY);
+        let query_store = QueryStore::new(QueryStore::DEFAULT_CAPACITY);
+        // Touching the tracer here also installs the storage→trace hook,
+        // so spill/wait events flow before any SET TRACE_EVENTS arrives.
+        let _ = crate::trace::tracer();
         let temp = TempSpace::open(base.join("tempdb"))?;
         let admission = AdmissionController::new();
         let connections = ConnectionRegistry::new();
@@ -223,7 +252,12 @@ impl Database {
             connections.clone(),
         )));
         catalog.register_table_fn(Arc::new(DmOsWaitStatsFn));
-        catalog.register_table_fn(Arc::new(DmExecQueryStatsFn::new(query_stats.clone())));
+        catalog.register_table_fn(Arc::new(DmExecQueryStatsFn::new(
+            query_stats.clone(),
+            query_store.clone(),
+        )));
+        catalog.register_table_fn(Arc::new(DmDbQueryStoreFn::new(query_store.clone())));
+        catalog.register_table_fn(Arc::new(DmOsRingBufferFn));
         catalog.register_table_fn(Arc::new(DmExecConnectionsFn::new(connections.clone())));
         catalog.register_table_fn(Arc::new(DmDbScrubStatusFn::new(scrub.clone())));
         let backup = BackupState::new();
@@ -238,6 +272,7 @@ impl Database {
             admission,
             connections,
             query_stats,
+            query_store,
             scrub,
             backup,
             root,
@@ -276,6 +311,12 @@ impl Database {
     /// The bounded statement history behind `DM_EXEC_QUERY_STATS()`.
     pub fn query_stats(&self) -> &Arc<QueryStatsHistory> {
         &self.query_stats
+    }
+
+    /// The persistent per-fingerprint query store behind
+    /// `DM_DB_QUERY_STORE()` (written at `CHECKPOINT`, reloaded at open).
+    pub fn query_store(&self) -> &Arc<QueryStore> {
+        &self.query_store
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -381,6 +422,12 @@ impl Database {
         self.config.write().admission_queue_slots = slots;
     }
 
+    /// Slow-statement threshold (ms); `None` disables. Server-wide, like
+    /// `SET SLOW_QUERY_MS`.
+    pub fn set_slow_query_ms(&self, ms: Option<u64>) {
+        self.config.write().slow_query_ms = ms;
+    }
+
     /// Build an execution context snapshotting current configuration.
     /// Each call creates a fresh [`QueryGovernor`], so every query (and
     /// every `core::workflow` pipeline step, which all come through here)
@@ -457,7 +504,29 @@ impl Database {
     pub fn checkpoint(&self) -> Result<()> {
         let _guard = self.ckpt_lock.lock();
         self.pool.checkpoint()?;
-        self.persist_catalog()
+        self.persist_catalog()?;
+        self.persist_query_store()
+    }
+
+    /// Write the query store to `<root>/querystore.seqdb` via tmp +
+    /// fsync + rename (fsync matters here: unlike the catalog, the store
+    /// has no WAL backing it — the rename must only land a fully-written
+    /// file). No-op for in-memory databases.
+    pub(crate) fn persist_query_store(&self) -> Result<()> {
+        use std::io::Write;
+        let Some(root) = &self.root else {
+            return Ok(());
+        };
+        let path = root.join("querystore.seqdb");
+        let tmp = root.join("querystore.seqdb.tmp");
+        let data = self.query_store.serialize();
+        let mut f = std::fs::File::create(&tmp).map_err(seqdb_types::DbError::io_write)?;
+        f.write_all(data.as_bytes())
+            .map_err(seqdb_types::DbError::io_write)?;
+        f.sync_all().map_err(seqdb_types::DbError::io_write)?;
+        drop(f);
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
     }
 
     /// Write the catalog snapshot to `<root>/catalog.seqdb` via tmp +

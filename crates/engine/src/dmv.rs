@@ -28,9 +28,11 @@ use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
 use crate::backup::BackupState;
 use crate::conn::ConnectionRegistry;
 use crate::exec::ExecContext;
+use crate::querystore::QueryStore;
 use crate::scrub::ScrubState;
 use crate::session::AdmissionController;
 use crate::stats::{engine_counters, QueryStatsHistory};
+use crate::trace::process_clock;
 use crate::udx::{TableFunction, TvfCursor};
 
 /// Cursor over a row set materialized at `open()` — every DMV snapshot
@@ -146,6 +148,15 @@ impl TableFunction for DmOsPerformanceCountersFn {
                 self.connections.active_count() as u64,
             ),
         ];
+        // Clock gauges: rates (counter / uptime) and absolute timelines
+        // can be computed from one snapshot instead of two.
+        let (uptime_ms, process_start) = process_clock();
+        pairs.push(("uptime_ms".into(), uptime_ms));
+        pairs.push(("process_start".into(), process_start));
+        pairs.push((
+            "trace_events_dropped".into(),
+            crate::trace::tracer().dropped(),
+        ));
         pairs.extend(
             storage_counters()
                 .snapshot()
@@ -179,6 +190,7 @@ impl TableFunction for DmOsWaitStatsFn {
             Column::new("wait_class", DataType::Text).not_null(),
             Column::new("wait_count", DataType::Int).not_null(),
             Column::new("total_wait_ms", DataType::Int).not_null(),
+            Column::new("max_wait_ms", DataType::Int).not_null(),
         ]))
     }
     fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
@@ -191,6 +203,7 @@ impl TableFunction for DmOsWaitStatsFn {
                     Value::text(w.class.name()),
                     Value::Int(w.count as i64),
                     Value::Int(w.total_ms() as i64),
+                    Value::Int(w.max_ms() as i64),
                 ])
             })
             .collect();
@@ -199,14 +212,20 @@ impl TableFunction for DmOsWaitStatsFn {
 }
 
 /// `SELECT * FROM DM_EXEC_QUERY_STATS()` — the bounded statement
-/// history, least-recently-executed first.
+/// history, least-recently-executed first, followed by the persisted
+/// query-store view. The `as_of` column tells the two apart: `memory`
+/// rows are this process's raw-text history, `persisted` rows are the
+/// normalized per-fingerprint entries of the last written
+/// `querystore.seqdb` — present even right after a restart, which is
+/// what makes this DMV restart-surviving.
 pub struct DmExecQueryStatsFn {
     history: Arc<QueryStatsHistory>,
+    store: Arc<QueryStore>,
 }
 
 impl DmExecQueryStatsFn {
-    pub fn new(history: Arc<QueryStatsHistory>) -> DmExecQueryStatsFn {
-        DmExecQueryStatsFn { history }
+    pub fn new(history: Arc<QueryStatsHistory>, store: Arc<QueryStore>) -> DmExecQueryStatsFn {
+        DmExecQueryStatsFn { history, store }
     }
 }
 
@@ -225,11 +244,12 @@ impl TableFunction for DmExecQueryStatsFn {
             Column::new("total_spill_files", DataType::Int).not_null(),
             Column::new("total_spill_bytes", DataType::Int).not_null(),
             Column::new("peak_mem_bytes", DataType::Int).not_null(),
+            Column::new("as_of", DataType::Text).not_null(),
         ]))
     }
     fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
         no_args(args, self.name())?;
-        let rows = self
+        let mut rows: Vec<Row> = self
             .history
             .snapshot()
             .into_iter()
@@ -244,6 +264,94 @@ impl TableFunction for DmExecQueryStatsFn {
                     Value::Int(r.total_spill_files as i64),
                     Value::Int(r.total_spill_bytes as i64),
                     Value::Int(r.peak_mem_bytes as i64),
+                    Value::text("memory"),
+                ])
+            })
+            .collect();
+        // The persisted view aggregates across executions, so the
+        // last_* columns have no per-statement meaning there: 0.
+        rows.extend(self.store.persisted_snapshot().into_iter().map(|e| {
+            Row::new(vec![
+                Value::text(e.text),
+                Value::Int(e.executions as i64),
+                Value::Int(e.total_rows as i64),
+                Value::Int(0),
+                Value::Int((e.total_elapsed_micros / 1000) as i64),
+                Value::Int(0),
+                Value::Int(e.spill_files as i64),
+                Value::Int(e.spill_bytes as i64),
+                Value::Int(e.peak_mem_bytes as i64),
+                Value::text("persisted"),
+            ])
+        }));
+        Ok(RowsCursor::boxed(rows))
+    }
+}
+
+/// `SELECT * FROM DM_DB_QUERY_STORE()` — the live persistent query
+/// store: one row per statement fingerprint with aggregated counts,
+/// dispositions, latency percentiles (bucket upper bounds of the log₂
+/// histogram), spill traffic and the wait breakdown.
+/// `persisted_executions` is how many of the executions were already on
+/// disk when this process loaded the store (0 for fingerprints first
+/// seen since).
+pub struct DmDbQueryStoreFn {
+    store: Arc<QueryStore>,
+}
+
+impl DmDbQueryStoreFn {
+    pub fn new(store: Arc<QueryStore>) -> DmDbQueryStoreFn {
+        DmDbQueryStoreFn { store }
+    }
+}
+
+impl TableFunction for DmDbQueryStoreFn {
+    fn name(&self) -> &str {
+        "DM_DB_QUERY_STORE"
+    }
+    fn schema(&self) -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
+            Column::new("fingerprint", DataType::Text).not_null(),
+            Column::new("query_text", DataType::Text).not_null(),
+            Column::new("executions", DataType::Int).not_null(),
+            Column::new("killed", DataType::Int).not_null(),
+            Column::new("timeouts", DataType::Int).not_null(),
+            Column::new("total_rows", DataType::Int).not_null(),
+            Column::new("total_elapsed_ms", DataType::Int).not_null(),
+            Column::new("p50_us", DataType::Int).not_null(),
+            Column::new("p99_us", DataType::Int).not_null(),
+            Column::new("spill_files", DataType::Int).not_null(),
+            Column::new("spill_bytes", DataType::Int).not_null(),
+            Column::new("wait_admission_ms", DataType::Int).not_null(),
+            Column::new("wait_spill_ms", DataType::Int).not_null(),
+            Column::new("peak_mem_bytes", DataType::Int).not_null(),
+            Column::new("persisted_executions", DataType::Int).not_null(),
+        ]))
+    }
+    fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
+        no_args(args, self.name())?;
+        let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+        let rows = self
+            .store
+            .snapshot()
+            .into_iter()
+            .map(|e| {
+                Row::new(vec![
+                    Value::text(format!("{:016x}", e.fingerprint)),
+                    Value::text(e.text),
+                    Value::Int(e.executions as i64),
+                    Value::Int(e.killed as i64),
+                    Value::Int(e.timeouts as i64),
+                    Value::Int(e.total_rows as i64),
+                    Value::Int((e.total_elapsed_micros / 1000) as i64),
+                    Value::Int(clamp(e.hist.percentile_micros(50))),
+                    Value::Int(clamp(e.hist.percentile_micros(99))),
+                    Value::Int(e.spill_files as i64),
+                    Value::Int(e.spill_bytes as i64),
+                    Value::Int((e.wait_admission_micros / 1000) as i64),
+                    Value::Int((e.wait_spill_micros / 1000) as i64),
+                    Value::Int(e.peak_mem_bytes as i64),
+                    Value::Int(e.persisted_executions as i64),
                 ])
             })
             .collect();
@@ -419,10 +527,65 @@ mod tests {
                 peak_mem_bytes: 1024,
             },
         );
-        let rows = drain(&DmExecQueryStatsFn::new(history));
+        let store = QueryStore::new(8);
+        let rows = drain(&DmExecQueryStatsFn::new(history, store));
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][1], Value::Int(1), "executions");
         assert_eq!(rows[0][2], Value::Int(3), "total_rows");
+        assert_eq!(rows[0][9], Value::text("memory"), "as_of");
+    }
+
+    #[test]
+    fn query_stats_append_persisted_store_rows() {
+        use crate::querystore::{Disposition, StoreOutcome};
+        let history = QueryStatsHistory::new(8);
+        let store = QueryStore::new(8);
+        store.record(
+            "SELECT v FROM t WHERE id = 3",
+            &StoreOutcome {
+                rows: 2,
+                elapsed_micros: 500,
+                spill_files: 0,
+                spill_bytes: 0,
+                wait_admission_micros: 0,
+                wait_spill_micros: 0,
+                peak_mem_bytes: 0,
+                disposition: Disposition::Completed,
+            },
+        );
+        // Nothing persisted yet: only live history (empty) is rendered.
+        assert!(drain(&DmExecQueryStatsFn::new(history.clone(), store.clone())).is_empty());
+        let _ = store.serialize();
+        let rows = drain(&DmExecQueryStatsFn::new(history, store.clone()));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][9], Value::text("persisted"));
+        assert_eq!(rows[0][0], Value::text("SELECT V FROM T WHERE ID=?"));
+
+        let qs = drain(&DmDbQueryStoreFn::new(store));
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0][2], Value::Int(1), "executions");
+        assert_eq!(qs[0][3], Value::Int(0), "killed");
+        assert!(
+            matches!(qs[0][7], Value::Int(p50) if p50 >= 500),
+            "p50 bound"
+        );
+    }
+
+    #[test]
+    fn wait_stats_and_counters_have_new_columns() {
+        let rows = drain(&DmOsWaitStatsFn);
+        assert!(rows.iter().all(|r| r.len() == 4), "max_wait_ms column");
+        let ctx = test_context();
+        let f = DmOsPerformanceCountersFn::new(
+            ctx.catalog.pool().clone(),
+            ctx.temp.clone(),
+            AdmissionController::new(),
+            ConnectionRegistry::new(),
+        );
+        let names: Vec<String> = drain(&f).iter().map(|r| format!("{:?}", r[0])).collect();
+        assert!(names.iter().any(|n| n.contains("uptime_ms")));
+        assert!(names.iter().any(|n| n.contains("process_start")));
+        assert!(names.iter().any(|n| n.contains("trace_events_dropped")));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! runs out; the rest fail the query with
 //! [`DbError::ResourceExhausted`].
 
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,6 +43,11 @@ pub struct QueryGovernor {
     /// Spill traffic attributed to this query (every spill file the query
     /// creates, across all operators and parallel workers).
     spill: Arc<SpillTally>,
+    /// Time this query spent queued in the admission controller, recorded
+    /// by `AdmissionController::admit` — one half of the query store's
+    /// per-statement wait breakdown (the other is the spill tally's wait
+    /// time).
+    admission_wait_nanos: AtomicU64,
 }
 
 impl QueryGovernor {
@@ -60,6 +65,7 @@ impl QueryGovernor {
             mem_used: AtomicUsize::new(0),
             mem_peak: AtomicUsize::new(0),
             spill: Arc::new(SpillTally::default()),
+            admission_wait_nanos: AtomicU64::new(0),
         })
     }
 
@@ -165,6 +171,28 @@ impl QueryGovernor {
     /// creates (see `ExecContext::create_spill`).
     pub fn spill_tally(&self) -> &Arc<SpillTally> {
         &self.spill
+    }
+
+    /// Attribute admission-queue time to this query.
+    pub fn add_admission_wait(&self, dur: Duration) {
+        self.admission_wait_nanos
+            .fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds this query waited in the admission queue.
+    pub fn admission_wait_nanos(&self) -> u64 {
+        self.admission_wait_nanos.load(Ordering::Relaxed)
+    }
+
+    /// How the statement ended, as the query store's disposition: a
+    /// cancelled statement was killed (by `KILL`, a drain, or a dropped
+    /// wire peer), a timed-out one hit its governed deadline.
+    pub fn disposition(&self) -> crate::querystore::Disposition {
+        match self.state.load(Ordering::Relaxed) {
+            CANCELLED => crate::querystore::Disposition::Killed,
+            TIMED_OUT => crate::querystore::Disposition::Timeout,
+            _ => crate::querystore::Disposition::Completed,
+        }
     }
 }
 

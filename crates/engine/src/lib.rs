@@ -35,9 +35,11 @@ pub mod expr;
 pub mod governor;
 pub mod parallel;
 pub mod plan;
+pub mod querystore;
 pub mod scrub;
 pub mod session;
 pub mod stats;
+pub mod trace;
 pub mod udx;
 
 pub use backup::{
@@ -47,13 +49,16 @@ pub use catalog::{Catalog, Table, TableIndex};
 pub use conn::{ConnState, ConnectionHandle, ConnectionInfo, ConnectionRegistry};
 pub use database::{Database, DbConfig, JoinStrategy};
 pub use dmv::{
-    DmDbBackupStatusFn, DmDbScrubStatusFn, DmExecQueryStatsFn, DmOsPerformanceCountersFn,
-    DmOsWaitStatsFn,
+    DmDbBackupStatusFn, DmDbQueryStoreFn, DmDbScrubStatusFn, DmExecQueryStatsFn,
+    DmOsPerformanceCountersFn, DmOsWaitStatsFn,
 };
 pub use exec::{BoxedIter, ExecContext, RowIterator};
 pub use expr::{BinOp, Expr};
 pub use governor::{GovernedIter, MemCharge, QueryGovernor};
 pub use plan::{Plan, QueryResult};
+pub use querystore::{
+    fingerprint, Disposition, LatencyHistogram, QueryStore, QueryStoreEntry, StoreOutcome,
+};
 pub use scrub::{ScrubFinding, ScrubReport, ScrubState, ScrubStatus};
 pub use session::{
     AdmissionController, RunningStatement, Session, SessionSettings, StatementGuard,
@@ -62,5 +67,8 @@ pub use session::{
 pub use stats::{
     engine_counters, EngineCounters, ExecStats, NodeStats, QueryStatsHistory, QueryStatsRecord,
     StatementOutcome, StatsIter,
+};
+pub use trace::{
+    parse_mask, tracer, DmOsRingBufferFn, TraceClass, TraceEvent, Tracer, MASK_ALL, TRACE_CLASSES,
 };
 pub use udx::{AggState, Aggregate, ScalarUdf, TableFunction, TvfCursor};

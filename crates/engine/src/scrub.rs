@@ -81,6 +81,13 @@ impl ScrubState {
     /// Mark a scrub pass running for its duration (RAII).
     fn begin(self: &Arc<Self>) -> RunningGuard {
         self.running.store(true, Ordering::Release);
+        crate::trace::emit(
+            crate::trace::TraceClass::Scrub,
+            "scrub_begin",
+            0,
+            0,
+            String::new,
+        );
         RunningGuard {
             state: self.clone(),
         }
@@ -94,6 +101,15 @@ struct RunningGuard {
 impl Drop for RunningGuard {
     fn drop(&mut self) {
         self.state.running.store(false, Ordering::Release);
+        let state = self.state.clone();
+        crate::trace::emit(crate::trace::TraceClass::Scrub, "scrub_end", 0, 0, || {
+            format!(
+                "pages_checked={} corruptions_found={} pages_repaired={}",
+                state.pages_checked.load(Ordering::Relaxed),
+                state.corruptions_found.load(Ordering::Relaxed),
+                state.pages_repaired.load(Ordering::Relaxed)
+            )
+        });
     }
 }
 
@@ -290,6 +306,13 @@ impl Database {
                 });
             } else {
                 quarantine.add(&key, page);
+                crate::trace::emit(
+                    crate::trace::TraceClass::Quarantine,
+                    "quarantine_add",
+                    0,
+                    0,
+                    || format!("object={key} page={page}"),
+                );
                 report.findings.push(ScrubFinding {
                     object: key.clone(),
                     page: Some(page),
@@ -339,6 +362,13 @@ impl Database {
                     // Blobs have no redundant copy (no WAL images): the
                     // only remedy is fencing until a re-import.
                     quarantine.add(&key, 0);
+                    crate::trace::emit(
+                        crate::trace::TraceClass::Quarantine,
+                        "quarantine_add",
+                        0,
+                        0,
+                        || format!("object={key}"),
+                    );
                     report.findings.push(ScrubFinding {
                         object: key,
                         page: None,

@@ -34,7 +34,9 @@ use seqdb_types::{Column, DataType, DbError, Result, Row, Schema, Value};
 use crate::database::{Database, DbConfig};
 use crate::exec::ExecContext;
 use crate::governor::QueryGovernor;
+use crate::querystore::{QueryStore, StoreOutcome};
 use crate::stats::{engine_counters, QueryStatsHistory, StatementOutcome};
+use crate::trace::{self, TraceClass};
 use crate::udx::{TableFunction, TvfCursor};
 
 // ---------------------------------------------------------------------
@@ -137,27 +139,70 @@ impl Session {
         // already visible in DM_EXEC_REQUESTS() with wait_state 'queued',
         // which is how an operator tells a stuck query from a slow one.
         let statement_id = registry.register(self.id, sql, gov.clone());
+        trace::emit(
+            TraceClass::Statement,
+            "statement_start",
+            self.id,
+            statement_id,
+            || format!("sql={}", trace_sql(sql)),
+        );
         let mut guard = StatementGuard {
             registry,
             statement_id,
             slot: None,
             history: self.db.query_stats().clone(),
+            store: self.db.query_store().clone(),
             sql: sql.to_string(),
             started: Instant::now(),
             gov: gov.clone(),
+            session_id: self.id,
+            slow_ms: cfg.slow_query_ms,
             rows: 0,
             record: false,
         };
         // On admission failure the guard's drop deregisters the queued
         // statement; `record` is still false, so a statement that never
         // ran leaves no history entry.
-        let slot = self.db.admission().admit(
+        let slot = match self.db.admission().admit(
             budget.unwrap_or(0),
             cfg.admission_pool_kb.map(|kb| kb as usize * 1024),
             Duration::from_millis(cfg.admission_wait_ms),
             cfg.admission_queue_slots,
             Some(&gov),
-        )?;
+        ) {
+            Ok(slot) => {
+                // Emitted post-hoc (the gate doesn't know statement ids),
+                // but in queued→admit order within the statement.
+                if gov.admission_wait_nanos() > 0 {
+                    trace::emit(
+                        TraceClass::Admission,
+                        "admission_queued",
+                        self.id,
+                        statement_id,
+                        String::new,
+                    );
+                }
+                trace::emit(
+                    TraceClass::Admission,
+                    "admission_admit",
+                    self.id,
+                    statement_id,
+                    || format!("queued_us={}", gov.admission_wait_nanos() / 1000),
+                );
+                slot
+            }
+            Err(e) => {
+                let name = match &e {
+                    DbError::AdmissionTimeout(_) => "admission_timeout",
+                    DbError::ServerBusy(_) => "admission_rejected",
+                    _ => "admission_abandoned",
+                };
+                trace::emit(TraceClass::Admission, name, self.id, statement_id, || {
+                    format!("queued_us={}", gov.admission_wait_nanos() / 1000)
+                });
+                return Err(e);
+            }
+        };
         guard.registry.mark_admitted(statement_id);
         guard.slot = Some(slot);
         guard.record = true;
@@ -189,12 +234,27 @@ pub struct StatementGuard {
     statement_id: i64,
     slot: Option<AdmissionSlot>,
     history: Arc<QueryStatsHistory>,
+    store: Arc<QueryStore>,
     sql: String,
     started: Instant,
     gov: Arc<QueryGovernor>,
+    session_id: u64,
+    /// `SET SLOW_QUERY_MS` threshold in effect when the statement began.
+    slow_ms: Option<u64>,
     rows: u64,
     /// Only statements that were actually admitted are recorded.
     record: bool,
+}
+
+/// Statement text as embedded in trace-event details: whitespace folded,
+/// truncated to keep events small.
+fn trace_sql(sql: &str) -> String {
+    let mut out: String = sql.split_whitespace().collect::<Vec<_>>().join(" ");
+    if out.len() > 96 {
+        out.truncate(93);
+        out.push_str("...");
+    }
+    out
 }
 
 impl StatementGuard {
@@ -213,17 +273,61 @@ impl Drop for StatementGuard {
     fn drop(&mut self) {
         self.registry.deregister(self.statement_id);
         if self.record {
+            let elapsed = self.started.elapsed();
             let spill = self.gov.spill_tally();
+            let disposition = self.gov.disposition();
             self.history.record(
                 &self.sql,
                 &StatementOutcome {
                     rows: self.rows,
-                    elapsed: self.started.elapsed(),
+                    elapsed,
                     spill_files: spill.files(),
                     spill_bytes: spill.bytes(),
                     peak_mem_bytes: self.gov.mem_peak() as u64,
                 },
             );
+            // The persistent query store gets the same outcome plus the
+            // disposition and wait breakdown — this runs in `drop`, so
+            // statements killed by `KILL`, a dropped client or a server
+            // drain still land here (with disposition `killed`).
+            self.store.record(
+                &self.sql,
+                &StoreOutcome {
+                    rows: self.rows,
+                    elapsed_micros: elapsed.as_micros() as u64,
+                    spill_files: spill.files(),
+                    spill_bytes: spill.bytes(),
+                    wait_admission_micros: self.gov.admission_wait_nanos() / 1000,
+                    wait_spill_micros: spill.wait_nanos() / 1000,
+                    peak_mem_bytes: self.gov.mem_peak() as u64,
+                    disposition,
+                },
+            );
+            let (sid, stid, rows) = (self.session_id, self.statement_id, self.rows);
+            trace::emit(TraceClass::Statement, "statement_finish", sid, stid, || {
+                format!(
+                    "rows={rows} elapsed_us={} disposition={}",
+                    elapsed.as_micros(),
+                    disposition.label()
+                )
+            });
+            if let Some(slow) = self.slow_ms {
+                if elapsed.as_millis() as u64 >= slow {
+                    // Slow statements bypass the trace mask: SET
+                    // SLOW_QUERY_MS is its own switch.
+                    trace::tracer().emit_always(
+                        TraceClass::Statement,
+                        "slow_statement",
+                        sid,
+                        stid,
+                        format!(
+                            "elapsed_us={} threshold_ms={slow} sql={}",
+                            elapsed.as_micros(),
+                            trace_sql(&self.sql)
+                        ),
+                    );
+                }
+            }
         }
         // `slot` drops here, releasing the admission reservation.
         let _ = self.slot.take();
@@ -333,6 +437,9 @@ impl StatementRegistry {
             Some(info) => {
                 info.gov.cancel();
                 engine_counters().kills.fetch_add(1, Ordering::Relaxed);
+                trace::emit(TraceClass::Kill, "kill", info.session_id, id, || {
+                    format!("sql={}", trace_sql(&info.sql))
+                });
                 Ok(())
             }
             None => Err(DbError::NoSuchStatement(id)),
@@ -349,10 +456,13 @@ impl StatementRegistry {
     pub fn kill_session(&self, session_id: u64) -> usize {
         let running = self.running.lock();
         let mut killed = 0;
-        for info in running.values() {
+        for (&id, info) in running.iter() {
             if info.session_id == session_id && !info.gov.is_aborted() {
                 info.gov.cancel();
                 engine_counters().kills.fetch_add(1, Ordering::Relaxed);
+                trace::emit(TraceClass::Kill, "kill_session", session_id, id, || {
+                    format!("sql={}", trace_sql(&info.sql))
+                });
                 killed += 1;
             }
         }
@@ -554,7 +664,11 @@ impl AdmissionController {
             state.waiting -= 1;
         }
         if let Some(start) = wait_start {
-            waits().record(WaitClass::Admission, start.elapsed());
+            let waited = start.elapsed();
+            waits().record(WaitClass::Admission, waited);
+            if let Some(g) = gov {
+                g.add_admission_wait(waited);
+            }
         }
         outcome?;
         state.in_use += bytes;

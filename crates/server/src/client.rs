@@ -109,9 +109,19 @@ impl Client {
     pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
         let mut attempt: u32 = 0;
         loop {
-            let retriable = match self.query_once(sql) {
-                Ok(r) => return Ok(r),
-                Err(e @ (DbError::ServerBusy(_) | DbError::ServerDraining(_))) => e,
+            // A send failure is always safe to retry: the request never
+            // reached the server, so nothing executed. It happens when a
+            // refused-then-closed socket RSTs before our write lands —
+            // EPIPE/ECONNRESET at write time instead of a readable busy
+            // frame. Response errors retry only on the typed refusals;
+            // an I/O error mid-response may follow a statement that ran.
+            let retriable = match self.send_query(sql) {
+                Ok(()) => match self.read_response() {
+                    Ok(r) => return Ok(r),
+                    Err(e @ (DbError::ServerBusy(_) | DbError::ServerDraining(_))) => e,
+                    Err(other) => return Err(other),
+                },
+                Err(e @ DbError::Io(_)) => e,
                 Err(other) => return Err(other),
             };
             if attempt >= self.retry_attempts {
@@ -126,13 +136,19 @@ impl Client {
             // A refusal at accept time (connection limit / draining) is
             // answered and then the socket is closed; reconnect before
             // retrying. A queue-full refusal keeps the connection open,
-            // in which case the probe below is a no-op.
-            self.reconnect_if_closed();
+            // in which case the probe below is a no-op. A *send* failure
+            // forces the redial: the unread refusal frame still buffered
+            // on the dead socket would make the peek probe report it
+            // alive, and writes would hit the same broken pipe forever.
+            self.reconnect_if_closed(matches!(retriable, DbError::Io(_)));
         }
     }
 
-    fn query_once(&mut self, sql: &str) -> Result<QueryResult> {
-        write_frame(&mut self.stream, &encode_query(sql))?;
+    fn send_query(&mut self, sql: &str) -> Result<()> {
+        write_frame(&mut self.stream, &encode_query(sql))
+    }
+
+    fn read_response(&mut self) -> Result<QueryResult> {
         let mut schema: Option<Schema> = None;
         let mut rows: Vec<Row> = Vec::new();
         loop {
@@ -167,10 +183,10 @@ impl Client {
 
     /// If the server has closed our socket (refusal-then-close), dial
     /// the remembered peer again. Failures are left for the next
-    /// `query_once` to surface as I/O errors.
-    fn reconnect_if_closed(&mut self) {
+    /// `send_query` to surface as I/O errors.
+    fn reconnect_if_closed(&mut self, force: bool) {
         let Some(peer) = self.peer else { return };
-        let closed = {
+        let closed = force || {
             // A zero-byte peek distinguishes "closed" (Ok(0)) from
             // "open, nothing buffered" (WouldBlock under a nonblocking
             // probe).

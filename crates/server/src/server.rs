@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use seqdb_engine::{ConnState, Database, Session};
+use seqdb_engine::{ConnState, Database, Session, TraceClass};
 use seqdb_sql::SessionSqlExt;
 use seqdb_storage::{FaultClock, FaultInjectingStream};
 use seqdb_types::{DbError, Result};
@@ -78,6 +78,12 @@ pub struct ServerConfig {
     /// subdirectories (`1`, `2`, ...), the first full, every later one
     /// incremental from its predecessor.
     pub backup_dir: Option<std::path::PathBuf>,
+    /// Append every trace event the mask lets through as one JSON line
+    /// per event. `None` (the default) keeps tracing in-memory only.
+    pub trace_file: Option<std::path::PathBuf>,
+    /// Append `slow_statement` events (see `SET SLOW_QUERY_MS`) here as
+    /// JSONL, independent of the trace mask.
+    pub slow_log_file: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +98,8 @@ impl Default for ServerConfig {
             scrub_interval: None,
             backup_interval: None,
             backup_dir: None,
+            trace_file: None,
+            slow_log_file: None,
         }
     }
 }
@@ -126,6 +134,7 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     scrub_thread: Option<JoinHandle<()>>,
     backup_thread: Option<JoinHandle<()>>,
+    trace_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -172,12 +181,29 @@ impl Server {
             }
             _ => None,
         };
+        // With a trace or slow-log file configured, events flow through
+        // the tracer's sink buffer to disk on a dedicated flusher thread
+        // so no statement ever blocks on file I/O.
+        let trace_thread = if shared.cfg.trace_file.is_some() || shared.cfg.slow_log_file.is_some()
+        {
+            seqdb_engine::tracer().attach_sink(true);
+            let s5 = shared.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("seqdb-trace".into())
+                    .spawn(move || trace_flush_loop(s5))
+                    .map_err(DbError::io)?,
+            )
+        } else {
+            None
+        };
         Ok(Server {
             shared,
             addr,
             accept_thread: Some(accept_thread),
             scrub_thread,
             backup_thread,
+            trace_thread,
         })
     }
 
@@ -196,6 +222,9 @@ impl Server {
     /// join every connection thread and `CHECKPOINT`.
     pub fn drain(mut self) -> Result<DrainReport> {
         let started = Instant::now();
+        seqdb_engine::trace::emit(TraceClass::Connection, "drain_begin", 0, 0, || {
+            format!("in_flight={}", self.shared.db.statements().running_count())
+        });
         self.shared.draining.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -231,11 +260,29 @@ impl Server {
             let _ = t.join();
         }
         self.shared.db.checkpoint()?;
-        Ok(DrainReport {
+        let report = DrainReport {
             finished: in_flight_at_start.saturating_sub(killed),
             killed,
             elapsed: started.elapsed(),
-        })
+        };
+        seqdb_engine::trace::emit(TraceClass::Connection, "drain_end", 0, 0, || {
+            format!(
+                "finished={} killed={} elapsed_ms={}",
+                report.finished,
+                report.killed,
+                report.elapsed.as_millis()
+            )
+        });
+        // The flusher exits on the drain flag; one last synchronous
+        // flush catches everything emitted during the drain itself
+        // (kills, statement_finish, drain_end) before the sink detaches
+        // (detaching discards whatever is still buffered).
+        if let Some(t) = self.trace_thread.take() {
+            let _ = t.join();
+            flush_trace_sink(&self.shared.cfg);
+            seqdb_engine::tracer().attach_sink(false);
+        }
+        Ok(report)
     }
 }
 
@@ -287,6 +334,53 @@ fn backup_loop(shared: Arc<Shared>, interval: Duration, dir: std::path::PathBuf)
             next_pass = Instant::now() + interval;
         }
         std::thread::sleep(shared.cfg.poll_interval.min(interval));
+    }
+}
+
+/// The trace flusher: drain the tracer's sink buffer to the configured
+/// JSONL file(s) every interval. File errors are swallowed — losing a
+/// trace line must never take the server down — and the drained events
+/// are gone either way, keeping the sink bounded.
+fn trace_flush_loop(shared: Arc<Shared>) {
+    loop {
+        let draining = shared.draining.load(Ordering::SeqCst);
+        flush_trace_sink(&shared.cfg);
+        if draining {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// One flush pass: take whatever the sink holds and append it as JSON
+/// lines. `slow_statement` events are additionally copied to the slow
+/// log so an operator can tail just the offenders.
+fn flush_trace_sink(cfg: &ServerConfig) {
+    let tracer = seqdb_engine::tracer();
+    let events = tracer.drain_sink();
+    if events.is_empty() {
+        return;
+    }
+    let append = |path: &std::path::PathBuf| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok()
+    };
+    let mut trace_out = cfg.trace_file.as_ref().and_then(append);
+    let mut slow_out = cfg.slow_log_file.as_ref().and_then(append);
+    let start = tracer.start_unix_ms();
+    for ev in &events {
+        let line = ev.to_json(start);
+        if let Some(f) = trace_out.as_mut() {
+            let _ = writeln!(f, "{line}");
+        }
+        if ev.name == "slow_statement" {
+            if let Some(f) = slow_out.as_mut() {
+                let _ = writeln!(f, "{line}");
+            }
+        }
     }
 }
 

@@ -35,11 +35,13 @@ pub enum Statement {
     /// `CHECKPOINT` — flush all dirty pages durably and truncate the
     /// write-ahead log (T-SQL's manual checkpoint).
     Checkpoint,
-    /// `SET <option> = <n>` — session knob (resource-governor limits,
-    /// degree of parallelism). `0` switches a limit off.
+    /// `SET <option> = <n | 'text'>` — session knob (resource-governor
+    /// limits, degree of parallelism, trace classes). For integer knobs
+    /// `0` switches a limit off; string values are for text-typed
+    /// options such as `TRACE_EVENTS`.
     Set {
         name: String,
-        value: i64,
+        value: SetValue,
     },
     /// `KILL <statement-id>` — cancel a running statement in any session
     /// (T-SQL's `KILL <session id>`, at statement granularity).
@@ -71,6 +73,14 @@ pub enum Statement {
         to: Option<String>,
         verify_only: bool,
     },
+}
+
+/// Right-hand side of a `SET` statement. Integer knobs and text knobs
+/// share one production; the binder type-checks per option name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetValue {
+    Int(i64),
+    Str(String),
 }
 
 #[derive(Debug, Clone, PartialEq)]

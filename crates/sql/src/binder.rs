@@ -75,19 +75,18 @@ pub fn execute_statement_on(
     let db = session.database();
     match stmt {
         Statement::Set { name, value } => {
-            if *value < 0 {
-                return Err(DbError::Unsupported(format!(
-                    "SET {name}: value must be non-negative"
-                )));
+            if let Some(result) = apply_text_set(name, value)? {
+                return Ok(result);
             }
-            let v = (*value != 0).then_some(*value as u64);
+            let value = set_int_value(name, value)?;
+            let v = (value != 0).then_some(value as u64);
             match name.as_str() {
                 // Session-scoped overlays of the server defaults.
                 "QUERY_TIMEOUT_MS" => session.set_query_timeout_ms(v),
                 "QUERY_MEMORY_LIMIT_KB" => session.set_query_memory_limit_kb(v),
-                "MAX_DOP" => session.set_max_dop(*value as usize),
+                "MAX_DOP" => session.set_max_dop(value as usize),
                 "JOIN_STRATEGY" => session.set_join_strategy(
-                    JoinStrategy::from_setting(*value).ok_or_else(|| {
+                    JoinStrategy::from_setting(value).ok_or_else(|| {
                         DbError::Unsupported(format!(
                             "SET JOIN_STRATEGY: {value} (want 0=auto, 1=hash, 2=merge)"
                         ))
@@ -96,8 +95,11 @@ pub fn execute_statement_on(
                 // Admission control is a property of the shared pool, not
                 // of one session: these stay server-wide.
                 "ADMISSION_POOL_KB" => db.set_admission_pool_kb(v),
-                "ADMISSION_WAIT_MS" => db.set_admission_wait_ms(*value as u64),
-                "ADMISSION_QUEUE_SLOTS" => db.set_admission_queue_slots(*value as usize),
+                "ADMISSION_WAIT_MS" => db.set_admission_wait_ms(value as u64),
+                "ADMISSION_QUEUE_SLOTS" => db.set_admission_queue_slots(value as usize),
+                // The slow-statement threshold feeds the trace log, which
+                // is a server-wide sink: keep the knob server-wide too.
+                "SLOW_QUERY_MS" => db.set_slow_query_ms(v),
                 other => {
                     return Err(DbError::Unsupported(format!("unknown SET option {other}")));
                 }
@@ -152,6 +154,39 @@ pub fn plan_query(db: &Arc<Database>, sql: &str) -> Result<Plan> {
             Ok(b.plan_select(&s)?.plan)
         }
         _ => Err(DbError::Plan("EXPLAIN requires a SELECT".into())),
+    }
+}
+
+/// Text-typed `SET` options, shared by the server-scoped and
+/// session-scoped dispatchers. Returns `Ok(Some(..))` when the option
+/// was handled here, `Ok(None)` when the caller should treat it as an
+/// integer knob.
+fn apply_text_set(name: &str, value: &SetValue) -> Result<Option<QueryResult>> {
+    if name != "TRACE_EVENTS" {
+        return Ok(None);
+    }
+    let SetValue::Str(classes) = value else {
+        return Err(DbError::Unsupported(
+            "SET TRACE_EVENTS: expected a string value ('ALL', 'OFF' or a class list)".into(),
+        ));
+    };
+    // The trace mask gates event emission process-wide: every session's
+    // events land in the same per-thread rings.
+    let mask = seqdb_engine::parse_mask(classes)?;
+    seqdb_engine::tracer().set_mask(mask);
+    Ok(Some(QueryResult::empty()))
+}
+
+/// Type-check a `SET` value as a non-negative integer.
+fn set_int_value(name: &str, value: &SetValue) -> Result<i64> {
+    match value {
+        SetValue::Int(i) if *i >= 0 => Ok(*i),
+        SetValue::Int(_) => Err(DbError::Unsupported(format!(
+            "SET {name}: value must be non-negative"
+        ))),
+        SetValue::Str(_) => Err(DbError::Unsupported(format!(
+            "SET {name}: expected an integer value"
+        ))),
     }
 }
 
@@ -212,28 +247,28 @@ pub fn execute_statement(db: &Arc<Database>, stmt: &Statement) -> Result<QueryRe
             Ok(QueryResult::empty())
         }
         Statement::Set { name, value } => {
-            if *value < 0 {
-                return Err(DbError::Unsupported(format!(
-                    "SET {name}: value must be non-negative"
-                )));
+            if let Some(result) = apply_text_set(name, value)? {
+                return Ok(result);
             }
             // 0 switches a limit off, matching the resource-governor
             // convention of "unlimited unless configured".
-            let v = (*value != 0).then_some(*value as u64);
+            let value = set_int_value(name, value)?;
+            let v = (value != 0).then_some(value as u64);
             match name.as_str() {
                 "QUERY_TIMEOUT_MS" => db.set_query_timeout_ms(v),
                 "QUERY_MEMORY_LIMIT_KB" => db.set_query_memory_limit_kb(v),
-                "MAX_DOP" => db.set_max_dop(*value as usize),
+                "MAX_DOP" => db.set_max_dop(value as usize),
                 "JOIN_STRATEGY" => {
-                    db.set_join_strategy(JoinStrategy::from_setting(*value).ok_or_else(|| {
+                    db.set_join_strategy(JoinStrategy::from_setting(value).ok_or_else(|| {
                         DbError::Unsupported(format!(
                             "SET JOIN_STRATEGY: {value} (want 0=auto, 1=hash, 2=merge)"
                         ))
                     })?)
                 }
                 "ADMISSION_POOL_KB" => db.set_admission_pool_kb(v),
-                "ADMISSION_WAIT_MS" => db.set_admission_wait_ms(*value as u64),
-                "ADMISSION_QUEUE_SLOTS" => db.set_admission_queue_slots(*value as usize),
+                "ADMISSION_WAIT_MS" => db.set_admission_wait_ms(value as u64),
+                "ADMISSION_QUEUE_SLOTS" => db.set_admission_queue_slots(value as usize),
+                "SLOW_QUERY_MS" => db.set_slow_query_ms(v),
                 other => {
                     return Err(DbError::Unsupported(format!("unknown SET option {other}")));
                 }

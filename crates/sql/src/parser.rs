@@ -220,10 +220,11 @@ impl Parser {
             let name = self.ident()?.to_ascii_uppercase();
             self.expect(&Token::Eq, "'=' in SET")?;
             let value = match self.next()? {
-                Token::Int(i) => i,
+                Token::Int(i) => SetValue::Int(i),
+                Token::Str(s) => SetValue::Str(s),
                 t => {
                     return Err(DbError::Parse(format!(
-                        "expected integer value for SET {name}, found {}",
+                        "expected integer or string value for SET {name}, found {}",
                         t.describe()
                     )))
                 }
@@ -1066,7 +1067,7 @@ mod tests {
             parse("SET QUERY_TIMEOUT_MS = 500").unwrap(),
             Statement::Set {
                 name: "QUERY_TIMEOUT_MS".into(),
-                value: 500
+                value: SetValue::Int(500)
             }
         );
         // Option names are case-normalized; UPDATE's SET is unaffected.
@@ -1074,10 +1075,19 @@ mod tests {
             parse("set query_memory_limit_kb = 0").unwrap(),
             Statement::Set {
                 name: "QUERY_MEMORY_LIMIT_KB".into(),
-                value: 0
+                value: SetValue::Int(0)
             }
         );
-        assert!(parse("SET QUERY_TIMEOUT_MS = 'soon'").is_err());
+        // String values parse (the binder type-checks per option); a bare
+        // identifier is still a syntax error.
+        assert_eq!(
+            parse("SET TRACE_EVENTS = 'WAIT,SPILL'").unwrap(),
+            Statement::Set {
+                name: "TRACE_EVENTS".into(),
+                value: SetValue::Str("WAIT,SPILL".into())
+            }
+        );
+        assert!(parse("SET QUERY_TIMEOUT_MS = soon").is_err());
         assert!(matches!(
             parse("UPDATE t SET a = 1").unwrap(),
             Statement::Update { .. }

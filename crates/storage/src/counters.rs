@@ -21,7 +21,38 @@
 //! before/after snapshots and subtract.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
+
+/// A low-level storage event forwarded to an installed trace hook (the
+/// engine's structured tracer registers one). The hook is a plain `fn`
+/// pointer kept in a `OnceLock`, so the per-event cost when no tracing
+/// is active is one relaxed atomic load here plus one mask load in the
+/// hook — cheap enough to leave compiled into every wait site.
+#[derive(Debug, Clone, Copy)]
+pub enum StorageEvent {
+    /// One recorded wait (class + duration), fired by
+    /// [`WaitStats::record`] at the end of the blocked interval.
+    Wait { class: WaitClass, nanos: u64 },
+    /// One spill file created in a temp space.
+    SpillFile { class: WaitClass },
+}
+
+static TRACE_HOOK: OnceLock<fn(&StorageEvent)> = OnceLock::new();
+
+/// Install the process-wide storage trace hook. First install wins;
+/// later calls are no-ops (the hook is expected to be the engine's
+/// tracer, installed once at database assembly).
+pub fn install_trace_hook(hook: fn(&StorageEvent)) {
+    let _ = TRACE_HOOK.set(hook);
+}
+
+/// Forward `event` to the installed hook, if any.
+pub fn emit_storage_event(event: StorageEvent) {
+    if let Some(hook) = TRACE_HOOK.get() {
+        hook(&event);
+    }
+}
 
 /// Classes of waits tracked by [`WaitStats`] (the seqdb analogue of
 /// SQL Server wait types like `RESOURCE_SEMAPHORE` and `PAGEIOLATCH_SH`).
@@ -80,11 +111,13 @@ impl WaitClass {
     }
 }
 
-/// Per-class wait occurrence counts and cumulative wall time.
+/// Per-class wait occurrence counts, cumulative wall time, and the
+/// longest single wait observed.
 #[derive(Default)]
 pub struct WaitStats {
     counts: [AtomicU64; WAIT_CLASSES.len()],
     nanos: [AtomicU64; WAIT_CLASSES.len()],
+    max_nanos: [AtomicU64; WAIT_CLASSES.len()],
 }
 
 /// One row of `DM_OS_WAIT_STATS()`.
@@ -93,6 +126,8 @@ pub struct WaitSnapshot {
     pub class: WaitClass,
     pub count: u64,
     pub total_nanos: u64,
+    /// The longest single wait recorded in this class.
+    pub max_nanos: u64,
 }
 
 impl WaitSnapshot {
@@ -100,14 +135,22 @@ impl WaitSnapshot {
     pub fn total_ms(&self) -> u64 {
         self.total_nanos / 1_000_000
     }
+
+    /// Longest single wait in milliseconds (the `max_wait_ms` column).
+    pub fn max_ms(&self) -> u64 {
+        self.max_nanos / 1_000_000
+    }
 }
 
 impl WaitStats {
     /// Record one wait of `dur` in `class`.
     pub fn record(&self, class: WaitClass, dur: Duration) {
         let i = class as usize;
+        let n = dur.as_nanos() as u64;
         self.counts[i].fetch_add(1, Ordering::Relaxed);
-        self.nanos[i].fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+        self.nanos[i].fetch_add(n, Ordering::Relaxed);
+        self.max_nanos[i].fetch_max(n, Ordering::Relaxed);
+        emit_storage_event(StorageEvent::Wait { class, nanos: n });
     }
 
     /// Occurrences of `class` so far.
@@ -120,6 +163,11 @@ impl WaitStats {
         self.nanos[class as usize].load(Ordering::Relaxed)
     }
 
+    /// Longest single wait (nanoseconds) recorded in `class`.
+    pub fn max_nanos(&self, class: WaitClass) -> u64 {
+        self.max_nanos[class as usize].load(Ordering::Relaxed)
+    }
+
     /// A consistent-enough snapshot of every class (counts and times are
     /// read independently; both are monotonic).
     pub fn snapshot(&self) -> Vec<WaitSnapshot> {
@@ -129,30 +177,30 @@ impl WaitStats {
                 class,
                 count: self.count(class),
                 total_nanos: self.total_nanos(class),
+                max_nanos: self.max_nanos(class),
             })
             .collect()
     }
 }
 
+macro_rules! zero_counters {
+    () => {
+        [
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+        ]
+    };
+}
+
 static WAITS: WaitStats = WaitStats {
-    counts: [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ],
-    nanos: [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ],
+    counts: zero_counters!(),
+    nanos: zero_counters!(),
+    max_nanos: zero_counters!(),
 };
 
 /// The process-global wait-stats registry.
@@ -280,6 +328,7 @@ pub fn storage_counters() -> &'static StorageCounters {
 pub struct SpillTally {
     files: AtomicU64,
     bytes: AtomicU64,
+    wait_nanos: AtomicU64,
 }
 
 impl SpillTally {
@@ -291,6 +340,12 @@ impl SpillTally {
         self.bytes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Attribute spill I/O wall time to this tally (the per-statement
+    /// wait breakdown in the query store reads it back).
+    pub fn add_wait_nanos(&self, n: u64) {
+        self.wait_nanos.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Spill files attributed to this tally.
     pub fn files(&self) -> u64 {
         self.files.load(Ordering::Relaxed)
@@ -299,6 +354,11 @@ impl SpillTally {
     /// Spill bytes attributed to this tally.
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Spill I/O wall time (nanoseconds) attributed to this tally.
+    pub fn wait_nanos(&self) -> u64 {
+        self.wait_nanos.load(Ordering::Relaxed)
     }
 }
 
@@ -319,6 +379,8 @@ mod tests {
         let snap = w.snapshot();
         assert_eq!(snap.len(), WAIT_CLASSES.len());
         assert_eq!(snap[0].total_ms(), 7);
+        assert_eq!(snap[0].max_ms(), 4, "longest single wait is tracked");
+        assert_eq!(w.max_nanos(WaitClass::SpillIo), 10_000);
     }
 
     #[test]
@@ -340,7 +402,32 @@ mod tests {
         t.add_file();
         t.add_bytes(100);
         t.add_bytes(28);
+        t.add_wait_nanos(5_000);
         assert_eq!(t.files(), 1);
         assert_eq!(t.bytes(), 128);
+        assert_eq!(t.wait_nanos(), 5_000);
+    }
+
+    #[test]
+    fn trace_hook_receives_wait_events() {
+        use std::sync::atomic::AtomicU64 as A;
+        static SEEN: A = A::new(0);
+        fn hook(e: &StorageEvent) {
+            if matches!(
+                e,
+                StorageEvent::Wait { .. } | StorageEvent::SpillFile { .. }
+            ) {
+                SEEN.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        install_trace_hook(hook);
+        let before = SEEN.load(Ordering::Relaxed);
+        waits().record(WaitClass::BackupIo, Duration::from_nanos(5));
+        emit_storage_event(StorageEvent::SpillFile {
+            class: WaitClass::SpillIo,
+        });
+        // At least our two events arrived (other tests may add more; the
+        // hook slot is process-global and first-install-wins).
+        assert!(SEEN.load(Ordering::Relaxed) >= before + 2);
     }
 }

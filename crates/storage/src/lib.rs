@@ -38,7 +38,8 @@ pub mod wal;
 pub use btree::BTree;
 pub use buffer::BufferPool;
 pub use counters::{
-    storage_counters, waits, SpillTally, StorageCounters, WaitClass, WaitSnapshot, WaitStats,
+    emit_storage_event, install_trace_hook, storage_counters, waits, SpillTally, StorageCounters,
+    StorageEvent, WaitClass, WaitSnapshot, WaitStats,
 };
 pub use fault::{
     rot_file, FaultClock, FaultInjectingPageStore, FaultInjectingStream, FaultPlan, NetFate,

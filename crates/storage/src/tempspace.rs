@@ -19,7 +19,9 @@ use parking_lot::Mutex;
 
 use seqdb_types::{DbError, Result};
 
-use crate::counters::{storage_counters, waits, SpillTally, WaitClass};
+use crate::counters::{
+    emit_storage_event, storage_counters, waits, SpillTally, StorageEvent, WaitClass,
+};
 use crate::fault::FaultClock;
 
 /// A directory of temporary spill files with global byte accounting.
@@ -124,6 +126,7 @@ impl TempSpace {
         for tally in &tallies {
             tally.add_file();
         }
+        emit_storage_event(StorageEvent::SpillFile { class });
         Ok(SpillWriter {
             space: Arc::clone(self),
             path,
@@ -182,7 +185,11 @@ impl SpillWriter {
             .expect("writer live until finish")
             .write_all(buf)
             .map_err(DbError::io_write)?;
-        waits().record(self.class, start.elapsed());
+        let waited = start.elapsed();
+        waits().record(self.class, waited);
+        for tally in &self.tallies {
+            tally.add_wait_nanos(waited.as_nanos() as u64);
+        }
         self.space
             .bytes_written
             .fetch_add(buf.len() as u64, Ordering::Relaxed);

@@ -17,11 +17,16 @@ use std::io::{BufRead, Write};
 
 use seqdb::core::udx;
 use seqdb::engine::Database;
-use seqdb::sql::DatabaseSqlExt;
+use seqdb::sql::SessionSqlExt;
 
 fn main() {
     let db = Database::in_memory();
     udx::register_udx(&db, None);
+    // A real session, not the raw db-scoped path: statements run
+    // admitted and governed, show up in DM_EXEC_REQUESTS(), land in the
+    // query store, and emit trace events — so the observability DMVs
+    // (DM_OS_RING_BUFFER, DM_DB_QUERY_STORE) work from the shell.
+    let session = db.create_session();
     println!("seqdb interactive shell — statements end with ';', \\q quits");
 
     let stdin = std::io::stdin();
@@ -41,7 +46,7 @@ fn main() {
         buffer.push('\n');
         if trimmed.ends_with(';') {
             let sql = std::mem::take(&mut buffer);
-            match db.execute_sql_script(&sql) {
+            match session.execute_sql_script(&sql) {
                 Ok(result) => {
                     if !result.rows.is_empty() {
                         println!("{}", result.to_table());

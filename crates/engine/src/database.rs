@@ -88,6 +88,9 @@ pub struct DbConfig {
     pub admission_queue_slots: usize,
     /// Join algorithm selection (`SET JOIN_STRATEGY`).
     pub join_strategy: JoinStrategy,
+    /// Rows per batch on the vectorized execution path
+    /// (`SET BATCH_SIZE`); 0 forces row-at-a-time execution.
+    pub batch_size: usize,
     /// Slow-statement threshold (`SET SLOW_QUERY_MS`, server-wide):
     /// statements running at least this long emit a `slow_statement`
     /// trace event regardless of the `TRACE_EVENTS` mask; `None` = off.
@@ -108,6 +111,7 @@ impl Default for DbConfig {
             admission_wait_ms: 1000,
             admission_queue_slots: 0,
             join_strategy: JoinStrategy::Auto,
+            batch_size: ExecContext::DEFAULT_BATCH_SIZE,
             slow_query_ms: None,
         }
     }
@@ -404,6 +408,12 @@ impl Database {
         self.config.write().join_strategy = strategy;
     }
 
+    /// Rows per batch on the vectorized path applied to every subsequent
+    /// query; 0 forces row-at-a-time. Same knob as `SET BATCH_SIZE`.
+    pub fn set_batch_size(&self, rows: usize) {
+        self.config.write().batch_size = rows;
+    }
+
     /// Size (KiB) of the global admission pool; `None` disables
     /// admission control. Server-wide, like `sp_configure`.
     pub fn set_admission_pool_kb(&self, kb: Option<u64>) {
@@ -444,6 +454,7 @@ impl Database {
             temp: self.temp.clone(),
             dop: cfg.max_dop,
             sort_budget: cfg.sort_budget,
+            batch_size: cfg.batch_size,
             gov,
             stats: None,
             node: None,

@@ -18,7 +18,7 @@ use seqdb_storage::{SpillTally, WaitClass};
 use seqdb_types::{DbError, Result, Row, Value};
 
 use crate::exec::rowser;
-use crate::exec::{BoxedIter, ExecContext, RowIterator};
+use crate::exec::{BoxedIter, ExecContext, RowBatch, RowIterator};
 use crate::expr::Expr;
 use crate::governor::{MemCharge, QueryGovernor};
 use crate::udx::{protect, AggState, Aggregate};
@@ -74,6 +74,45 @@ impl AggSpec {
                 .collect::<Result<_>>()?;
             protect(self.factory.name(), || state.update(&vals))
         }
+    }
+
+    /// Batched counterpart of [`AggSpec::update`]: fold a whole run of
+    /// rows into one state under a *single* panic guard, reusing one
+    /// argument scratch. The per-row `catch_unwind` and argument `Vec`
+    /// are exactly what the vectorized path amortizes away.
+    fn update_run(&self, state: &mut Box<dyn AggState>, batch: &RowBatch) -> Result<()> {
+        if self.args.is_empty() {
+            // Argument-free runs collapse to one accumulator call
+            // (`COUNT(*)` over a batch adds the run length).
+            return protect(self.factory.name(), || {
+                state.update_n(&[], batch.len() as u64)
+            });
+        }
+        // A single bare-column argument feeds the stored value straight to
+        // the accumulator: no expression dispatch, no per-row clone.
+        if let [Expr::Column { index, name }] = self.args.as_slice() {
+            let col = *index;
+            return protect(self.factory.name(), || {
+                for row in batch.iter() {
+                    let v = row.get(col).ok_or_else(|| {
+                        DbError::Execution(format!(
+                            "column {name} (#{col}) out of range for row of {} values",
+                            row.len()
+                        ))
+                    })?;
+                    state.update(std::slice::from_ref(v))?;
+                }
+                Ok(())
+            });
+        }
+        let mut vals: Vec<Value> = Vec::with_capacity(self.args.len());
+        protect(self.factory.name(), || {
+            for row in batch.iter() {
+                crate::expr::eval_into(&self.args, row, &mut vals)?;
+                state.update(&vals)?;
+            }
+            Ok(())
+        })
     }
 }
 
@@ -172,22 +211,32 @@ pub(crate) fn partition_of(key: &[Value], depth: u32) -> usize {
 /// Append one rowser-framed row to a spill partition (same u32-length
 /// framing as the external sort's runs).
 pub(crate) fn write_spill_row(w: &mut SpillWriter, row: &Row) -> Result<()> {
-    let mut scratch = Vec::new();
-    rowser::write_row(&mut scratch, row);
-    let mut framed = Vec::with_capacity(scratch.len() + 4);
-    framed.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
-    framed.extend_from_slice(&scratch);
-    w.write_all(&framed)
+    thread_local! {
+        // One frame buffer per worker thread: spilling a row allocates
+        // nothing in the steady state.
+        static SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|s| {
+        let mut buf = s.borrow_mut();
+        rowser::frame_row(&mut buf, row);
+        w.write_all(&buf)
+    })
 }
 
 /// Iterate rows back out of a finished spill partition.
 pub(crate) struct SpillRowIter {
     reader: SpillReader,
+    /// Reused frame buffer; reading a spilled row back allocates only
+    /// what the row's own values need.
+    payload: Vec<u8>,
 }
 
 impl SpillRowIter {
     pub(crate) fn new(reader: SpillReader) -> SpillRowIter {
-        SpillRowIter { reader }
+        SpillRowIter {
+            reader,
+            payload: Vec::new(),
+        }
     }
 }
 
@@ -198,12 +247,12 @@ impl RowIterator for SpillRowIter {
             return Ok(None);
         }
         let len = u32::from_le_bytes(lenbuf) as usize;
-        let mut payload = vec![0u8; len];
-        if !self.reader.read_exact(&mut payload)? {
+        self.payload.resize(len, 0);
+        if !self.reader.read_exact(&mut self.payload)? {
             return Err(DbError::Storage("truncated aggregate spill".into()));
         }
         let mut pos = 0;
-        Ok(Some(rowser::read_row(&payload, &mut pos)?))
+        Ok(Some(rowser::read_row(&self.payload, &mut pos)?))
     }
 }
 
@@ -441,6 +490,7 @@ pub(crate) fn aggregate_level(
         Some(&ctx.gov),
         None,
         depth,
+        ctx.batch_size,
     )?;
 
     // Emit this level's finished groups — except keys the coordinator is
@@ -485,6 +535,7 @@ pub(crate) fn aggregate_partial_spilling(
     gov: Option<&Arc<QueryGovernor>>,
     cap: Option<usize>,
     depth: u32,
+    batch_hint: usize,
 ) -> Result<(GroupedStates, Vec<Option<SpillWriter>>)> {
     let mut ticker = crate::governor::Ticker::new();
     let mut groups: GroupedStates = HashMap::new();
@@ -495,10 +546,57 @@ pub(crate) fn aggregate_partial_spilling(
     let mut spilling = false;
     let mut partitions: Vec<Option<SpillWriter>> = (0..SPILL_PARTITIONS).map(|_| None).collect();
 
-    while let Some(row) = input.next()? {
-        if let Some(gov) = gov {
-            ticker.tick(gov)?;
-        }
+    // With a batch hint the input is consumed through the batch protocol
+    // — one governor tick per batch instead of per row; `batch_hint == 0`
+    // keeps the scalar pull (forced row-at-a-time mode).
+    let mut buf = Vec::new().into_iter();
+    loop {
+        let row = if batch_hint > 0 {
+            match buf.next() {
+                Some(row) => row,
+                None => {
+                    let Some(batch) = input.next_batch(batch_hint)? else {
+                        break;
+                    };
+                    if let Some(gov) = gov {
+                        ticker.tick_batch(gov)?;
+                    }
+                    // No grouping: the whole run belongs to the single
+                    // global group, so probe the map and enter the panic
+                    // guard once per batch instead of once per row. The
+                    // batch is consumed through its selection vector, so
+                    // filtered-out rows are never compacted or moved.
+                    if group_exprs.is_empty() && !spilling {
+                        let cost = group_cost(&[], aggs.len());
+                        let admitted = groups.contains_key(&Vec::new())
+                            || (cap.is_none_or(|c| charge.bytes() + cost <= c)
+                                && charge.try_grow(cost));
+                        if admitted {
+                            let states = match groups.entry(Vec::new()) {
+                                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(create_states(aggs)?)
+                                }
+                            };
+                            for (spec, state) in aggs.iter().zip(states.iter_mut()) {
+                                spec.update_run(state, &batch)?;
+                            }
+                            continue;
+                        }
+                    }
+                    buf = batch.into_rows().into_iter();
+                    continue;
+                }
+            }
+        } else {
+            let Some(row) = input.next()? else {
+                break;
+            };
+            if let Some(gov) = gov {
+                ticker.tick(gov)?;
+            }
+            row
+        };
         let key = group_key(group_exprs, &row)?;
         if let Some(states) = groups.get_mut(&key) {
             for (spec, state) in aggs.iter().zip(states.iter_mut()) {
@@ -622,6 +720,11 @@ pub struct StreamAggIter {
     charge: MemCharge,
     done: bool,
     saw_rows: bool,
+    /// Rows per input batch; 0 = scalar pull (forced row-at-a-time).
+    batch_hint: usize,
+    /// Buffered remainder of the current input batch.
+    buf: std::vec::IntoIter<Row>,
+    input_done: bool,
 }
 
 impl StreamAggIter {
@@ -630,6 +733,7 @@ impl StreamAggIter {
         group_exprs: Vec<Expr>,
         aggs: Vec<AggSpec>,
         gov: Arc<QueryGovernor>,
+        batch_hint: usize,
     ) -> StreamAggIter {
         StreamAggIter {
             input,
@@ -639,6 +743,34 @@ impl StreamAggIter {
             charge: MemCharge::new(gov),
             done: false,
             saw_rows: false,
+            batch_hint,
+            buf: Vec::new().into_iter(),
+            input_done: false,
+        }
+    }
+
+    /// Pull one input row, consuming the child through the batch
+    /// protocol when a batch hint is set — the streaming aggregate's
+    /// output stays row-by-row (one row per group boundary), but its
+    /// *input* side moves in batches.
+    fn pull(&mut self) -> Result<Option<Row>> {
+        if self.batch_hint == 0 {
+            return self.input.next();
+        }
+        loop {
+            if let Some(row) = self.buf.next() {
+                return Ok(Some(row));
+            }
+            if self.input_done {
+                return Ok(None);
+            }
+            match self.input.next_batch(self.batch_hint)? {
+                Some(batch) => self.buf = batch.into_rows().into_iter(),
+                None => {
+                    self.input_done = true;
+                    return Ok(None);
+                }
+            }
         }
     }
 
@@ -666,7 +798,7 @@ impl RowIterator for StreamAggIter {
             return Ok(None);
         }
         loop {
-            match self.input.next()? {
+            match self.pull()? {
                 Some(row) => {
                     self.saw_rows = true;
                     let key = group_key(&self.group_exprs, &row)?;
@@ -767,6 +899,7 @@ mod tests {
             vec![Expr::col(0, "g")],
             specs(),
             QueryGovernor::unlimited(),
+            crate::exec::ExecContext::DEFAULT_BATCH_SIZE,
         );
         let got = normalize(collect(Box::new(it)).unwrap());
         assert_eq!(got, vec![(1, 2, 40), (2, 2, 10), (3, 1, 1)]);
@@ -804,6 +937,7 @@ mod tests {
                     vec![],
                     specs(),
                     QueryGovernor::unlimited(),
+                    crate::exec::ExecContext::DEFAULT_BATCH_SIZE,
                 )))
                 .unwrap()
             };

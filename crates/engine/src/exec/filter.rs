@@ -1,21 +1,32 @@
-//! Row-at-a-time filter, projection and limit operators.
+//! Filter, projection and limit operators, with native batch paths:
+//! the filter narrows a batch's selection vector in place (dropped rows
+//! are never moved or copied), the projection rewrites batches with
+//! recycled value buffers (no per-row allocation, no `Value` clones for
+//! single-use columns), and the limit truncates a batch's selection.
 
 use std::sync::Arc;
 
-use seqdb_types::{Result, Row, Schema};
+use seqdb_types::{Result, Row, Schema, Value};
 
-use crate::exec::{BoxedIter, RowIterator};
-use crate::expr::Expr;
+use crate::exec::{BoxedIter, RowBatch, RowIterator};
+use crate::expr::{eval_project_into, take_plan, Expr, IntCmpKernel};
 
 /// WHERE: passes rows whose predicate evaluates to TRUE (NULL = drop).
 pub struct FilterIter {
     input: BoxedIter,
     predicate: Expr,
+    /// Specialized form of `predicate` for the batch path, when it has a
+    /// kernel-eligible shape.
+    kernel: Option<IntCmpKernel>,
 }
 
 impl FilterIter {
     pub fn new(input: BoxedIter, predicate: Expr) -> Self {
-        FilterIter { input, predicate }
+        FilterIter {
+            input,
+            kernel: IntCmpKernel::compile(&predicate),
+            predicate,
+        }
     }
 }
 
@@ -28,17 +39,64 @@ impl RowIterator for FilterIter {
         }
         Ok(None)
     }
+
+    /// Native batch path: evaluate the predicate into the batch's
+    /// selection vector. Rows that fail stay where they are, unselected;
+    /// whoever materializes the batch later skips them for free.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>> {
+        loop {
+            let Some(mut batch) = self.input.next_batch(max_rows)? else {
+                return Ok(None);
+            };
+            let pred = &self.predicate;
+            match &self.kernel {
+                Some(k) => batch.narrow(|row| match k.eval(row) {
+                    Some(pass) => Ok(pass),
+                    None => pred.eval_predicate(row),
+                })?,
+                None => batch.narrow(|row| pred.eval_predicate(row))?,
+            }
+            // A fully-filtered batch is not end-of-stream: pull the next
+            // one rather than returning an empty batch.
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+    }
 }
 
 /// SELECT list: computes one expression per output column.
 pub struct ProjectIter {
     input: BoxedIter,
     exprs: Vec<Expr>,
+    /// Projection entries allowed to move their value out of the input
+    /// row instead of cloning (see [`take_plan`]).
+    take: Vec<bool>,
+    /// Recycled value buffer: each projected row swaps its freshly built
+    /// values out of here and donates its input row's storage back, so
+    /// the steady-state batch path allocates nothing per row.
+    scratch: Vec<Value>,
 }
 
 impl ProjectIter {
     pub fn new(input: BoxedIter, exprs: Vec<Expr>) -> Self {
-        ProjectIter { input, exprs }
+        let take = take_plan(&exprs);
+        ProjectIter {
+            input,
+            exprs,
+            take,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Project one row, recycling buffers: the output row takes the
+    /// scratch buffer, the input row's storage becomes the next scratch.
+    fn project_one(&mut self, row: &mut Row) -> Result<Row> {
+        eval_project_into(&self.exprs, &self.take, row, &mut self.scratch)?;
+        let recycled = std::mem::take(&mut row.0);
+        let vals = std::mem::replace(&mut self.scratch, recycled);
+        self.scratch.clear();
+        Ok(Row::new(vals))
     }
 }
 
@@ -55,6 +113,34 @@ impl RowIterator for ProjectIter {
                 Ok(Some(Row::new(vals)))
             }
         }
+    }
+
+    /// Native batch path: evaluate the projection over every *selected*
+    /// row (rows a filter dropped upstream are skipped without ever
+    /// being touched) and compact the result into a fresh batch.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>> {
+        let Some(mut batch) = self.input.next_batch(max_rows)? else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        let (rows, sel) = batch.parts_mut();
+        match sel {
+            Some(sel) => {
+                // The selection is copied out so `rows` can be borrowed
+                // mutably; it is small (u32 per live row) and this is the
+                // point where the selection is consumed anyway.
+                let sel: Vec<u32> = sel.to_vec();
+                for i in sel {
+                    out.push(self.project_one(&mut rows[i as usize])?);
+                }
+            }
+            None => {
+                for row in rows.iter_mut() {
+                    out.push(self.project_one(row)?);
+                }
+            }
+        }
+        Ok(Some(RowBatch::from_rows(out)))
     }
 }
 
@@ -86,6 +172,29 @@ impl RowIterator for LimitIter {
             Some(r) => {
                 self.remaining -= 1;
                 Ok(Some(r))
+            }
+        }
+    }
+
+    /// Native batch path: ask the child for no more rows than remain,
+    /// then truncate the batch's selection to the limit.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let want = usize::try_from(self.remaining)
+            .unwrap_or(usize::MAX)
+            .min(max_rows.max(1));
+        match self.input.next_batch(want)? {
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+            Some(mut batch) => {
+                let keep = (batch.len() as u64).min(self.remaining);
+                batch.truncate(keep as usize);
+                self.remaining -= keep;
+                Ok(Some(batch))
             }
         }
     }

@@ -42,24 +42,14 @@ fn pair_output_buffer(ctx: &ExecContext) -> OutputBuffer {
     let cap = ctx.gov.mem_limit().map(|l| l / 4 / SPILL_PARTITIONS);
     OutputBuffer::with_class_capped(ctx, WaitClass::JoinSpill, cap)
 }
-use crate::exec::{BoxedIter, ExecContext, RowIterator};
-use crate::expr::Expr;
+use crate::exec::{BoxedIter, ExecContext, RowBatch, RowIterator};
+use crate::expr::{eval_into, Expr};
 use crate::governor::{MemCharge, Ticker};
 use crate::parallel::root_cause;
 use crate::udx::panic_payload;
 
 fn eval_all(exprs: &[Expr], row: &Row) -> Result<Vec<Value>> {
     exprs.iter().map(|e| e.eval(row)).collect()
-}
-
-/// Evaluate `exprs` into a reused buffer: the probe loop runs once per
-/// input row and must not allocate a fresh key vector each time.
-fn eval_into(exprs: &[Expr], row: &Row, out: &mut Vec<Value>) -> Result<()> {
-    out.clear();
-    for e in exprs {
-        out.push(e.eval(row)?);
-    }
-    Ok(())
 }
 
 fn cmp_keys(a: &[Value], b: &[Value]) -> Ordering {
@@ -676,6 +666,65 @@ impl RowIterator for HashJoinIter {
                     }
                 }
                 JoinState::Done => return Ok(None),
+                JoinState::Build => unreachable!("build ran before the loop"),
+            }
+        }
+    }
+
+    /// Native batch path for the probe side: pull probe *batches*, run
+    /// each selected row through the unchanged per-row probe (Bloom
+    /// pre-screen, spill routing, resident lookup), and hand the joined
+    /// rows on as a batch. The child's governor tick, the probe-side
+    /// dispatch and this operator's output handling all amortize over
+    /// the batch; the spilled-partition drain falls back to the row
+    /// loop, whose semantics (early file cleanup, charge release) stay
+    /// exactly as they are.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>> {
+        if matches!(self.state, JoinState::Build) {
+            self.run_build()?;
+            self.state = JoinState::Probe;
+        }
+        let max = max_rows.max(1);
+        let mut out: Vec<Row> =
+            Vec::with_capacity(max.min(crate::exec::ExecContext::DEFAULT_BATCH_SIZE));
+        loop {
+            while out.len() < max {
+                match self.ready.pop_front() {
+                    Some(row) => out.push(row),
+                    None => break,
+                }
+            }
+            if out.len() >= max {
+                return Ok(Some(RowBatch::from_rows(out)));
+            }
+            match self.state {
+                JoinState::Probe => match self.probe.next_batch(max)? {
+                    Some(batch) => {
+                        for row in batch.into_rows() {
+                            self.probe_row(row)?;
+                        }
+                    }
+                    None => {
+                        self.outputs = self.run_partition_phase()?.into_iter();
+                        self.state = JoinState::Drain;
+                    }
+                },
+                // The drain of spilled partition pairs reuses the row
+                // loop: it already streams each pair's output and frees
+                // its file/charge as soon as the pair finishes.
+                JoinState::Drain | JoinState::Done => {
+                    while out.len() < max {
+                        match self.next()? {
+                            Some(row) => out.push(row),
+                            None => break,
+                        }
+                    }
+                    return if out.is_empty() {
+                        Ok(None)
+                    } else {
+                        Ok(Some(RowBatch::from_rows(out)))
+                    };
+                }
                 JoinState::Build => unreachable!("build ran before the loop"),
             }
         }

@@ -22,7 +22,7 @@ use seqdb_storage::tempspace::SpillWriter;
 use seqdb_storage::{FileStreamStore, SpillTally, TempSpace};
 
 use crate::catalog::Catalog;
-use crate::governor::QueryGovernor;
+use crate::governor::{MemCharge, QueryGovernor};
 use crate::stats::{ExecStats, NodeStats};
 
 /// Everything an operator needs at run time.
@@ -35,6 +35,9 @@ pub struct ExecContext {
     pub dop: usize,
     /// Memory budget (bytes) for blocking operators before they spill.
     pub sort_budget: usize,
+    /// Rows per [`RowBatch`] on the vectorized path (`SET BATCH_SIZE`);
+    /// 0 forces row-at-a-time execution everywhere.
+    pub batch_size: usize,
     /// Per-query resource governor: cancellation, timeout, memory budget.
     /// Fresh for every query; clone the `Arc` to cancel from another
     /// thread.
@@ -52,6 +55,9 @@ pub struct ExecContext {
 impl ExecContext {
     /// Default memory budget for blocking operators: 64 MiB.
     pub const DEFAULT_SORT_BUDGET: usize = 64 * 1024 * 1024;
+
+    /// Default rows per batch on the vectorized path.
+    pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
     /// The spill tallies every spill of this context should feed: the
     /// query-wide tally on the governor plus, when collecting actuals,
@@ -80,11 +86,168 @@ impl ExecContext {
     }
 }
 
+/// A batch of rows moving through the vectorized execution path.
+///
+/// The batch owns its rows plus an optional *selection vector*: indices
+/// of the rows still live. A filter narrows the selection in place
+/// instead of moving or dropping rows; whoever materializes the batch
+/// (projection, join probe, the root drain) compacts it then. A batch
+/// may also carry a [`MemCharge`] so buffered rows stay visible to the
+/// query's memory budget while in flight; the charge releases when the
+/// batch drops, so cancelled queries cannot leak budget through
+/// abandoned batches.
+pub struct RowBatch {
+    rows: Vec<Row>,
+    /// Live row indices, ascending. `None` means every row is live.
+    sel: Option<Vec<u32>>,
+    /// Budget charge covering `rows`, released on drop.
+    charge: Option<MemCharge>,
+    /// True when the batch was assembled by the default `next()`-loop
+    /// fallback rather than a native batch producer.
+    fallback: bool,
+}
+
+impl RowBatch {
+    pub fn from_rows(rows: Vec<Row>) -> RowBatch {
+        RowBatch {
+            rows,
+            sel: None,
+            charge: None,
+            fallback: false,
+        }
+    }
+
+    /// A batch assembled by the default row-at-a-time fallback.
+    pub fn fallback_from(rows: Vec<Row>) -> RowBatch {
+        RowBatch {
+            fallback: true,
+            ..RowBatch::from_rows(rows)
+        }
+    }
+
+    /// Attach the budget charge covering this batch's rows.
+    pub fn set_charge(&mut self, charge: MemCharge) {
+        self.charge = Some(charge);
+    }
+
+    /// Was this batch produced by the row-loop fallback?
+    pub fn is_fallback(&self) -> bool {
+        self.fallback
+    }
+
+    /// Number of *selected* rows.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.rows.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the selected rows in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        let sel = self.sel.as_deref();
+        (0..self.len()).map(move |i| match sel {
+            Some(s) => &self.rows[s[i] as usize],
+            None => &self.rows[i],
+        })
+    }
+
+    /// Underlying storage and selection, for operators that rewrite rows
+    /// in place (projection takes values out of selected rows).
+    pub fn parts_mut(&mut self) -> (&mut [Row], Option<&[u32]>) {
+        (&mut self.rows, self.sel.as_deref())
+    }
+
+    /// Narrow the selection to rows where `keep` returns true, without
+    /// moving or dropping any row.
+    pub fn narrow(&mut self, mut keep: impl FnMut(&Row) -> Result<bool>) -> Result<()> {
+        let mut next = Vec::with_capacity(self.len());
+        match self.sel.take() {
+            Some(sel) => {
+                for i in sel {
+                    if keep(&self.rows[i as usize])? {
+                        next.push(i);
+                    }
+                }
+            }
+            None => {
+                for (i, row) in self.rows.iter().enumerate() {
+                    if keep(row)? {
+                        next.push(i as u32);
+                    }
+                }
+            }
+        }
+        self.sel = Some(next);
+        Ok(())
+    }
+
+    /// Keep only the first `n` selected rows (LIMIT).
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len() {
+            return;
+        }
+        match &mut self.sel {
+            Some(sel) => sel.truncate(n),
+            None => {
+                self.sel = Some((0..n as u32).collect());
+            }
+        }
+    }
+
+    /// Compact into a plain row vector, consuming the batch. Rows outside
+    /// the selection are dropped here and only here.
+    pub fn into_rows(mut self) -> Vec<Row> {
+        match self.sel.take() {
+            None => std::mem::take(&mut self.rows),
+            Some(sel) => {
+                let mut out = Vec::with_capacity(sel.len());
+                let mut want = sel.into_iter();
+                let mut target = want.next();
+                for (i, row) in std::mem::take(&mut self.rows).into_iter().enumerate() {
+                    if Some(i as u32) == target {
+                        out.push(row);
+                        target = want.next();
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
 /// A pull-based row stream.
 pub trait RowIterator: Send {
     /// Produce the next row, `None` at end-of-stream. After `None` (or an
     /// error) the iterator must not be called again.
     fn next(&mut self) -> Result<Option<Row>>;
+
+    /// Produce the next batch of up to `max_rows` rows (a hint, not a
+    /// hard cap: expanding operators such as a join probe may overshoot;
+    /// filters return fewer). `None` at end-of-stream; a returned batch
+    /// always has at least one selected row. The default implementation
+    /// loops [`RowIterator::next`], so every operator participates in
+    /// batch execution unchanged and the long tail (sort, window, apply,
+    /// UDX) falls back transparently.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>> {
+        let max = max_rows.max(1);
+        let mut rows = Vec::with_capacity(max.min(ExecContext::DEFAULT_BATCH_SIZE));
+        while rows.len() < max {
+            match self.next()? {
+                Some(r) => rows.push(r),
+                None => break,
+            }
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBatch::fallback_from(rows)))
+        }
+    }
 }
 
 /// Boxed operator, the unit plans compose.
@@ -95,6 +258,20 @@ pub fn collect(mut it: BoxedIter) -> Result<Vec<Row>> {
     let mut out = Vec::new();
     while let Some(r) = it.next()? {
         out.push(r);
+    }
+    Ok(out)
+}
+
+/// Drain an iterator through the batch protocol. `batch_size == 0` is
+/// the forced row-at-a-time mode (`SET BATCH_SIZE = 0`): the root pulls
+/// single rows and no operator ever sees a batch.
+pub fn collect_batched(mut it: BoxedIter, batch_size: usize) -> Result<Vec<Row>> {
+    if batch_size == 0 {
+        return collect(it);
+    }
+    let mut out = Vec::new();
+    while let Some(batch) = it.next_batch(batch_size)? {
+        out.extend(batch.into_rows());
     }
     Ok(out)
 }
@@ -142,6 +319,7 @@ pub(crate) mod testutil {
             temp: TempSpace::system().unwrap(),
             dop: 2,
             sort_budget: ExecContext::DEFAULT_SORT_BUDGET,
+            batch_size: ExecContext::DEFAULT_BATCH_SIZE,
             gov: QueryGovernor::unlimited(),
             stats: None,
             node: None,

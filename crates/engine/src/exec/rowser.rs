@@ -100,10 +100,38 @@ pub fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
 
 /// Serialize a row (value count + tagged values).
 pub fn write_row(out: &mut Vec<u8>, row: &Row) {
-    varint::write_u64(out, row.len() as u64);
-    for v in row.values() {
+    write_values(out, row.values());
+}
+
+/// Serialize a bare value slice in row framing, so callers holding a
+/// `Vec<Value>` (sort keys, join keys) need not wrap it in a `Row`.
+pub fn write_values(out: &mut Vec<u8>, vals: &[Value]) {
+    varint::write_u64(out, vals.len() as u64);
+    for v in vals {
         write_value(out, v);
     }
+}
+
+/// Start a u32-length-framed record in `buf`, clearing any previous
+/// content. Spill writers keep one `buf` across rows so the steady state
+/// allocates nothing per row; pair with [`finish_frame`].
+pub fn begin_frame(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 4]);
+}
+
+/// Backfill the length prefix reserved by [`begin_frame`].
+pub fn finish_frame(buf: &mut [u8]) {
+    let len = (buf.len() - 4) as u32;
+    buf[..4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Frame one row (u32 length prefix + tagged values) into `buf`,
+/// replacing its contents.
+pub fn frame_row(buf: &mut Vec<u8>, row: &Row) {
+    begin_frame(buf);
+    write_row(buf, row);
+    finish_frame(buf);
 }
 
 /// Deserialize a row.
@@ -144,6 +172,19 @@ mod tests {
     fn corrupt_input_is_an_error() {
         let mut pos = 0;
         assert!(read_row(&[9, 9, 9], &mut pos).is_err());
+    }
+
+    #[test]
+    fn framed_row_roundtrips_and_buffer_reuses() {
+        let mut buf = Vec::new();
+        for i in 0..3i64 {
+            let row = Row::new(vec![Value::Int(i), Value::text(format!("r{i}"))]);
+            frame_row(&mut buf, &row);
+            let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, buf.len() - 4);
+            let mut pos = 4;
+            assert_eq!(read_row(&buf, &mut pos).unwrap(), row);
+        }
     }
 
     #[test]

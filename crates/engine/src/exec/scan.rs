@@ -9,8 +9,8 @@ use seqdb_storage::rowfmt::{self, Compression};
 use seqdb_types::{Result, Row, Value};
 
 use crate::catalog::{Table, TableIndex};
-use crate::exec::RowIterator;
-use crate::expr::Expr;
+use crate::exec::{RowBatch, RowIterator};
+use crate::expr::{Expr, IntCmpKernel};
 
 /// Sequential heap scan with an optional residual predicate and
 /// projection pushed into the scan (the paper's parallel plans push both
@@ -20,18 +20,32 @@ pub struct HeapScanIter {
     pages: std::vec::IntoIter<PageId>,
     current: std::vec::IntoIter<Row>,
     filter: Option<Expr>,
+    /// Specialized form of `filter` for the batch path, when it has a
+    /// kernel-eligible shape.
+    kernel: Option<IntCmpKernel>,
     projection: Option<Vec<usize>>,
+    /// Columns to actually decode (`None` = all): unmasked columns come
+    /// back as `Value::Null` placeholders, so the caller must guarantee
+    /// nothing downstream reads them (see [`Plan::open`]'s demand pass).
+    decode_mask: Option<Vec<bool>>,
 }
 
 impl HeapScanIter {
-    pub fn new(table: Arc<Table>, filter: Option<Expr>, projection: Option<Vec<usize>>) -> Self {
+    pub fn new(
+        table: Arc<Table>,
+        filter: Option<Expr>,
+        projection: Option<Vec<usize>>,
+        decode_mask: Option<Vec<bool>>,
+    ) -> Self {
         let pages = table.heap.pages_snapshot();
         HeapScanIter {
             table,
             pages: pages.into_iter(),
             current: Vec::new().into_iter(),
+            kernel: filter.as_ref().and_then(IntCmpKernel::compile),
             filter,
             projection,
+            decode_mask,
         }
     }
 
@@ -40,6 +54,7 @@ impl HeapScanIter {
         table: Arc<Table>,
         filter: Option<Expr>,
         projection: Option<Vec<usize>>,
+        decode_mask: Option<Vec<bool>>,
         part: usize,
         nparts: usize,
     ) -> Self {
@@ -54,9 +69,28 @@ impl HeapScanIter {
             table,
             pages: pages.into_iter(),
             current: Vec::new().into_iter(),
+            kernel: filter.as_ref().and_then(IntCmpKernel::compile),
             filter,
             projection,
+            decode_mask,
         }
+    }
+}
+
+impl HeapScanIter {
+    /// Decode the next page into `self.current`; `false` when the scan is
+    /// out of pages. One call pins the page once and materializes every
+    /// row on it — the unit of work the batch path amortizes over.
+    fn next_page(&mut self) -> Result<bool> {
+        let Some(pid) = self.pages.next() else {
+            return Ok(false);
+        };
+        let mut rows = Vec::new();
+        self.table
+            .heap
+            .page_rows_into_masked(pid, self.decode_mask.as_deref(), &mut rows)?;
+        self.current = rows.into_iter();
+        Ok(true)
     }
 }
 
@@ -75,16 +109,66 @@ impl RowIterator for HeapScanIter {
                 };
                 return Ok(Some(row));
             }
+            if !self.next_page()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Native batch path: each decoded page becomes one batch wholesale
+    /// (`max_rows` is a hint; a page holds at most a few hundred rows).
+    /// The pushed-down residual predicate narrows the *selection vector*
+    /// instead of moving or dropping rows, so a filtered scan does no
+    /// per-row copying at all — one page decode, one narrow, one return.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>> {
+        let max = max_rows.max(1);
+        // Drain rows a scalar next() call may have left mid-page first.
+        let mut rows = Vec::new();
+        while rows.len() < max {
+            let Some(row) = self.current.next() else {
+                break;
+            };
+            if let Some(f) = &self.filter {
+                if !f.eval_predicate(&row)? {
+                    continue;
+                }
+            }
+            rows.push(match &self.projection {
+                Some(p) => row.project(p),
+                None => row,
+            });
+        }
+        if !rows.is_empty() {
+            return Ok(Some(RowBatch::from_rows(rows)));
+        }
+        loop {
             let Some(pid) = self.pages.next() else {
                 return Ok(None);
             };
-            let rows: Vec<Row> = self
-                .table
+            let mut rows = Vec::new();
+            self.table
                 .heap
-                .scan_pages(vec![pid])
-                .map(|r| r.map(|(_, row)| row))
-                .collect::<Result<_>>()?;
-            self.current = rows.into_iter();
+                .page_rows_into_masked(pid, self.decode_mask.as_deref(), &mut rows)?;
+            let mut batch = RowBatch::from_rows(rows);
+            if let Some(f) = &self.filter {
+                match &self.kernel {
+                    Some(k) => batch.narrow(|row| match k.eval(row) {
+                        Some(pass) => Ok(pass),
+                        None => f.eval_predicate(row),
+                    })?,
+                    None => batch.narrow(|row| f.eval_predicate(row))?,
+                }
+            }
+            if let Some(p) = &self.projection {
+                let mut out = Vec::with_capacity(batch.len());
+                for row in batch.iter() {
+                    out.push(row.project(p));
+                }
+                batch = RowBatch::from_rows(out);
+            }
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
         }
     }
 }
@@ -212,6 +296,55 @@ impl RowIterator for IndexScanIter {
             }));
         }
     }
+
+    /// Native batch path: decode a whole run of leaf entries per
+    /// [`rowfmt::decode_rows_into`] call (`OwnedRange` pulls 1024 entries
+    /// per tree visit), so one `next_batch` amortizes the tree re-open,
+    /// the decode loop and the governor tick over the whole buffer.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>> {
+        let max = max_rows.max(1);
+        let mut rows = Vec::with_capacity(max.min(crate::exec::ExecContext::DEFAULT_BATCH_SIZE));
+        let mut decoded = Vec::new();
+        loop {
+            let want = max - rows.len();
+            decoded.clear();
+            rowfmt::decode_rows_into(
+                &self.schema,
+                (&mut self.iter.buffer).take(want),
+                Compression::Row,
+                None,
+                &mut decoded,
+            )?;
+            for row in decoded.drain(..) {
+                if let Some(f) = &self.filter {
+                    if !f.eval_predicate(&row)? {
+                        continue;
+                    }
+                }
+                rows.push(match &self.projection {
+                    Some(p) => row.project(p),
+                    None => row,
+                });
+            }
+            if rows.len() >= max {
+                break;
+            }
+            if self.iter.buffer.len() == 0 {
+                if self.iter.done {
+                    break;
+                }
+                self.iter.refill()?;
+                if self.iter.buffer.len() == 0 && self.iter.done {
+                    break;
+                }
+            }
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBatch::from_rows(rows)))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -248,7 +381,7 @@ mod tests {
     fn full_scan_with_filter_and_projection() {
         let (_ctx, t) = setup();
         let filter = Expr::binary(BinOp::Eq, Expr::col(1, "grp"), Expr::lit(1));
-        let it = HeapScanIter::new(t, Some(filter), Some(vec![2, 0]));
+        let it = HeapScanIter::new(t, Some(filter), Some(vec![2, 0]), None);
         let rows = collect(Box::new(it)).unwrap();
         assert_eq!(rows.len(), 167); // ids 1,4,...,499
         assert_eq!(rows[0].len(), 2);
@@ -262,7 +395,7 @@ mod tests {
         let nparts = 3;
         let mut all = Vec::new();
         for p in 0..nparts {
-            let it = HeapScanIter::partitioned(t.clone(), None, None, p, nparts);
+            let it = HeapScanIter::partitioned(t.clone(), None, None, None, p, nparts);
             all.extend(collect(Box::new(it)).unwrap());
         }
         assert_eq!(all.len(), 500);

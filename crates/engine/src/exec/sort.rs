@@ -120,13 +120,11 @@ fn spill_run(
     let mut writer = ctx.create_spill()?;
     let mut scratch = Vec::new();
     for (kv, row) in buffer.drain(..) {
-        scratch.clear();
-        rowser::write_row(&mut scratch, &Row::new(kv));
+        rowser::begin_frame(&mut scratch);
+        rowser::write_values(&mut scratch, &kv);
         rowser::write_row(&mut scratch, &row);
-        let mut framed = Vec::with_capacity(scratch.len() + 4);
-        framed.extend_from_slice(&(scratch.len() as u32).to_le_bytes());
-        framed.extend_from_slice(&scratch);
-        writer.write_all(&framed)?;
+        rowser::finish_frame(&mut scratch);
+        writer.write_all(&scratch)?;
     }
     writer.finish()
 }

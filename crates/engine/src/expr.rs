@@ -194,6 +194,137 @@ impl Expr {
     }
 }
 
+/// Evaluate `exprs` over one row into a reused buffer (cleared first).
+/// Join probes and aggregate argument loops run once per input row and
+/// must not allocate a fresh vector each time.
+pub fn eval_into(exprs: &[Expr], row: &Row, out: &mut Vec<Value>) -> Result<()> {
+    out.clear();
+    for e in exprs {
+        out.push(e.eval(row)?);
+    }
+    Ok(())
+}
+
+/// A type-specialized comparison kernel for the vectorized path:
+/// `column <op> integer-literal` predicates (either operand order)
+/// evaluate directly against the stored value instead of walking the
+/// expression tree per row. Rows whose stored value is neither `Int` nor
+/// `Null` return `None` so the caller can fall back to the interpreter —
+/// kernel and interpreter are observably identical.
+#[derive(Clone, Copy, Debug)]
+pub struct IntCmpKernel {
+    col: usize,
+    op: BinOp,
+    k: i64,
+}
+
+impl IntCmpKernel {
+    /// Recognize a kernel-eligible predicate shape, normalizing
+    /// `literal <op> column` by flipping the comparison.
+    pub fn compile(expr: &Expr) -> Option<IntCmpKernel> {
+        let Expr::Binary { op, left, right } = expr else {
+            return None;
+        };
+        if !matches!(
+            op,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        ) {
+            return None;
+        }
+        match (left.as_ref(), right.as_ref()) {
+            (Expr::Column { index, .. }, Expr::Literal(Value::Int(k))) => Some(IntCmpKernel {
+                col: *index,
+                op: *op,
+                k: *k,
+            }),
+            (Expr::Literal(Value::Int(k)), Expr::Column { index, .. }) => {
+                let flipped = match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::LtEq => BinOp::GtEq,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::GtEq => BinOp::LtEq,
+                    other => *other,
+                };
+                Some(IntCmpKernel {
+                    col: *index,
+                    op: flipped,
+                    k: *k,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluate against one row; `None` means the row is outside the
+    /// kernel's domain (missing column or non-integer value) and must go
+    /// through the interpreter. `Null` compares to `Null`, which a
+    /// predicate position treats as false.
+    #[inline]
+    pub fn eval(&self, row: &Row) -> Option<bool> {
+        match row.get(self.col) {
+            Some(Value::Int(v)) => Some(match self.op {
+                BinOp::Eq => *v == self.k,
+                BinOp::NotEq => *v != self.k,
+                BinOp::Lt => *v < self.k,
+                BinOp::LtEq => *v <= self.k,
+                BinOp::Gt => *v > self.k,
+                BinOp::GtEq => *v >= self.k,
+                _ => unreachable!("compile admits only comparisons"),
+            }),
+            Some(Value::Null) => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// Which expressions of a projection list may *move* their value out of
+/// the input row instead of cloning it: bare column references whose
+/// column no other expression in the list touches. Safe because the
+/// input row is dropped right after the projection, and a column taken
+/// here is by construction read by nothing else.
+pub fn take_plan(exprs: &[Expr]) -> Vec<bool> {
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut refs = Vec::new();
+    for e in exprs {
+        refs.clear();
+        e.referenced_columns(&mut refs);
+        for &i in &refs {
+            *counts.entry(i).or_insert(0) += 1;
+        }
+    }
+    exprs
+        .iter()
+        .map(|e| matches!(e, Expr::Column { index, .. } if counts.get(index) == Some(&1)))
+        .collect()
+}
+
+/// Evaluate a projection list over one row into `out` (cleared first).
+/// Where `take` (from [`take_plan`]) allows, the value is moved out of
+/// the row, leaving `Value::Null` behind — the batch projection path
+/// uses this to avoid the per-row `Value` clones (and for `Text`
+/// columns, the string copies) that `Expr::eval` pays.
+pub fn eval_project_into(
+    exprs: &[Expr],
+    take: &[bool],
+    row: &mut Row,
+    out: &mut Vec<Value>,
+) -> Result<()> {
+    out.clear();
+    out.reserve(exprs.len());
+    for (i, e) in exprs.iter().enumerate() {
+        if take.get(i).copied().unwrap_or(false) {
+            if let Expr::Column { index, .. } = e {
+                if let Some(slot) = row.0.get_mut(*index) {
+                    out.push(std::mem::replace(slot, Value::Null));
+                    continue;
+                }
+            }
+        }
+        out.push(e.eval(row)?);
+    }
+    Ok(())
+}
+
 fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> Result<Value> {
     // AND/OR need SQL three-valued logic with short-circuiting.
     if matches!(op, BinOp::And | BinOp::Or) {

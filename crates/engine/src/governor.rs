@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use seqdb_storage::SpillTally;
 use seqdb_types::{DbError, Result, Row};
 
-use crate::exec::{BoxedIter, RowIterator};
+use crate::exec::{BoxedIter, RowBatch, RowIterator};
 
 /// Query lifecycle states stored in [`QueryGovernor::state`].
 const RUNNING: u8 = 0;
@@ -265,6 +265,16 @@ impl Ticker {
             gov.check()
         }
     }
+
+    /// One cooperative check per *batch*: always the full check. A batch
+    /// already amortizes ~a thousand rows, so the deadline read costs
+    /// nothing per row — and checking it every batch keeps KILL and
+    /// timeout latency at batch granularity instead of
+    /// `DEADLINE_STRIDE × batch` rows.
+    pub fn tick_batch(&mut self, gov: &QueryGovernor) -> Result<()> {
+        self.n = self.n.wrapping_add(1);
+        gov.check_deadline()
+    }
 }
 
 impl Default for Ticker {
@@ -297,6 +307,26 @@ impl RowIterator for GovernedIter {
     fn next(&mut self) -> Result<Option<Row>> {
         self.ticker.tick(&self.gov)?;
         self.inner.next()
+    }
+
+    /// Batch pass-through: one full cooperative check per batch instead
+    /// of one cheap check per row, then delegate. This override is what
+    /// keeps batches intact across operator boundaries — `Plan::open`
+    /// wraps every node in a `GovernedIter`, so without it every batch
+    /// would silently degrade to the row loop here.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>> {
+        self.ticker.tick_batch(&self.gov)?;
+        let batch = self.inner.next_batch(max_rows)?;
+        if let Some(b) = &batch {
+            let counters = crate::stats::engine_counters();
+            let bucket = if b.is_fallback() {
+                &counters.batch_fallback_rows
+            } else {
+                &counters.batch_rows
+            };
+            bucket.fetch_add(b.len() as u64, Ordering::Relaxed);
+        }
+        Ok(batch)
     }
 }
 

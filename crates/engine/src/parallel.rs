@@ -121,20 +121,47 @@ impl ParallelAggIter {
         let mut charges: Vec<MemCharge> = Vec::with_capacity(dop);
         let mut errors: Vec<DbError> = Vec::new();
 
+        // Workers only evaluate the filter, the group keys and the
+        // aggregate arguments; every other column can skip decoding.
+        let decode_mask = {
+            let mut demand = vec![false; self.table.schema.len()];
+            let mut refs = Vec::new();
+            for e in self
+                .filter
+                .iter()
+                .chain(&self.group_exprs)
+                .chain(self.aggs.iter().flat_map(|a| &a.args))
+            {
+                e.referenced_columns(&mut refs);
+            }
+            for i in refs {
+                if let Some(slot) = demand.get_mut(i) {
+                    *slot = true;
+                }
+            }
+            if demand.iter().all(|&b| b) {
+                None
+            } else {
+                Some(demand)
+            }
+        };
+
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(dop);
             for w in 0..dop {
                 let table = self.table.clone();
                 let filter = self.filter.clone();
+                let gov = gov.clone();
+                let decode_mask = decode_mask.clone();
                 let group_exprs = self.group_exprs.clone();
                 let aggs = self.aggs.clone();
-                let gov = gov.clone();
                 let temp = temp.clone();
                 let tallies = self.ctx.spill_tallies();
+                let batch_hint = self.ctx.batch_size;
                 handles.push(scope.spawn(move || {
                     let start = Instant::now();
                     let mut scan = CountingIter {
-                        inner: HeapScanIter::partitioned(table, filter, None, w, dop),
+                        inner: HeapScanIter::partitioned(table, filter, None, decode_mask, w, dop),
                         rows: 0,
                         gov: gov.clone(),
                         ticker: Ticker::new(),
@@ -161,6 +188,7 @@ impl ParallelAggIter {
                         Some(&gov),
                         cap,
                         0,
+                        batch_hint,
                     );
                     if result.is_err() {
                         // Fail fast: siblings notice at their next
@@ -297,6 +325,17 @@ impl RowIterator for CountingIter {
         }
         Ok(r)
     }
+
+    /// Batch feed for the worker: one cooperative check per page-sized
+    /// batch from the partitioned heap scan instead of one per row.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<crate::exec::RowBatch>> {
+        self.ticker.tick_batch(&self.gov)?;
+        let batch = self.inner.next_batch(max_rows)?;
+        if let Some(b) = &batch {
+            self.rows += b.len() as u64;
+        }
+        Ok(batch)
+    }
 }
 
 impl RowIterator for ParallelAggIter {
@@ -357,7 +396,7 @@ mod tests {
 
         // Serial reference.
         let serial = {
-            let scan = Box::new(HeapScanIter::new(t.clone(), None, None));
+            let scan = Box::new(HeapScanIter::new(t.clone(), None, None, None));
             let it = crate::exec::agg::HashAggIter::new(scan, group.clone(), specs(), _ctx.clone());
             let mut rows = collect(Box::new(it)).unwrap();
             rows.sort_by_key(|r| r[0].as_int().unwrap());
@@ -517,7 +556,7 @@ mod tests {
 
         // Serial reference with no memory pressure.
         let serial = {
-            let scan = Box::new(HeapScanIter::new(t.clone(), None, None));
+            let scan = Box::new(HeapScanIter::new(t.clone(), None, None, None));
             let it = crate::exec::agg::HashAggIter::new(scan, group.clone(), specs(), ctx.clone());
             let mut rows = collect(Box::new(it)).unwrap();
             rows.sort_by_key(|r| r[0].as_int().unwrap());
@@ -580,7 +619,7 @@ mod tests {
         // Sanity check of the stats plumbing.
         let (_ctx, t) = setup(100);
         let mut c = CountingIter {
-            inner: HeapScanIter::new(t, None, None),
+            inner: HeapScanIter::new(t, None, None, None),
             rows: 0,
             gov: QueryGovernor::unlimited(),
             ticker: Ticker::new(),

@@ -174,6 +174,16 @@ impl Plan {
     /// wrapped in a [`StatsIter`]. The slot is shared via `Arc` with the
     /// collector, so actuals survive an early pipeline drop.
     pub fn open(&self, ctx: &ExecContext) -> Result<BoxedIter> {
+        self.open_demanded(ctx, None)
+    }
+
+    /// [`Plan::open`] with a column-demand pass: `demand` marks which of
+    /// this node's *output* columns its consumer will read (`None` = all
+    /// of them). Demand is narrowed top-down through filters, projections,
+    /// aggregates, sorts and joins, and lands on heap scans as a decode
+    /// mask — columns nothing reads are skipped in the byte stream
+    /// instead of being materialized.
+    fn open_demanded(&self, ctx: &ExecContext, demand: Option<&[bool]>) -> Result<BoxedIter> {
         let mut local = ctx.clone();
         let slot = local.stats.as_ref().map(|s| s.register(self.label()));
         local.node = slot.clone();
@@ -184,11 +194,20 @@ impl Plan {
                 filter,
                 projection,
                 ..
-            } => Box::new(HeapScanIter::new(
-                table.clone(),
-                filter.clone(),
-                projection.clone(),
-            )),
+            } => {
+                let decode_mask = scan_decode_mask(
+                    &table.schema,
+                    filter.as_ref(),
+                    projection.as_deref(),
+                    demand,
+                );
+                Box::new(HeapScanIter::new(
+                    table.clone(),
+                    filter.clone(),
+                    projection.clone(),
+                    decode_mask,
+                ))
+            }
             Plan::IndexScan {
                 table,
                 index,
@@ -206,40 +225,80 @@ impl Plan {
             Plan::TvfScan { tvf, args } => Box::new(TvfScanIter::open(tvf, args, ctx)?),
             Plan::Values { rows, .. } => Box::new(ValuesIter::new(rows.clone())),
             Plan::Filter { input, predicate } => {
-                Box::new(FilterIter::new(input.open(ctx)?, predicate.clone()))
+                let child = demand.map(|d| {
+                    let mut d = d.to_vec();
+                    demand_exprs(&mut d, std::slice::from_ref(predicate));
+                    d
+                });
+                Box::new(FilterIter::new(
+                    input.open_demanded(ctx, child.as_deref())?,
+                    predicate.clone(),
+                ))
             }
             Plan::Project { input, exprs, .. } => {
-                Box::new(ProjectIter::new(input.open(ctx)?, exprs.clone()))
+                let mut child = vec![false; input.schema().len()];
+                demand_exprs(&mut child, exprs.iter());
+                Box::new(ProjectIter::new(
+                    input.open_demanded(ctx, Some(&child))?,
+                    exprs.clone(),
+                ))
             }
             Plan::Sort { input, keys } => {
-                Box::new(SortIter::new(input.open(ctx)?, keys.clone(), ctx.clone()))
+                let child = demand.map(|d| {
+                    let mut d = d.to_vec();
+                    demand_exprs(&mut d, keys.iter().map(|k| &k.expr));
+                    d
+                });
+                Box::new(SortIter::new(
+                    input.open_demanded(ctx, child.as_deref())?,
+                    keys.clone(),
+                    ctx.clone(),
+                ))
             }
             Plan::TopN { input, keys, n } => {
-                Box::new(TopNIter::new(input.open(ctx)?, keys.clone(), *n as usize))
+                let child = demand.map(|d| {
+                    let mut d = d.to_vec();
+                    demand_exprs(&mut d, keys.iter().map(|k| &k.expr));
+                    d
+                });
+                Box::new(TopNIter::new(
+                    input.open_demanded(ctx, child.as_deref())?,
+                    keys.clone(),
+                    *n as usize,
+                ))
             }
-            Plan::Limit { input, n } => Box::new(LimitIter::new(input.open(ctx)?, *n)),
+            Plan::Limit { input, n } => {
+                Box::new(LimitIter::new(input.open_demanded(ctx, demand)?, *n))
+            }
             Plan::HashAggregate {
                 input,
                 group_exprs,
                 aggs,
                 ..
-            } => Box::new(HashAggIter::new(
-                input.open(ctx)?,
-                group_exprs.clone(),
-                aggs.clone(),
-                ctx.clone(),
-            )),
+            } => {
+                let child = aggregate_demand(&input.schema(), group_exprs, aggs);
+                Box::new(HashAggIter::new(
+                    input.open_demanded(ctx, Some(&child))?,
+                    group_exprs.clone(),
+                    aggs.clone(),
+                    ctx.clone(),
+                ))
+            }
             Plan::StreamAggregate {
                 input,
                 group_exprs,
                 aggs,
                 ..
-            } => Box::new(StreamAggIter::new(
-                input.open(ctx)?,
-                group_exprs.clone(),
-                aggs.clone(),
-                ctx.gov.clone(),
-            )),
+            } => {
+                let child = aggregate_demand(&input.schema(), group_exprs, aggs);
+                Box::new(StreamAggIter::new(
+                    input.open_demanded(ctx, Some(&child))?,
+                    group_exprs.clone(),
+                    aggs.clone(),
+                    ctx.gov.clone(),
+                    ctx.batch_size,
+                ))
+            }
             Plan::ParallelAggregate {
                 table,
                 filter,
@@ -263,30 +322,88 @@ impl Plan {
                 probe_first,
                 dop,
                 ..
-            } => Box::new(HashJoinIter::new(
-                build.open(ctx)?,
-                probe.open(ctx)?,
-                build_keys.clone(),
-                probe_keys.clone(),
-                *probe_first,
-                (*dop).max(1).min(effective_dop(ctx)),
-                ctx.clone(),
-            )),
+            } => {
+                // Output is left ++ right (left = probe side when the
+                // binder swapped the build): split the demand across the
+                // two inputs, then add each side's join keys.
+                let build_len = build.schema().len();
+                let probe_len = probe.schema().len();
+                let first_len = if *probe_first { probe_len } else { build_len };
+                let mut build_d = vec![demand.is_none(); build_len];
+                let mut probe_d = vec![demand.is_none(); probe_len];
+                if let Some(d) = demand {
+                    for i in 0..build_len + probe_len {
+                        let wanted = d.get(i).copied().unwrap_or(true);
+                        let (side, at) = if i < first_len {
+                            (
+                                if *probe_first {
+                                    &mut probe_d
+                                } else {
+                                    &mut build_d
+                                },
+                                i,
+                            )
+                        } else {
+                            let at = i - first_len;
+                            (
+                                if *probe_first {
+                                    &mut build_d
+                                } else {
+                                    &mut probe_d
+                                },
+                                at,
+                            )
+                        };
+                        side[at] = side[at] || wanted;
+                    }
+                }
+                demand_exprs(&mut build_d, build_keys.iter());
+                demand_exprs(&mut probe_d, probe_keys.iter());
+                Box::new(HashJoinIter::new(
+                    build.open_demanded(ctx, Some(&build_d))?,
+                    probe.open_demanded(ctx, Some(&probe_d))?,
+                    build_keys.clone(),
+                    probe_keys.clone(),
+                    *probe_first,
+                    (*dop).max(1).min(effective_dop(ctx)),
+                    ctx.clone(),
+                ))
+            }
             Plan::MergeJoin {
                 left,
                 right,
                 left_keys,
                 right_keys,
                 ..
-            } => Box::new(MergeJoinIter::new(
-                left.open(ctx)?,
-                right.open(ctx)?,
-                left_keys.clone(),
-                right_keys.clone(),
-            )),
+            } => {
+                let left_len = left.schema().len();
+                let right_len = right.schema().len();
+                let mut left_d = vec![demand.is_none(); left_len];
+                let mut right_d = vec![demand.is_none(); right_len];
+                if let Some(d) = demand {
+                    for i in 0..left_len + right_len {
+                        let wanted = d.get(i).copied().unwrap_or(true);
+                        if i < left_len {
+                            left_d[i] = left_d[i] || wanted;
+                        } else {
+                            right_d[i - left_len] = right_d[i - left_len] || wanted;
+                        }
+                    }
+                }
+                demand_exprs(&mut left_d, left_keys.iter());
+                demand_exprs(&mut right_d, right_keys.iter());
+                Box::new(MergeJoinIter::new(
+                    left.open_demanded(ctx, Some(&left_d))?,
+                    right.open_demanded(ctx, Some(&right_d))?,
+                    left_keys.clone(),
+                    right_keys.clone(),
+                ))
+            }
             Plan::CrossApply {
                 input, tvf, args, ..
             } => Box::new(CrossApplyIter::new(
+                // The apply's output interleaves input columns with the
+                // function's rows; stay conservative and decode them all.
                 input.open(ctx)?,
                 tvf.clone(),
                 args.clone(),
@@ -366,9 +483,12 @@ impl Plan {
         }
     }
 
-    /// Execute to completion and collect the rows.
+    /// Execute to completion and collect the rows. The root drain speaks
+    /// the batch protocol (`ctx.batch_size` rows per pull); with
+    /// `SET BATCH_SIZE = 0` it degrades to the scalar `next()` loop and
+    /// the whole plan runs row-at-a-time.
     pub fn run(&self, ctx: &ExecContext) -> Result<Vec<Row>> {
-        crate::exec::collect(self.open(ctx)?)
+        crate::exec::collect_batched(self.open(ctx)?, ctx.batch_size)
     }
 
     /// Render the plan tree (the `EXPLAIN` / showplan output used to
@@ -643,6 +763,67 @@ impl Annotations<'_> {
 /// Cap a plan's DOP at the context's configured parallelism.
 fn effective_dop(ctx: &ExecContext) -> usize {
     ctx.dop.max(1)
+}
+
+/// Mark every column the expressions reference in `demand`. References
+/// beyond the demand's arity are ignored (they cannot name a decodable
+/// column of the child).
+fn demand_exprs<'a>(demand: &mut [bool], exprs: impl IntoIterator<Item = &'a Expr>) {
+    let mut refs = Vec::new();
+    for e in exprs {
+        e.referenced_columns(&mut refs);
+    }
+    for i in refs {
+        if let Some(slot) = demand.get_mut(i) {
+            *slot = true;
+        }
+    }
+}
+
+/// Input columns an aggregate reads: its group keys and argument
+/// expressions — nothing else, whatever the consumer above demanded.
+fn aggregate_demand(input: &Schema, group_exprs: &[Expr], aggs: &[AggSpec]) -> Vec<bool> {
+    let mut d = vec![false; input.len()];
+    demand_exprs(&mut d, group_exprs.iter());
+    demand_exprs(&mut d, aggs.iter().flat_map(|a| &a.args));
+    d
+}
+
+/// Columns a heap scan must actually decode: the consumer's demand over
+/// the scan's *output*, mapped back through its pushed projection, plus
+/// whatever its own residual filter reads. `None` = decode everything.
+fn scan_decode_mask(
+    schema: &Schema,
+    filter: Option<&Expr>,
+    projection: Option<&[usize]>,
+    demand: Option<&[bool]>,
+) -> Option<Vec<bool>> {
+    let demand = demand?;
+    let mut mask = vec![false; schema.len()];
+    match projection {
+        Some(p) => {
+            for (out_idx, &col) in p.iter().enumerate() {
+                if demand.get(out_idx).copied().unwrap_or(true) {
+                    if let Some(slot) = mask.get_mut(col) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
+        None => {
+            for (i, slot) in mask.iter_mut().enumerate() {
+                *slot = demand.get(i).copied().unwrap_or(true);
+            }
+        }
+    }
+    if let Some(f) = filter {
+        demand_exprs(&mut mask, std::slice::from_ref(f));
+    }
+    if mask.iter().all(|&b| b) {
+        None
+    } else {
+        Some(mask)
+    }
 }
 
 fn fmt_exprs(exprs: &[Expr]) -> String {

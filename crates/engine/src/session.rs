@@ -53,6 +53,7 @@ pub struct SessionSettings {
     pub query_mem_limit_kb: Option<Option<u64>>,
     pub max_dop: Option<usize>,
     pub join_strategy: Option<crate::database::JoinStrategy>,
+    pub batch_size: Option<usize>,
 }
 
 /// One client connection's worth of state: an id, a settings overlay,
@@ -104,6 +105,12 @@ impl Session {
         self.settings.lock().join_strategy = Some(strategy);
     }
 
+    /// Session-scoped `SET BATCH_SIZE`; 0 forces row-at-a-time execution
+    /// for this session's statements.
+    pub fn set_batch_size(&self, rows: usize) {
+        self.settings.lock().batch_size = Some(rows);
+    }
+
     /// The configuration this session's next statement runs under:
     /// database defaults with this session's overrides applied.
     pub fn effective_config(&self) -> DbConfig {
@@ -120,6 +127,9 @@ impl Session {
         }
         if let Some(strategy) = s.join_strategy {
             cfg.join_strategy = strategy;
+        }
+        if let Some(rows) = s.batch_size {
+            cfg.batch_size = rows;
         }
         cfg
     }
@@ -212,6 +222,7 @@ impl Session {
             temp: self.db.temp().clone(),
             dop: cfg.max_dop,
             sort_budget: cfg.sort_budget,
+            batch_size: cfg.batch_size,
             gov,
             stats: None,
             node: None,

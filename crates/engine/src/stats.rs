@@ -30,7 +30,7 @@ use parking_lot::Mutex;
 use seqdb_storage::SpillTally;
 use seqdb_types::{Result, Row};
 
-use crate::exec::{BoxedIter, RowIterator};
+use crate::exec::{BoxedIter, RowBatch, RowIterator};
 use crate::governor::QueryGovernor;
 
 /// Actual numbers for one operator node of one executed plan.
@@ -40,6 +40,8 @@ pub struct NodeStats {
     pub label: &'static str,
     rows: AtomicU64,
     nexts: AtomicU64,
+    /// Batches this node delivered via `next_batch` (0 = pure row path).
+    batches: AtomicU64,
     elapsed_nanos: AtomicU64,
     peak_mem: AtomicU64,
     /// Spill traffic attributed to this node (files + bytes).
@@ -52,6 +54,7 @@ impl NodeStats {
             label,
             rows: AtomicU64::new(0),
             nexts: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
             elapsed_nanos: AtomicU64::new(0),
             peak_mem: AtomicU64::new(0),
             spill: Arc::new(SpillTally::default()),
@@ -67,6 +70,12 @@ impl NodeStats {
     /// pull, unless the consumer stopped early).
     pub fn nexts(&self) -> u64 {
         self.nexts.load(Ordering::Relaxed)
+    }
+
+    /// Batches this node delivered through the vectorized path; 0 means
+    /// every row moved through the scalar `next()` protocol.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
     }
 
     /// Cumulative wall time spent inside this node's `next()`, children
@@ -91,6 +100,13 @@ impl NodeStats {
             self.nexts(),
             self.peak_mem_bytes() / 1024,
         );
+        if self.batches() > 0 {
+            out.push_str(&format!(
+                " batches={} avg_batch={:.1}",
+                self.batches(),
+                self.rows() as f64 / self.batches() as f64
+            ));
+        }
         if self.spill.files() > 0 {
             out.push_str(&format!(
                 " spill_files={} spill_kb={}",
@@ -160,6 +176,30 @@ impl RowIterator for StatsIter {
             .fetch_max(self.gov.mem_used() as u64, Ordering::Relaxed);
         out
     }
+
+    /// Batch pass-through: one timing read, one `nexts` bump and one
+    /// `rows += batch.len()` per batch, so actuals cost the same whether
+    /// the node moved one row or a thousand. Like `GovernedIter`, this
+    /// override is required for batches to cross the per-node wrapping in
+    /// `Plan::open` intact.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>> {
+        let start = Instant::now();
+        let out = self.inner.next_batch(max_rows);
+        self.node
+            .elapsed_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.node.nexts.fetch_add(1, Ordering::Relaxed);
+        if let Ok(Some(batch)) = &out {
+            self.node
+                .rows
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.node.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.node
+            .peak_mem
+            .fetch_max(self.gov.mem_used() as u64, Ordering::Relaxed);
+        out
+    }
 }
 
 /// Process-global engine counters (`DM_OS_PERFORMANCE_COUNTERS()` rows
@@ -174,6 +214,15 @@ pub struct EngineCounters {
     pub udx_panics: AtomicU64,
     /// Queries stopped by the governor's wall-clock timeout.
     pub timeouts: AtomicU64,
+    /// Rows that crossed an operator boundary inside a natively produced
+    /// batch (counted once per governed boundary, so deep plans count a
+    /// row once per level — the same convention as per-node actuals).
+    pub batch_rows: AtomicU64,
+    /// Rows that crossed a governed boundary in a batch assembled by the
+    /// row-at-a-time fallback loop (sort, window, apply, UDX...). A high
+    /// ratio of fallback to native rows shows where the batch path has
+    /// not reached yet.
+    pub batch_fallback_rows: AtomicU64,
 }
 
 impl EngineCounters {
@@ -185,6 +234,8 @@ impl EngineCounters {
             ("statement_kills", ld(&self.kills)),
             ("udx_panics", ld(&self.udx_panics)),
             ("governed_timeouts", ld(&self.timeouts)),
+            ("batch_rows", ld(&self.batch_rows)),
+            ("batch_fallback_rows", ld(&self.batch_fallback_rows)),
         ]
     }
 }
@@ -194,6 +245,8 @@ static ENGINE: EngineCounters = EngineCounters {
     kills: AtomicU64::new(0),
     udx_panics: AtomicU64::new(0),
     timeouts: AtomicU64::new(0),
+    batch_rows: AtomicU64::new(0),
+    batch_fallback_rows: AtomicU64::new(0),
 };
 
 /// The process-global engine-counter registry.

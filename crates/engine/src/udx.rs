@@ -73,6 +73,16 @@ pub trait Aggregate: Send + Sync {
 pub trait AggState: Send {
     /// `Accumulate(...)`: fold in one input row's argument values.
     fn update(&mut self, args: &[Value]) -> Result<()>;
+    /// Fold in `n` rows that all produced the same argument values —
+    /// the vectorized path uses this to collapse an argument-free run
+    /// (`COUNT(*)` over a batch) into one call. The default repeats
+    /// [`AggState::update`], so user aggregates keep exact semantics.
+    fn update_n(&mut self, args: &[Value], n: u64) -> Result<()> {
+        for _ in 0..n {
+            self.update(args)?;
+        }
+        Ok(())
+    }
     /// `Merge(other)`: fold another partial state of the same aggregate
     /// into `self`. `other` is guaranteed to come from the same
     /// [`Aggregate`] factory.
@@ -173,6 +183,14 @@ impl AggState for CountState {
         match args.first() {
             None => self.n += 1,                    // COUNT(*)
             Some(v) if !v.is_null() => self.n += 1, // COUNT(expr)
+            Some(_) => {}
+        }
+        Ok(())
+    }
+    fn update_n(&mut self, args: &[Value], n: u64) -> Result<()> {
+        match args.first() {
+            None => self.n += n as i64,
+            Some(v) if !v.is_null() => self.n += n as i64,
             Some(_) => {}
         }
         Ok(())

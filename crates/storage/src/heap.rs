@@ -18,7 +18,7 @@ use seqdb_types::{DbError, Result, Row, Schema};
 use crate::buffer::BufferPool;
 use crate::page::{PageId, PageType, FLAG_COMPRESSED, FLAG_RECOMPRESSED, NO_PAGE, PAGE_SIZE};
 use crate::pagec::PageContext;
-use crate::rowfmt::{decode_row, encode_row, Compression};
+use crate::rowfmt::{self, decode_row, encode_row, Compression};
 
 /// Physical address of a record: page + slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -244,6 +244,56 @@ impl HeapFile {
             page_idx: 0,
             current: Vec::new().into_iter(),
         }
+    }
+
+    /// Decode every live row of one page straight into `out` (appended),
+    /// skipping the per-row [`RecordId`] pairing of the general scan —
+    /// the batch-friendly page visit for scans that only need rows.
+    pub fn page_rows_into(&self, pid: PageId, out: &mut Vec<Row>) -> Result<()> {
+        self.page_rows_into_masked(pid, None, out)
+    }
+
+    /// Like [`HeapFile::page_rows_into`], but with an optional column
+    /// mask: unmasked columns are skipped in the byte stream and left as
+    /// `Value::Null` placeholders (see [`rowfmt::decode_row_masked`]) —
+    /// the scan-level projection pushdown of the vectorized reader.
+    pub fn page_rows_into_masked(
+        &self,
+        pid: PageId,
+        mask: Option<&[bool]>,
+        out: &mut Vec<Row>,
+    ) -> Result<()> {
+        let frame = self.pool.fetch(pid)?;
+        let page = frame.page.read();
+        let ctx = if page.has_flag(FLAG_COMPRESSED) {
+            Some(PageContext::deserialize(page.ci_area())?)
+        } else {
+            None
+        };
+        match mask {
+            None => {
+                for (_, rec) in page.iter() {
+                    out.push(decode_row(
+                        &self.schema,
+                        rec,
+                        self.compression,
+                        ctx.as_ref(),
+                    )?);
+                }
+            }
+            Some(mask) => {
+                for (_, rec) in page.iter() {
+                    out.push(rowfmt::decode_row_masked(
+                        &self.schema,
+                        rec,
+                        self.compression,
+                        ctx.as_ref(),
+                        mask,
+                    )?);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Decode every live row of one page (with its compression context).

@@ -1,0 +1,290 @@
+//! Vectorized-execution equivalence and robustness: batch mode must be
+//! observably identical to row-at-a-time execution (same result
+//! multisets under any batch size, DOP, or memory budget), and the
+//! governor contracts — KILL, timeouts, spill cleanup, pin accounting —
+//! must hold mid-batch exactly as they do mid-row.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use seqdb::engine::{Database, ExecContext, TableFunction, TvfCursor};
+use seqdb::sql::{DatabaseSqlExt, SessionSqlExt};
+use seqdb::types::{Column, DataType, DbError, Result, Row, Schema, Value};
+
+/// `NUMBERS(n)` emits 0..n — an effectively endless stream for the
+/// cancellation and timeout tests.
+struct Numbers;
+
+struct NumbersCursor {
+    next: i64,
+    limit: i64,
+}
+
+impl TvfCursor for NumbersCursor {
+    fn move_next(&mut self) -> Result<bool> {
+        self.next += 1;
+        Ok(self.next <= self.limit)
+    }
+    fn fill_row(&mut self) -> Result<Row> {
+        Ok(Row::new(vec![Value::Int(self.next - 1)]))
+    }
+}
+
+impl TableFunction for Numbers {
+    fn name(&self) -> &str {
+        "NUMBERS"
+    }
+    fn schema(&self) -> Arc<Schema> {
+        Arc::new(Schema::new(vec![Column::new("n", DataType::Int)]))
+    }
+    fn open(&self, args: &[Value], _ctx: &ExecContext) -> Result<Box<dyn TvfCursor>> {
+        Ok(Box::new(NumbersCursor {
+            next: 0,
+            limit: args[0].as_int()?,
+        }))
+    }
+}
+
+/// Render a result as a sorted multiset of row strings, so two
+/// executions compare regardless of row order.
+fn sorted_rows(r: &seqdb::engine::QueryResult) -> Vec<String> {
+    let mut out: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+    out.sort();
+    out
+}
+
+fn counter(db: &Arc<Database>, name: &str) -> i64 {
+    let r = db
+        .query_sql(&format!(
+            "SELECT value FROM DM_OS_PERFORMANCE_COUNTERS() WHERE counter_name = '{name}'"
+        ))
+        .unwrap();
+    r.rows.first().map_or(0, |row| row[0].as_int().unwrap())
+}
+
+// ----------------------------------------------------------------------
+// Property: batch execution ≡ row execution over random plans
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn batch_and_row_modes_agree_on_random_plans(
+        rows in proptest::collection::vec((0i64..9, -50i64..50), 0..400),
+        k in -60i64..60,
+        budget_kb in 2i64..8,
+    ) {
+        let db = Database::in_memory();
+        db.execute_sql("CREATE TABLE t (id INT NOT NULL, grp INT, v INT)")
+            .unwrap();
+        db.execute_sql("CREATE TABLE s (g INT, name VARCHAR(8))").unwrap();
+        // grp 0 maps to NULL so predicates and join keys both see NULLs;
+        // v is NULL on every 7th row to exercise the kernel's NULL rule.
+        let t_rows: Vec<Row> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (g, v))| {
+                let grp = if *g == 0 { Value::Null } else { Value::Int(*g) };
+                let val = if i % 7 == 3 { Value::Null } else { Value::Int(*v) };
+                Row::new(vec![Value::Int(i as i64), grp, val])
+            })
+            .collect();
+        db.insert_rows("t", &t_rows).unwrap();
+        for g in 0..6i64 {
+            db.insert_rows(
+                "s",
+                &[Row::new(vec![Value::Int(g), Value::text(format!("lane{g}"))])],
+            )
+            .unwrap();
+        }
+
+        // Shapes chosen to cover every native batch path: the scan
+        // kernel in both operand orders, filter→project, aggregation
+        // with and without GROUP BY, the hash-join probe, and TopN.
+        let queries = [
+            format!("SELECT id, v FROM t WHERE v < {k}"),
+            format!("SELECT id FROM t WHERE {k} >= v"),
+            format!("SELECT id + v, grp FROM t WHERE v <> {k}"),
+            "SELECT grp, COUNT(*), SUM(v) FROM t GROUP BY grp".to_string(),
+            format!("SELECT COUNT(*), SUM(v) FROM t WHERE v > {k}"),
+            "SELECT COUNT(*) FROM t JOIN s ON (t.grp = s.g)".to_string(),
+            "SELECT TOP 10 id FROM t ORDER BY v, id".to_string(),
+        ];
+
+        for sql in &queries {
+            // Baseline: forced row-at-a-time, serial, unlimited memory.
+            db.execute_sql("SET BATCH_SIZE = 0").unwrap();
+            db.execute_sql("SET MAX_DOP = 1").unwrap();
+            db.execute_sql("SET QUERY_MEMORY_LIMIT_KB = 0").unwrap();
+            let expect = sorted_rows(&db.query_sql(sql).unwrap());
+
+            for batch in [1usize, 7, 1024] {
+                for (dop, budget) in [(1usize, 0i64), (4, budget_kb)] {
+                    db.execute_sql(&format!("SET BATCH_SIZE = {batch}")).unwrap();
+                    db.execute_sql(&format!("SET MAX_DOP = {dop}")).unwrap();
+                    db.execute_sql(&format!("SET QUERY_MEMORY_LIMIT_KB = {budget}"))
+                        .unwrap();
+                    match db.query_sql(sql) {
+                        Ok(r) => prop_assert_eq!(
+                            sorted_rows(&r),
+                            expect.clone(),
+                            "batch={} dop={} budget={}kb sql={}",
+                            batch, dop, budget, sql
+                        ),
+                        // A tiny budget may legitimately refuse a join
+                        // whose one hash bucket exceeds it — typed, not
+                        // silent truncation.
+                        Err(DbError::ResourceExhausted(_)) => {}
+                        Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+                    }
+                    prop_assert_eq!(db.temp().live_files().unwrap(), 0, "leaked spill files");
+                }
+            }
+        }
+        prop_assert_eq!(db.pool().pinned_frames(), 0, "leaked buffer pins");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Mid-batch KILL and timeout: cancellation is honored between (and
+// inside) batches, with no leaked pins or temp files
+// ----------------------------------------------------------------------
+
+#[test]
+fn kill_lands_mid_batch_without_leaks() {
+    let db = Database::in_memory();
+    db.catalog().register_table_fn(Arc::new(Numbers));
+    let pins_before = db.pool().pinned_frames();
+
+    let victim = db.create_session();
+    victim.execute_sql("SET BATCH_SIZE = 1024").unwrap();
+    let victim_sid = victim.id() as i64;
+    let runner = std::thread::spawn(move || {
+        victim
+            .query_sql("SELECT COUNT(*) FROM NUMBERS(1000000000)")
+            .unwrap_err()
+    });
+
+    let killer = db.create_session();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let statement_id = loop {
+        let r = killer
+            .query_sql("SELECT statement_id, session_id FROM DM_EXEC_REQUESTS()")
+            .unwrap();
+        let found = r
+            .rows
+            .iter()
+            .find_map(|row| (row[1] == Value::Int(victim_sid)).then(|| row[0].as_int().unwrap()));
+        match found {
+            Some(id) => break id,
+            None if Instant::now() > deadline => panic!("victim never registered"),
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+    };
+    let kills_before = counter(&db, "statement_kills");
+    killer.execute_sql(&format!("KILL {statement_id}")).unwrap();
+    let err = runner.join().unwrap();
+    assert!(matches!(err, DbError::Cancelled(_)), "{err}");
+    assert_eq!(counter(&db, "statement_kills"), kills_before + 1);
+    assert_eq!(db.pool().pinned_frames(), pins_before, "leaked pins");
+    assert_eq!(db.temp().live_files().unwrap(), 0, "leaked temp files");
+}
+
+#[test]
+fn timeout_fires_under_batch_mode_without_leaks() {
+    let db = Database::in_memory();
+    db.catalog().register_table_fn(Arc::new(Numbers));
+    db.execute_sql("SET BATCH_SIZE = 1024").unwrap();
+    db.execute_sql("SET QUERY_TIMEOUT_MS = 50").unwrap();
+    let start = Instant::now();
+    let err = db
+        .query_sql("SELECT COUNT(*) FROM NUMBERS(1000000000)")
+        .unwrap_err();
+    assert!(matches!(err, DbError::Timeout(_)), "{err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "timeout must fire promptly, took {:?}",
+        start.elapsed()
+    );
+    assert_eq!(db.pool().pinned_frames(), 0, "leaked pins");
+    assert_eq!(db.temp().live_files().unwrap(), 0, "leaked temp files");
+
+    // The clock disarmed, the same session keeps working.
+    db.execute_sql("SET QUERY_TIMEOUT_MS = 0").unwrap();
+    let r = db.query_sql("SELECT COUNT(*) FROM NUMBERS(100)").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(100));
+}
+
+// ----------------------------------------------------------------------
+// Spill under batch mode: exact results, all resources released
+// ----------------------------------------------------------------------
+
+#[test]
+fn batched_aggregate_spills_exactly_and_releases_everything() {
+    let db = Database::in_memory();
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, v INT)")
+        .unwrap();
+    let rows: Vec<Row> = (0..3000i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 100)]))
+        .collect();
+    db.insert_rows("t", &rows).unwrap();
+
+    let pins_before = db.pool().pinned_frames();
+    db.execute_sql("SET BATCH_SIZE = 1024").unwrap();
+    db.execute_sql("SET QUERY_MEMORY_LIMIT_KB = 8").unwrap();
+    db.temp().reset_counters();
+    let r = db
+        .query_sql("SELECT id, COUNT(*) FROM t GROUP BY id")
+        .unwrap();
+    assert_eq!(r.rows.len(), 3000, "every group exactly once");
+    assert!(r.rows.iter().all(|row| row[1] == Value::Int(1)));
+    assert!(db.temp().spill_count() > 0, "8 KiB must force a spill");
+    assert_eq!(db.temp().live_files().unwrap(), 0, "leaked spill files");
+    assert_eq!(db.pool().pinned_frames(), pins_before, "leaked pins");
+    assert_eq!(counter(&db, "tempspace_live_files"), 0);
+}
+
+// ----------------------------------------------------------------------
+// EXPLAIN ANALYZE surfaces batch shape
+// ----------------------------------------------------------------------
+
+#[test]
+fn explain_analyze_reports_batches_in_batch_mode() {
+    let db = Database::in_memory();
+    db.execute_sql("CREATE TABLE t (id INT NOT NULL, v INT)")
+        .unwrap();
+    let rows: Vec<Row> = (0..5000i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 10)]))
+        .collect();
+    db.insert_rows("t", &rows).unwrap();
+
+    db.execute_sql("SET BATCH_SIZE = 512").unwrap();
+    let r = db
+        .query_sql("EXPLAIN ANALYZE SELECT COUNT(*) FROM t WHERE v < 7")
+        .unwrap();
+    let text = r
+        .rows
+        .iter()
+        .map(|row| row[0].as_text().unwrap().to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("batches="), "batch stats missing:\n{text}");
+    assert!(text.contains("avg_batch="), "batch stats missing:\n{text}");
+
+    // Row mode reports no batch shape — the stat is mode-specific.
+    db.execute_sql("SET BATCH_SIZE = 0").unwrap();
+    let r = db
+        .query_sql("EXPLAIN ANALYZE SELECT COUNT(*) FROM t WHERE v < 7")
+        .unwrap();
+    let text = r
+        .rows
+        .iter()
+        .map(|row| row[0].as_text().unwrap().to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        !text.contains("batches="),
+        "row mode must not batch:\n{text}"
+    );
+}
